@@ -1,0 +1,65 @@
+"""Ablation benches (A1 in DESIGN.md) — design-choice sweeps the paper
+holds fixed."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    fanout_sweep,
+    pattern_cache_effectiveness,
+    polarity_cap_sensitivity,
+    supply_sweep,
+)
+
+
+def test_bench_supply_sweep(benchmark):
+    """EDP vs VDD: quadratic dynamic energy against collapsing drive."""
+    points = benchmark.pedantic(
+        lambda: supply_sweep([0.6, 0.9, 1.1]), rounds=1, iterations=1)
+    print()
+    for p in points:
+        print(f"  VDD={p.vdd:.1f} V: mean PT={p.mean_power * 1e9:7.2f} nW, "
+              f"FO3={p.fo3_delay * 1e12:5.2f} ps, "
+              f"EDP={p.edp / 1e-24:8.4f} x1e-24 Js")
+    by_vdd = {p.vdd: p for p in points}
+    # power rises monotonically with VDD
+    assert by_vdd[0.6].mean_power < by_vdd[0.9].mean_power
+    assert by_vdd[0.9].mean_power < by_vdd[1.1].mean_power
+    # delay falls monotonically with VDD
+    assert by_vdd[0.6].fo3_delay > by_vdd[0.9].fo3_delay
+
+
+def test_bench_polarity_cap_sensitivity(benchmark):
+    """The 28% total saving erodes as the back gate couples harder."""
+    points = benchmark.pedantic(
+        lambda: polarity_cap_sensitivity([0.0, 6.0, 18.0]),
+        rounds=1, iterations=1)
+    print()
+    for p in points:
+        print(f"  c_pol={p.c_pol_af:4.1f} aF: total saving "
+              f"{p.total_saving:6.1%}, dynamic {p.dynamic_saving:6.1%}")
+    savings = [p.total_saving for p in points]
+    assert savings[0] >= savings[1] >= savings[2]
+    # at the paper's operating point the XOR-rich circuit still saves
+    # substantially, and even a 3x-pessimistic back gate keeps a win
+    assert 0.30 <= savings[1] <= 0.55
+    assert savings[2] > 0.2
+
+
+def test_bench_fanout_sweep(benchmark):
+    """Library saving is stable across the assumed fanout."""
+    points = benchmark.pedantic(
+        lambda: fanout_sweep([1, 3, 6]), rounds=1, iterations=1)
+    print()
+    for p in points:
+        print(f"  fanout={p.fanout}: saving {p.saving:6.1%}")
+    for p in points:
+        assert 0.15 <= p.saving <= 0.45
+
+
+def test_bench_pattern_cache(benchmark):
+    """Classified vs naive SPICE counts (the Fig. 5 payoff)."""
+    result = benchmark.pedantic(pattern_cache_effectiveness,
+                                rounds=1, iterations=1)
+    print(f"\n  naive solves: {result.cell_vector_pairs}, classified: "
+          f"{result.distinct_patterns} ({result.reduction:.0f}x fewer)")
+    assert result.reduction > 10

@@ -1,0 +1,22 @@
+"""Fig. 2 bench: transmission-gate signal integrity.
+
+A transmission gate in any passing configuration pulls the output to
+the full rail; a single pass device degrades a passed 1 by a threshold
+drop.  Runs the four SPICE transients and checks both claims.
+"""
+
+import pytest
+
+from repro.experiments.figures import reproduce_fig2_transmission
+
+
+def test_bench_fig2(benchmark):
+    result = benchmark.pedantic(reproduce_fig2_transmission, rounds=1,
+                                iterations=1)
+    print()
+    print(result.render())
+    assert result.tg_pass_one == pytest.approx(result.vdd, abs=5e-3)
+    assert result.tg_pass_zero == pytest.approx(0.0, abs=5e-3)
+    # the single n-FET loses roughly a threshold voltage
+    assert result.vdd - result.nfet_pass_one > 0.1
+    assert result.pfet_pass_zero > 0.1

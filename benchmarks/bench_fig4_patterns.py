@@ -1,0 +1,34 @@
+"""Fig. 4 bench: input-vector dependence of leakage.
+
+Parallel off transistors ([0 0 0] on NOR3) leak more than 3x the series
+stack ([1 1 1]); the pattern classifier reduces both vectors to the
+expected canonical patterns.
+"""
+
+import pytest
+
+from repro.experiments.figures import reproduce_fig4_patterns
+from repro.power.patterns import library_patterns
+
+
+def test_bench_fig4(benchmark, mlib):
+    result = benchmark.pedantic(lambda: reproduce_fig4_patterns(mlib),
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.ratio > 3.0  # the paper's "more than 3x"
+    assert result.parallel_pattern == "p(d,d,d)"
+    assert result.series_pattern == "s(d,d,d)"
+    # [0 0 0] leaves exactly three parallel single devices
+    assert result.parallel_current == pytest.approx(
+        3 * result.single_device_current, rel=1e-6)
+    # [1 1 1] leaks less than a single device (stack effect)
+    assert result.series_current < result.single_device_current
+
+
+def test_bench_pattern_classification(benchmark, glib):
+    """Classifying the whole 46-cell library (topology-analyzer side of
+    Fig. 5)."""
+    keys = benchmark(lambda: library_patterns(glib))
+    print(f"\ndistinct patterns: {len(keys)} (paper: 26)")
+    assert 10 <= len(keys) <= 40

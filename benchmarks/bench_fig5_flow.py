@@ -1,0 +1,21 @@
+"""Fig. 5 bench: the two-step characterization flow.
+
+The paper's point is computational: classifying off-current patterns
+means only a few dozen circuit simulations quantify the whole library.
+The bench measures the full flow and the achieved simulation-count
+reduction versus the naive one-SPICE-run-per-(cell, vector) approach.
+"""
+
+from repro.experiments.figures import reproduce_fig5_flow
+
+
+def test_bench_fig5_flow(benchmark):
+    result = benchmark.pedantic(reproduce_fig5_flow, rounds=1,
+                                iterations=1)
+    print()
+    print(result.render())
+    assert result.n_cells == 46
+    # naive: one simulation per (cell, vector) pair; classified: one per
+    # distinct pattern.  The reduction is the method's payoff.
+    assert result.simulation_savings > 10
+    assert result.distinct_patterns < 50

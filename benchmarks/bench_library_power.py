@@ -1,0 +1,45 @@
+"""Section 4 library characterization bench (S4-LIB in DESIGN.md).
+
+Regenerates the gate-level results the paper reports in prose: the
+46-cell characterization, the CNTFET-vs-CMOS comparison (27 % dynamic /
+28 % total saving, ~10x static gap, PG/PS fractions) and the equal
+average activity factors.
+"""
+
+import pytest
+
+from repro.experiments.library_power import reproduce_library_study
+
+
+def test_bench_library_study(benchmark):
+    study = benchmark.pedantic(reproduce_library_study, rounds=1,
+                               iterations=1)
+    print()
+    print("\n".join(study.comparison.summary_lines()))
+
+    # Paper anchors (Section 4).
+    assert study.cntfet_inverter_cin_af == pytest.approx(36.0)
+    assert study.cmos_inverter_cin_af == pytest.approx(52.0)
+    assert 0.20 <= study.comparison.dynamic_saving <= 0.40   # paper: 27%
+    assert 0.22 <= study.comparison.total_saving <= 0.42     # paper: 28%
+    assert 7 <= study.comparison.static_ratio <= 14          # ~10x
+    assert study.comparison.reference_gate_leak_fraction == pytest.approx(
+        0.10, abs=0.04)                                      # CMOS ~10%
+    assert study.comparison.candidate_gate_leak_fraction < 0.01  # <1%
+    assert study.comparison.candidate_activity == pytest.approx(
+        study.comparison.reference_activity, abs=1e-9)       # equal alpha
+
+
+def test_bench_characterization_per_cell(benchmark, glib):
+    """Cost of characterizing one representative generalized cell."""
+    from repro.power.characterize import characterize_cell
+    from repro.power.model import PowerParameters
+    from repro.power.pattern_sim import PatternSimulator
+
+    simulator = PatternSimulator(glib.tech)
+    params = PowerParameters()
+    cell = glib.cell("GNAND2B")
+
+    result = benchmark(
+        lambda: characterize_cell(cell, glib, simulator, params))
+    assert result.power.total > 0

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks use a reduced pattern budget (16 K instead of the paper's
+640 K) so the whole harness runs in minutes; the *full* paper-scale
+reproduction is ``examples/table1_reproduction.py``, whose output is
+recorded in EXPERIMENTS.md.  Pattern count only affects estimator
+noise, not the relative results (see
+``tests/sim/test_estimator.py::TestBehaviour::test_pattern_convergence``).
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.gates.ambipolar_library import generalized_cntfet_library
+from repro.gates.conventional import cmos_library, conventional_cntfet_library
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return ExperimentConfig(n_patterns=16_384, state_patterns=16_384)
+
+
+@pytest.fixture(scope="session")
+def glib():
+    return generalized_cntfet_library()
+
+
+@pytest.fixture(scope="session")
+def clib():
+    return conventional_cntfet_library()
+
+
+@pytest.fixture(scope="session")
+def mlib():
+    return cmos_library()

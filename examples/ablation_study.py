@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Ablation study (experiment A1): stress the paper's fixed assumptions.
+
+The paper characterizes at VDD = 0.9 V, fanout 3, and with a particular
+ambipolar back-gate technology.  This script sweeps each assumption and
+shows how the headline results move:
+
+* EDP vs supply voltage for the generalized library;
+* the total-power saving vs the assumed polarity-gate capacitance;
+* the saving vs characterization fanout;
+* the computational payoff of the pattern classification.
+
+Run:  python examples/ablation_study.py
+"""
+
+from repro.experiments.ablations import (
+    fanout_sweep,
+    pattern_cache_effectiveness,
+    polarity_cap_sensitivity,
+    supply_sweep,
+)
+
+print("== A1.1: supply sweep (generalized CNTFET library) ==")
+print(f"{'VDD (V)':>8s} {'mean PT (nW)':>13s} {'FO3 (ps)':>9s} "
+      f"{'EDP (1e-24 Js)':>15s}")
+for point in supply_sweep():
+    print(f"{point.vdd:8.1f} {point.mean_power * 1e9:13.2f} "
+          f"{point.fo3_delay * 1e12:9.2f} {point.edp / 1e-24:15.5f}")
+
+print("\n== A1.2: polarity-gate capacitance sensitivity ==")
+print("(the paper's savings depend on how hard the ambipolar back gate")
+print(" loads the transmission-gate inputs; our baseline is 6 aF)")
+print(f"{'c_pol (aF)':>11s} {'total saving':>13s} {'dynamic saving':>15s}")
+for point in polarity_cap_sensitivity():
+    print(f"{point.c_pol_af:11.1f} {point.total_saving:13.1%} "
+          f"{point.dynamic_saving:15.1%}")
+
+print("\n== A1.3: fanout sweep ==")
+print(f"{'fanout':>7s} {'CNTFET mean PT (nW)':>20s} "
+      f"{'CMOS mean PT (nW)':>18s} {'saving':>8s}")
+for point in fanout_sweep():
+    print(f"{point.fanout:7d} {point.cntfet_mean_power * 1e9:20.2f} "
+          f"{point.cmos_mean_power * 1e9:18.2f} {point.saving:8.1%}")
+
+print("\n== A1.4: pattern-classification payoff ==")
+cache = pattern_cache_effectiveness()
+print(f"naive SPICE runs (one per cell-vector): {cache.cell_vector_pairs}")
+print(f"classified runs (one per pattern):      {cache.distinct_patterns}")
+print(f"reduction:                              {cache.reduction:.0f}x")

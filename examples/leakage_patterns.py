@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Off-current pattern classification walkthrough (Sections 3.2/3.3).
+
+Shows, step by step, what the gate topology analyzer does:
+
+* NOR3 under every input vector -> reduced off-network patterns
+  (including the paper's example that [1 1 0] and [1 0 1] share a
+  pattern, and Fig. 4's parallel-vs-series contrast);
+* the pattern set of the whole 46-cell ambipolar library;
+* the circuit-level quantification of each distinct pattern (Fig. 5,
+  step 2) with the resulting currents.
+
+Run:  python examples/leakage_patterns.py
+"""
+
+from repro.experiments.figures import reproduce_fig4_patterns
+from repro.gates import cmos_library, generalized_cntfet_library
+from repro.power import PatternSimulator, library_patterns, stage_patterns
+from repro.units import to_nanoamperes
+
+# -- NOR3, vector by vector ---------------------------------------------------
+
+mlib = cmos_library()
+nor3 = mlib.cell("NOR3")
+simulator = PatternSimulator(mlib.tech)
+
+print("== NOR3 off-current patterns per input vector ==")
+for vector in range(8):
+    values = tuple(bool((vector >> i) & 1) for i in range(3))
+    patterns = stage_patterns(nor3, values)
+    current = sum(simulator.off_current(p) for p in patterns)
+    bits = " ".join(str(int(v)) for v in values)
+    print(f"  [{bits}] -> {patterns[0].key:14s} "
+          f"Ioff = {to_nanoamperes(current):6.3f} nA")
+
+print("\nNote: [1 1 0] and [1 0 1] share one pattern (the paper's")
+print("Section 3.2 example), so one SPICE run covers both vectors.")
+
+# -- Fig. 4 -------------------------------------------------------------------
+
+print()
+print(reproduce_fig4_patterns(mlib).render())
+
+# -- whole-library statistics ---------------------------------------------------
+
+glib = generalized_cntfet_library()
+keys = sorted(library_patterns(glib))
+print(f"\n== pattern set of the 46-cell ambipolar library ==")
+print(f"distinct patterns: {len(keys)} (paper: 26)")
+cnt_sim = PatternSimulator(glib.tech)
+from repro.power.patterns import LeakagePattern
+
+
+def _parse(key):
+    """Rebuild a pattern tree from its canonical key (demo only)."""
+    pos = 0
+
+    def parse():
+        nonlocal pos
+        if key[pos] == "d":
+            pos += 1
+            return ("d",)
+        tag = key[pos]
+        pos += 2  # tag + '('
+        children = [parse()]
+        while key[pos] == ",":
+            pos += 1
+            children.append(parse())
+        pos += 1  # ')'
+        return (tag, *children)
+
+    return parse()
+
+
+print(f"{'pattern':24s} {'devices':>8s} {'Ioff (nA)':>10s}")
+for key in keys:
+    pattern = LeakagePattern(_parse(key))
+    current = cnt_sim.off_current(pattern)
+    print(f"{key:24s} {pattern.n_devices:8d} "
+          f"{to_nanoamperes(current):10.4f}")
+print(f"\nSPICE operating points computed: {cnt_sim.solves} "
+      f"(vs {sum(1 << c.n_inputs for c in glib)} naive cell-vector runs)")

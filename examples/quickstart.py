@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: characterize a gate, map a circuit, estimate its power.
+
+This walks the three layers of the reproduction in ~40 lines:
+
+1. device level   — the calibrated 32 nm technologies;
+2. gate level     — power characterization of one ambipolar cell
+                    (the paper's Fig. 5 flow);
+3. circuit level  — synthesize, map and power-estimate a small adder
+                    (one cell of Table 1).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.circuits.adders import ripple_adder_circuit
+from repro.devices import CMOS_32NM, CNTFET_32NM, technology_report
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.flow import run_circuit_flow
+from repro.gates import generalized_cntfet_library
+from repro.power import PatternSimulator, characterize_cell
+from repro.power.model import PowerParameters
+
+# -- 1. the technologies ----------------------------------------------------
+
+print("== technologies ==")
+print(technology_report(CMOS_32NM))
+print(technology_report(CNTFET_32NM))
+
+# -- 2. characterize one generalized gate -----------------------------------
+
+library = generalized_cntfet_library()
+cell = library.cell("GNAND2B")          # ((a^c)(b^d))' - two TGs in series
+simulator = PatternSimulator(library.tech)
+report = characterize_cell(cell, library, simulator, PowerParameters())
+
+print(f"\n== {cell.name}: {cell.description} ==")
+print(f"devices:            {report.n_devices}")
+print(f"activity factor:    {report.activity:.2f}")
+print(f"mean input cap:     {report.input_capacitance * 1e18:.1f} aF")
+print(f"mean off-current:   {report.mean_i_off * 1e9:.3f} nA")
+print(f"PD  = {report.power.dynamic * 1e9:8.2f} nW")
+print(f"PSC = {report.power.short_circuit * 1e9:8.2f} nW")
+print(f"PS  = {report.power.static * 1e9:8.4f} nW")
+print(f"PG  = {report.power.gate_leak * 1e9:8.5f} nW")
+print(f"PT  = {report.power.total * 1e9:8.2f} nW")
+print(f"distinct leakage patterns: {report.distinct_patterns} "
+      f"(simulated once each, then cached)")
+
+# -- 3. one Table 1 cell: synthesize + map + estimate ------------------------
+
+config = ExperimentConfig(n_patterns=65_536)
+result = run_circuit_flow(ripple_adder_circuit(8), library, config)
+print("\n== 8-bit adder on the generalized CNTFET library ==")
+print(f"mapped gates: {result.gate_count}")
+print(f"delay:        {result.delay_ps:.1f} ps")
+print(f"PD={result.pd_uw:.3f} uW  PS={result.ps_uw:.4f} uW  "
+      f"PT={result.pt_uw:.3f} uW")
+print(f"EDP:          {result.edp_paper_units:.3f} x1e-24 J*s")

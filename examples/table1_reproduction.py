@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Full paper-scale Table 1 reproduction (the flagship experiment).
+
+Runs all 12 benchmarks through resyn2rs, maps each onto the
+generalized-CNTFET / conventional-CNTFET / CMOS libraries, estimates
+power with the paper's 640 K random patterns, and prints the table with
+the paper's averages inline plus the improvement rows.
+
+This is the run recorded in EXPERIMENTS.md.  Takes a few minutes.
+
+Run:  python examples/table1_reproduction.py [--fast]
+"""
+
+import sys
+import time
+
+from repro.circuits.suite import CMOS, CONVENTIONAL, GENERALIZED
+from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
+from repro.experiments.table1 import reproduce_table1
+
+config = PAPER_CONFIG
+if "--fast" in sys.argv:
+    config = ExperimentConfig(n_patterns=16_384, state_patterns=16_384)
+    print("(fast mode: 16 K patterns instead of 640 K)\n")
+
+start = time.perf_counter()
+result = reproduce_table1(config, verbose=True)
+elapsed = time.perf_counter() - start
+
+print()
+print(result.render())
+print()
+print(f"total wall time: {elapsed:.0f} s "
+      f"({config.n_patterns} random patterns per circuit)")
+
+print("\n== headline comparison (average row) ==")
+rows = [
+    ("metric", "paper gen/CMOS", "ours gen/CMOS",
+     "paper conv/CMOS", "ours conv/CMOS"),
+]
+gen = result.improvement_vs_cmos(GENERALIZED)
+conv = result.improvement_vs_cmos(CONVENTIONAL)
+paper_gen = {"gates": "24.2%", "delay": "7.1x", "pd": "53.4%",
+             "ps": "94.5%", "pt": "57.1%", "edp": "19.5x"}
+paper_conv = {"gates": "3.2%", "delay": "5.1x", "pd": "30.9%",
+              "ps": "92.7%", "pt": "36.7%", "edp": "8.1x"}
+for key, label in [("gates", "gate count"), ("delay", "delay"),
+                   ("pd", "dynamic power"), ("ps", "static power"),
+                   ("pt", "total power"), ("edp", "EDP")]:
+    rows.append((label, paper_gen[key], gen[key],
+                 paper_conv[key], conv[key]))
+widths = [max(len(str(r[i])) for r in rows) for i in range(5)]
+for row in rows:
+    print("  ".join(str(cell).rjust(w) for cell, w in zip(row, widths)))

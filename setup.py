@@ -1,0 +1,9 @@
+"""Setup shim: enables legacy installs in offline environments.
+
+The canonical metadata lives in pyproject.toml; this file exists only so
+that ``python setup.py develop`` works where the ``wheel`` package (needed
+for PEP 660 editable installs) is unavailable.
+"""
+from setuptools import setup
+
+setup()

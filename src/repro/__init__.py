@@ -1,0 +1,32 @@
+"""repro — reproduction of *Power Consumption of Logic Circuits in
+Ambipolar Carbon Nanotube Technology* (Ben Jamaa, Mohanram, De Micheli;
+DATE 2010).
+
+The package is organized as the paper's stack:
+
+* :mod:`repro.devices` — calibrated 32 nm CMOS / CNTFET compact models
+  and the ambipolar device of Fig. 1;
+* :mod:`repro.spice`   — a small MNA circuit simulator (the HSPICE
+  substitute);
+* :mod:`repro.gates`   — switch-network cells and the three libraries
+  (46-cell generalized ambipolar, conventional CNTFET, CMOS);
+* :mod:`repro.power`   — the power model (Eqs. 1-5) and the off-current
+  pattern classification flow of Fig. 5;
+* :mod:`repro.synth`   — AIG synthesis (resyn2rs) and technology
+  mapping (the ABC substitute);
+* :mod:`repro.sim`     — bit-parallel gate-level simulation and circuit
+  power estimation (640 K random patterns);
+* :mod:`repro.circuits` — generators for the 12 Table 1 benchmarks;
+* :mod:`repro.experiments` — harnesses regenerating every table/figure.
+
+Quickstart::
+
+    from repro.experiments import reproduce_library_study
+    print(reproduce_library_study().render())
+"""
+
+from repro import devices, errors, units
+
+__version__ = "1.0.0"
+
+__all__ = ["devices", "errors", "units", "__version__"]

@@ -1,0 +1,42 @@
+"""Benchmark circuit generators (the ISCAS-85 / MCNC substitute).
+
+The original benchmark netlists are not redistributable, so each of the
+paper's 12 circuits is replaced by a functional generator of the same
+*class* — ALU-plus-control, array multiplier, error-correcting logic,
+DES-style round function, seeded random control logic — sized near the
+paper's gate counts.  The paper's conclusions depend on the functional
+class (XOR-rich datapaths benefit most from the generalized library),
+which the generators preserve; absolute gate counts differ and only
+ratios are compared in EXPERIMENTS.md.
+"""
+
+from repro.circuits.builders import CircuitBuilder
+from repro.circuits.adders import ripple_adder_circuit, parity_tree_circuit
+from repro.circuits.multiplier import array_multiplier
+from repro.circuits.ecc import hamming_corrector, secded_decoder
+from repro.circuits.alu import alu_circuit
+from repro.circuits.des import des_rounds
+from repro.circuits.random_logic import random_control_logic, t481_style
+from repro.circuits.suite import (
+    BenchmarkSpec,
+    PaperRow,
+    benchmark_suite,
+    build_benchmark,
+)
+
+__all__ = [
+    "CircuitBuilder",
+    "ripple_adder_circuit",
+    "parity_tree_circuit",
+    "array_multiplier",
+    "hamming_corrector",
+    "secded_decoder",
+    "alu_circuit",
+    "des_rounds",
+    "random_control_logic",
+    "t481_style",
+    "BenchmarkSpec",
+    "PaperRow",
+    "benchmark_suite",
+    "build_benchmark",
+]

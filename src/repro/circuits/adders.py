@@ -1,0 +1,26 @@
+"""Simple arithmetic circuits used as examples and test fixtures."""
+
+from __future__ import annotations
+
+from repro.circuits.builders import CircuitBuilder
+from repro.synth.aig import Aig
+
+
+def ripple_adder_circuit(width: int, name: str = None) -> Aig:
+    """``width``-bit ripple-carry adder with carry in and out."""
+    builder = CircuitBuilder(name or f"add{width}")
+    a = builder.input_word("a", width)
+    b = builder.input_word("b", width)
+    carry_in = builder.input_bit("cin")
+    total, carry = builder.ripple_add(a, b, carry_in)
+    builder.output_word("sum", total)
+    builder.output_bit("cout", carry)
+    return builder.aig
+
+
+def parity_tree_circuit(width: int, name: str = None) -> Aig:
+    """``width``-input parity function (a pure XOR tree)."""
+    builder = CircuitBuilder(name or f"parity{width}")
+    bits = builder.input_word("x", width)
+    builder.output_bit("parity", builder.parity(bits))
+    return builder.aig

@@ -1,0 +1,246 @@
+"""BLIF import/export for AIGs and mapped netlists.
+
+The paper's flow runs through ABC, whose native interchange format is
+BLIF.  Writing our subject graphs and mapped covers as BLIF keeps the
+reproduction interoperable with real tools (the generated files load in
+ABC/SIS), and the reader lets users bring their own benchmark netlists
+into the flow.
+
+AIGs are written with one two-input ``.names`` block per AND node and
+inverters folded into the cube phases.  Mapped netlists are written as
+``.gate`` lines referencing the genlib cell names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from repro.errors import SynthesisError
+from repro.synth.aig import Aig, FALSE, TRUE, lit_node, lit_not, lit_phase
+from repro.synth.netlist import MappedNetlist
+from repro.synth.sop import isop
+
+
+def write_aig_blif(aig: Aig, name: Optional[str] = None) -> str:
+    """Serialize an AIG as BLIF text."""
+    lines: List[str] = [f".model {name or aig.name}"]
+    lines.append(".inputs " + " ".join(aig.pi_names))
+    lines.append(".outputs " + " ".join(aig.po_names))
+
+    signal: Dict[int, str] = {}
+    for node, pi_name in zip(aig.pis, aig.pi_names):
+        signal[node] = pi_name
+    for node in aig.and_nodes():
+        signal[node] = f"n{node}"
+
+    def literal_name(literal: int) -> Tuple[str, int]:
+        """(net name, phase) of a literal; constants handled separately."""
+        return signal[lit_node(literal)], lit_phase(literal)
+
+    for node in aig.and_nodes():
+        f0, f1 = aig.fanins(node)
+        name0, phase0 = literal_name(f0)
+        name1, phase1 = literal_name(f1)
+        lines.append(f".names {name0} {name1} {signal[node]}")
+        lines.append(f"{1 - phase0}{1 - phase1} 1")
+
+    for po_literal, po_name in zip(aig.pos, aig.po_names):
+        node = lit_node(po_literal)
+        if node == 0:
+            lines.append(f".names {po_name}")
+            if lit_phase(po_literal):
+                lines.append("1")
+            continue
+        source = signal[node]
+        lines.append(f".names {source} {po_name}")
+        lines.append("0 1" if lit_phase(po_literal) else "1 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_netlist_blif(netlist: MappedNetlist,
+                       name: Optional[str] = None) -> str:
+    """Serialize a mapped netlist as BLIF ``.gate`` lines."""
+    library = netlist.library
+    lines: List[str] = [f".model {name or netlist.name}"]
+    lines.append(".inputs " + " ".join(netlist.pi_names))
+    lines.append(".outputs " + " ".join(netlist.po_names))
+    for gate in netlist.gates:
+        cell = library.cell(gate.cell)
+        bindings = " ".join(f"{pin}={net}" for pin, net
+                            in zip(cell.inputs, gate.inputs))
+        lines.append(f".gate {gate.cell} {bindings} "
+                     f"{cell.stages[-1].name}={gate.output}")
+    for po_name, (kind, value) in netlist.po_bindings:
+        if kind == "const":
+            lines.append(f".names {po_name}")
+            if value:
+                lines.append("1")
+        elif value != po_name:
+            lines.append(f".names {value} {po_name}")
+            lines.append("1 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_netlist_verilog(netlist: MappedNetlist,
+                          name: Optional[str] = None) -> str:
+    """Serialize a mapped netlist as structural Verilog.
+
+    Cells are emitted as module instances (one module name per library
+    cell); a matching behavioural library can be generated from the
+    genlib data.  Net names are sanitized to Verilog identifiers.
+    """
+    def ident(net: str) -> str:
+        out = net.replace("[", "_").replace("]", "_").replace("'", "_b")
+        return "\\" + net + " " if out != net and False else out
+
+    module = (name or netlist.name).replace("-", "_")
+    ports = [ident(n) for n in netlist.pi_names] + \
+            [ident(n) for n in netlist.po_names]
+    lines = [f"module {module} (" + ", ".join(ports) + ");"]
+    for pi in netlist.pi_names:
+        lines.append(f"  input {ident(pi)};")
+    for po in netlist.po_names:
+        lines.append(f"  output {ident(po)};")
+    wires = [gate.output for gate in netlist.gates]
+    if wires:
+        lines.append("  wire " + ", ".join(ident(w) for w in wires) + ";")
+    library = netlist.library
+    for gate in netlist.gates:
+        cell = library.cell(gate.cell)
+        pin_map = [f".{pin}({ident(net)})" for pin, net
+                   in zip(cell.inputs, gate.inputs)]
+        pin_map.append(f".y({ident(gate.output)})")
+        lines.append(f"  {gate.cell} {gate.name} (" + ", ".join(pin_map)
+                     + ");")
+    for po_name, (kind, value) in netlist.po_bindings:
+        if kind == "const":
+            lines.append(f"  assign {ident(po_name)} = 1'b{value};")
+        elif value != po_name:
+            lines.append(f"  assign {ident(po_name)} = {ident(value)};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+# -- BLIF reader ---------------------------------------------------------------
+
+
+def _tokenize_blif(text: str) -> List[List[str]]:
+    """Split BLIF text into logical lines (handling ``\\`` continuation)."""
+    logical: List[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        logical.append(pending + line)
+        pending = ""
+    if pending.strip():
+        logical.append(pending)
+    return [line.split() for line in logical]
+
+
+def read_blif(text: str) -> Aig:
+    """Parse a (combinational, ``.names``-based) BLIF model into an AIG.
+
+    Supports multi-line single-output ``.names`` tables with arbitrary
+    cube counts; latches and ``.gate`` lines are rejected (the flow is
+    purely combinational).
+    """
+    rows = _tokenize_blif(text)
+    model = "blif"
+    inputs: List[str] = []
+    outputs: List[str] = []
+    tables: List[Tuple[List[str], str, List[str]]] = []
+    index = 0
+    while index < len(rows):
+        row = rows[index]
+        keyword = row[0]
+        if keyword == ".model":
+            model = row[1] if len(row) > 1 else model
+            index += 1
+        elif keyword == ".inputs":
+            inputs.extend(row[1:])
+            index += 1
+        elif keyword == ".outputs":
+            outputs.extend(row[1:])
+            index += 1
+        elif keyword == ".names":
+            *fanins, output = row[1:]
+            cubes: List[str] = []
+            index += 1
+            while index < len(rows) and not rows[index][0].startswith("."):
+                cubes.append(" ".join(rows[index]))
+                index += 1
+            tables.append((fanins, output, cubes))
+        elif keyword == ".end":
+            index += 1
+        elif keyword in (".latch", ".gate", ".subckt"):
+            raise SynthesisError(f"unsupported BLIF construct {keyword}")
+        else:
+            raise SynthesisError(f"unknown BLIF keyword {keyword!r}")
+
+    aig = Aig(model)
+    nets: Dict[str, int] = {}
+    for name in inputs:
+        nets[name] = aig.add_pi(name)
+
+    # .names blocks may be out of order; resolve iteratively.
+    remaining = list(tables)
+    progress = True
+    while remaining and progress:
+        progress = False
+        still: List[Tuple[List[str], str, List[str]]] = []
+        for fanins, output, cubes in remaining:
+            if any(f not in nets for f in fanins):
+                still.append((fanins, output, cubes))
+                continue
+            nets[output] = _build_names(aig, [nets[f] for f in fanins],
+                                        cubes)
+            progress = True
+        remaining = still
+    if remaining:
+        missing = sorted({f for fanins, _, _ in remaining for f in fanins
+                          if f not in nets})
+        raise SynthesisError(f"undriven BLIF nets: {missing[:5]}")
+
+    for name in outputs:
+        if name not in nets:
+            raise SynthesisError(f"undriven BLIF output {name!r}")
+        aig.add_po(nets[name], name)
+    return aig
+
+
+def _build_names(aig: Aig, fanins: List[int], cubes: List[str]) -> int:
+    """Build one ``.names`` table as AND/OR logic."""
+    if not fanins:
+        # constant: "1" means const1, empty means const0
+        for cube in cubes:
+            if cube.strip() == "1":
+                return TRUE
+        return FALSE
+    terms: List[int] = []
+    for cube in cubes:
+        parts = cube.split()
+        if len(parts) == 1:
+            pattern, value = parts[0], "1"
+        else:
+            pattern, value = parts
+        if value != "1":
+            raise SynthesisError("only on-set BLIF tables are supported")
+        literals: List[int] = []
+        for position, char in enumerate(pattern):
+            if char == "1":
+                literals.append(fanins[position])
+            elif char == "0":
+                literals.append(lit_not(fanins[position]))
+            elif char != "-":
+                raise SynthesisError(f"bad cube character {char!r}")
+        terms.append(aig.and_many(literals))
+    if not terms:
+        return FALSE
+    return aig.or_many(terms)

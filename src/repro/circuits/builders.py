@@ -1,0 +1,204 @@
+"""Word-level circuit construction on top of the AIG.
+
+:class:`CircuitBuilder` wraps an :class:`~repro.synth.aig.Aig` with the
+vocabulary needed by the benchmark generators: input/output words,
+adders, comparators, muxes, decoders, parity trees and truth-table
+instantiation.  All methods take and return AIG literals (LSB first for
+words).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import SynthesisError
+from repro.synth.aig import Aig, lit_not, TRUE, FALSE
+from repro.synth.rewrite import build_expr
+from repro.synth.sop import factor, isop
+
+
+class CircuitBuilder:
+    """Helper for building word-level combinational circuits."""
+
+    def __init__(self, name: str):
+        self.aig = Aig(name)
+
+    # -- I/O ------------------------------------------------------------------
+
+    def input_bit(self, name: str) -> int:
+        """Single-bit primary input."""
+        return self.aig.add_pi(name)
+
+    def input_word(self, name: str, width: int) -> List[int]:
+        """``width``-bit primary input word (index 0 = LSB)."""
+        return [self.aig.add_pi(f"{name}[{i}]") for i in range(width)]
+
+    def output_bit(self, name: str, literal: int) -> None:
+        """Single-bit primary output."""
+        self.aig.add_po(literal, name)
+
+    def output_word(self, name: str, bits: Sequence[int]) -> None:
+        """Word-valued primary output."""
+        for i, bit in enumerate(bits):
+            self.aig.add_po(bit, f"{name}[{i}]")
+
+    # -- bit operators ---------------------------------------------------------
+
+    def and_(self, a: int, b: int) -> int:
+        return self.aig.and_(a, b)
+
+    def or_(self, a: int, b: int) -> int:
+        return self.aig.or_(a, b)
+
+    def xor_(self, a: int, b: int) -> int:
+        return self.aig.xor_(a, b)
+
+    def not_(self, a: int) -> int:
+        return lit_not(a)
+
+    def mux(self, select: int, if_true: int, if_false: int) -> int:
+        return self.aig.mux_(select, if_true, if_false)
+
+    # -- word operators -----------------------------------------------------------
+
+    def xor_word(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        self._check_widths(a, b)
+        return [self.xor_(x, y) for x, y in zip(a, b)]
+
+    def and_word(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        self._check_widths(a, b)
+        return [self.and_(x, y) for x, y in zip(a, b)]
+
+    def or_word(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        self._check_widths(a, b)
+        return [self.or_(x, y) for x, y in zip(a, b)]
+
+    def not_word(self, a: Sequence[int]) -> List[int]:
+        return [lit_not(x) for x in a]
+
+    def mux_word(self, select: int, if_true: Sequence[int],
+                 if_false: Sequence[int]) -> List[int]:
+        self._check_widths(if_true, if_false)
+        return [self.mux(select, t, f) for t, f in zip(if_true, if_false)]
+
+    def constant_word(self, value: int, width: int) -> List[int]:
+        """Constant word from a Python integer."""
+        return [TRUE if (value >> i) & 1 else FALSE for i in range(width)]
+
+    # -- arithmetic ------------------------------------------------------------------
+
+    def full_adder(self, a: int, b: int, carry: int) -> tuple:
+        """(sum, carry_out) of a full adder."""
+        axb = self.xor_(a, b)
+        total = self.xor_(axb, carry)
+        carry_out = self.or_(self.and_(a, b), self.and_(axb, carry))
+        return total, carry_out
+
+    def half_adder(self, a: int, b: int) -> tuple:
+        """(sum, carry_out) of a half adder."""
+        return self.xor_(a, b), self.and_(a, b)
+
+    def ripple_add(self, a: Sequence[int], b: Sequence[int],
+                   carry_in: int = FALSE) -> tuple:
+        """(sum_word, carry_out) of a ripple-carry adder."""
+        self._check_widths(a, b)
+        carry = carry_in
+        total: List[int] = []
+        for x, y in zip(a, b):
+            bit, carry = self.full_adder(x, y, carry)
+            total.append(bit)
+        return total, carry
+
+    def subtract(self, a: Sequence[int], b: Sequence[int]) -> tuple:
+        """(difference, borrow') via two's complement: a + ~b + 1."""
+        return self.ripple_add(a, self.not_word(b), TRUE)
+
+    def increment(self, a: Sequence[int]) -> tuple:
+        """(a + 1, carry_out)."""
+        ones = self.constant_word(0, len(a))
+        return self.ripple_add(a, ones, TRUE)
+
+    # -- comparison ------------------------------------------------------------------
+
+    def equal(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """1 iff the words are equal."""
+        self._check_widths(a, b)
+        bits = [lit_not(self.xor_(x, y)) for x, y in zip(a, b)]
+        return self.aig.and_many(bits)
+
+    def less_than(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """1 iff a < b (unsigned): the borrow of a - b."""
+        _, carry = self.subtract(a, b)
+        return lit_not(carry)
+
+    def is_zero(self, a: Sequence[int]) -> int:
+        """1 iff every bit of the word is 0."""
+        return lit_not(self.aig.or_many(list(a)))
+
+    # -- structured blocks ----------------------------------------------------------------
+
+    def parity(self, bits: Sequence[int]) -> int:
+        """XOR tree over the bits (balanced)."""
+        items = list(bits)
+        if not items:
+            return FALSE
+        while len(items) > 1:
+            paired = []
+            for k in range(0, len(items) - 1, 2):
+                paired.append(self.xor_(items[k], items[k + 1]))
+            if len(items) % 2:
+                paired.append(items[-1])
+            items = paired
+        return items[0]
+
+    def decoder(self, select: Sequence[int]) -> List[int]:
+        """One-hot decode of an n-bit select into 2^n lines.
+
+        ``lines[j]`` is 1 iff the select word (LSB first) equals j.
+        """
+        lines = [TRUE]
+        for bit in select:
+            low = [self.and_(line, lit_not(bit)) for line in lines]
+            high = [self.and_(line, bit) for line in lines]
+            lines = low + high
+        return lines
+
+    def mux_tree(self, select: Sequence[int],
+                 words: Sequence[Sequence[int]]) -> List[int]:
+        """Select one of 2^n words with an n-bit select."""
+        if len(words) != 1 << len(select):
+            raise SynthesisError("mux_tree: need 2^len(select) words")
+        current = [list(w) for w in words]
+        for bit in select:
+            merged = []
+            for k in range(0, len(current), 2):
+                merged.append(self.mux_word(bit, current[k + 1], current[k]))
+            current = merged
+        return current[0]
+
+    def priority_encoder(self, requests: Sequence[int]) -> List[int]:
+        """Binary index of the highest-priority (lowest-index) request."""
+        width = max(1, (len(requests) - 1).bit_length())
+        index = self.constant_word(0, width)
+        none_before = TRUE
+        for position, request in enumerate(requests):
+            take = self.and_(none_before, request)
+            value = self.constant_word(position, width)
+            index = self.mux_word(take, value, index)
+            none_before = self.and_(none_before, lit_not(request))
+        return index
+
+    def from_truth_table(self, table: int,
+                         inputs: Sequence[int]) -> int:
+        """Instantiate an arbitrary function of the input literals."""
+        n = len(inputs)
+        expr = factor(isop(table, n))
+        return build_expr(self.aig, expr, list(inputs))
+
+    # -- internals -------------------------------------------------------------------------
+
+    @staticmethod
+    def _check_widths(a: Sequence[int], b: Sequence[int]) -> None:
+        if len(a) != len(b):
+            raise SynthesisError(
+                f"word width mismatch: {len(a)} vs {len(b)}")

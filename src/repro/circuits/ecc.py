@@ -1,0 +1,100 @@
+"""Error-correcting circuits — the C1355/C1908 class.
+
+ISCAS-85's C1355 and C1908 are single-error-correcting channel
+circuits.  The generators here build Hamming correctors: parity-check
+syndromes (XOR trees), a syndrome decoder, and the correction XOR
+stage — the same parity-dominated structure that makes the generalized
+library shine on this class.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuits.builders import CircuitBuilder
+from repro.synth.aig import Aig, lit_not
+
+
+def _hamming_positions(n_parity: int) -> tuple:
+    """Data/parity position split for a Hamming(2^m - 1) code.
+
+    Positions are 1-based; powers of two carry parity.  Returns
+    (data_positions, parity_positions), both ascending.
+    """
+    total = (1 << n_parity) - 1
+    parity_positions = [1 << i for i in range(n_parity)]
+    data_positions = [p for p in range(1, total + 1)
+                      if p not in parity_positions]
+    return data_positions, parity_positions
+
+
+def hamming_corrector(n_parity: int = 5, name: str = None) -> Aig:
+    """Single-error corrector for a Hamming(2^m - 1, 2^m - m - 1) code.
+
+    Inputs: the received codeword (2^m - 1 bits, position order).
+    Outputs: the corrected data bits plus the syndrome (error locator).
+    With ``n_parity = 5`` this is a (31, 26) corrector, the C1355 class.
+    """
+    total = (1 << n_parity) - 1
+    data_positions, _ = _hamming_positions(n_parity)
+    builder = CircuitBuilder(name or f"hamming{total}")
+    received = builder.input_word("r", total)  # received[i] = position i+1
+
+    # Syndrome bit j = parity of all positions with bit j set.
+    syndrome: List[int] = []
+    for j in range(n_parity):
+        taps = [received[p - 1] for p in range(1, total + 1)
+                if (p >> j) & 1]
+        syndrome.append(builder.parity(taps))
+
+    # Decode the syndrome to a one-hot error locator; syndrome == 0
+    # means no error (line 0 of the decoder).
+    locator = builder.decoder(syndrome)
+
+    # Correct: flip the bit the syndrome points at.
+    corrected = [builder.xor_(received[p - 1], locator[p])
+                 for p in range(1, total + 1)]
+
+    data = [corrected[p - 1] for p in data_positions]
+    builder.output_word("d", data)
+    builder.output_word("syn", syndrome)
+    return builder.aig
+
+
+def secded_decoder(n_parity: int = 5, name: str = None) -> Aig:
+    """SEC/DED decoder: Hamming plus an overall parity bit.
+
+    Inputs: 2^m - 1 codeword bits plus the extended parity bit.
+    Outputs: corrected data, single-error flag, double-error flag.
+    With ``n_parity = 5`` this is the C1908 class (error detection and
+    correction on a 16/26-bit channel word).
+    """
+    total = (1 << n_parity) - 1
+    data_positions, _ = _hamming_positions(n_parity)
+    builder = CircuitBuilder(name or f"secded{total}")
+    received = builder.input_word("r", total)
+    extended = builder.input_bit("px")
+
+    syndrome: List[int] = []
+    for j in range(n_parity):
+        taps = [received[p - 1] for p in range(1, total + 1)
+                if (p >> j) & 1]
+        syndrome.append(builder.parity(taps))
+    overall = builder.xor_(builder.parity(received), extended)
+
+    syndrome_nonzero = builder.aig.or_many(syndrome)
+    # Single error: overall parity trips (the error flipped one bit).
+    single = builder.and_(syndrome_nonzero, overall)
+    # Double error: syndrome fires but overall parity balances out.
+    double = builder.and_(syndrome_nonzero, lit_not(overall))
+
+    locator = builder.decoder(syndrome)
+    corrected = [
+        builder.xor_(received[p - 1], builder.and_(locator[p], single))
+        for p in range(1, total + 1)
+    ]
+    data = [corrected[p - 1] for p in data_positions]
+    builder.output_word("d", data)
+    builder.output_bit("single_err", single)
+    builder.output_bit("double_err", double)
+    return builder.aig

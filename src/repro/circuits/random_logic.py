@@ -1,0 +1,85 @@
+"""Seeded multi-level random logic — the i8/i10/t481 class.
+
+MCNC's ``i8``/``i10`` are flat multi-output control logic and ``t481``
+is a single 16-input function.  The generators here synthesize seeded
+random DAGs with a realistic operator mix (AND/OR/XOR/MUX, biased
+toward recent signals so depth grows) and, for the t481 class, a
+deterministic 16-input formula combining parity substructure with
+AND/OR masking — the mix where conventional and generalized libraries
+compete most closely (the paper's only benchmark where conventional
+CNTFET gates win is t481).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.circuits.builders import CircuitBuilder
+from repro.synth.aig import Aig, lit_not
+
+
+def random_control_logic(n_inputs: int, n_operations: int, n_outputs: int,
+                         seed: int, name: str = None) -> Aig:
+    """Seeded random multi-output logic block.
+
+    Args:
+        n_inputs: primary inputs.
+        n_operations: internal random operations (AND/OR/XOR/MUX).
+        n_outputs: primary outputs, tapped from the latest signals.
+        seed: RNG seed (generation is fully reproducible).
+    """
+    rng = random.Random(seed)
+    builder = CircuitBuilder(name or f"rand{n_inputs}x{n_outputs}")
+    signals: List[int] = [builder.input_bit(f"x{i}") for i in range(n_inputs)]
+
+    def pick() -> int:
+        # Bias toward recent signals so the DAG gains depth.
+        n = len(signals)
+        index = min(n - 1, int(rng.betavariate(2.0, 1.0) * n))
+        literal = signals[index]
+        return lit_not(literal) if rng.random() < 0.3 else literal
+
+    for _ in range(n_operations):
+        op = rng.choices(("and", "or", "xor", "mux"),
+                         weights=(4, 4, 2, 1))[0]
+        if op == "and":
+            signals.append(builder.and_(pick(), pick()))
+        elif op == "or":
+            signals.append(builder.or_(pick(), pick()))
+        elif op == "xor":
+            signals.append(builder.xor_(pick(), pick()))
+        else:
+            signals.append(builder.mux(pick(), pick(), pick()))
+
+    taps = signals[-n_outputs:] if n_outputs <= len(signals) else signals
+    for index, literal in enumerate(taps):
+        builder.output_bit(f"z{index}", literal)
+    return builder.aig
+
+
+def t481_style(name: str = "t481c") -> Aig:
+    """A deterministic 16-input, 1-output function in the t481 mold.
+
+    Built as two layers: XOR pairs of adjacent inputs, then an
+    AND-OR-majority mix of the pair signals, and a final parity fold.
+    Like the original t481, the function rewards good multi-level
+    decomposition but is not purely XOR-dominated.
+    """
+    builder = CircuitBuilder(name)
+    x = [builder.input_bit(f"x{i}") for i in range(16)]
+    pairs = [builder.xor_(x[2 * i], x[2 * i + 1]) for i in range(8)]
+    ands = [builder.and_(pairs[i], pairs[(i + 1) % 8]) for i in range(8)]
+    ors = [builder.or_(ands[i], ands[(i + 3) % 8]) for i in range(8)]
+    # Majority-ish mask over three OR terms.
+    masks = []
+    for i in range(0, 8, 2):
+        a, b, c = ors[i], ors[(i + 1) % 8], ors[(i + 5) % 8]
+        masks.append(builder.or_(builder.and_(a, b),
+                                 builder.or_(builder.and_(b, c),
+                                             builder.and_(a, c))))
+    folded = builder.parity(masks)
+    guard = builder.and_(builder.or_(x[0], x[7]),
+                         builder.or_(x[8], lit_not(x[15])))
+    builder.output_bit("f", builder.and_(folded, guard))
+    return builder.aig

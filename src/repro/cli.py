@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the experiment harnesses so the reproduction can be
+driven without writing Python:
+
+* ``table1 [--fast] [--benchmarks A,B,...]`` — the Table 1 experiment;
+* ``library`` — the Section 4 gate-level study;
+* ``figures`` — Fig. 2 / Fig. 4 / Fig. 5 demonstrations;
+* ``genlib <generalized|conventional|cmos> [-o FILE]`` — export a
+  characterized library in genlib format;
+* ``cell <NAME>`` — per-vector leakage report of one library cell;
+* ``techs`` — the calibrated technology summaries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.devices import CMOS_32NM, CNTFET_32NM, technology_report
+
+
+def _cmd_table1(args) -> int:
+    from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
+    from repro.experiments.table1 import reproduce_table1
+
+    config = PAPER_CONFIG
+    if args.fast:
+        config = ExperimentConfig(n_patterns=16_384, state_patterns=16_384)
+    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    result = reproduce_table1(config, benchmarks=benchmarks,
+                              verbose=not args.quiet)
+    print(result.render())
+    return 0
+
+
+def _cmd_library(args) -> int:
+    from repro.experiments.library_power import reproduce_library_study
+
+    study = reproduce_library_study()
+    print(study.render())
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.experiments.figures import (
+        reproduce_fig2_transmission,
+        reproduce_fig4_patterns,
+        reproduce_fig5_flow,
+    )
+
+    print(reproduce_fig2_transmission().render())
+    print()
+    print(reproduce_fig4_patterns().render())
+    print()
+    print(reproduce_fig5_flow().render())
+    return 0
+
+
+def _library_by_key(key: str):
+    from repro.experiments.flow import three_libraries
+
+    libraries = three_libraries()
+    aliases = {
+        "generalized": "cntfet-generalized",
+        "conventional": "cntfet-conventional",
+        "cmos": "cmos",
+    }
+    name = aliases.get(key, key)
+    if name not in libraries:
+        raise SystemExit(f"unknown library {key!r}; choose from "
+                         f"{sorted(aliases)}")
+    return libraries[name]
+
+
+def _cmd_genlib(args) -> int:
+    from repro.gates.genlib import write_genlib
+
+    library = _library_by_key(args.library)
+    text = write_genlib(library)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({len(library)} cells)")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_cell(args) -> int:
+    from repro.power.vector_report import cell_leakage_report
+
+    library = _library_by_key(args.library)
+    cell = library.cell(args.name)
+    print(f"{cell.name}: {cell.description}  "
+          f"(pins {', '.join(cell.inputs)}, {cell.n_devices} devices)")
+    print(cell_leakage_report(cell, library).render())
+    return 0
+
+
+def _cmd_techs(args) -> int:
+    print(technology_report(CMOS_32NM))
+    print(technology_report(CNTFET_32NM))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Power Consumption of Logic Circuits "
+                    "in Ambipolar Carbon Nanotube Technology' (DATE 2010)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="reproduce Table 1")
+    table1.add_argument("--fast", action="store_true",
+                        help="16K patterns instead of 640K")
+    table1.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark subset")
+    table1.add_argument("--quiet", action="store_true")
+    table1.set_defaults(func=_cmd_table1)
+
+    library = sub.add_parser("library",
+                             help="Section 4 gate-level study")
+    library.set_defaults(func=_cmd_library)
+
+    figures = sub.add_parser("figures", help="Fig. 2/4/5 demonstrations")
+    figures.set_defaults(func=_cmd_figures)
+
+    genlib = sub.add_parser("genlib", help="export a library as genlib")
+    genlib.add_argument("library",
+                        choices=["generalized", "conventional", "cmos"])
+    genlib.add_argument("-o", "--output", default=None)
+    genlib.set_defaults(func=_cmd_genlib)
+
+    cell = sub.add_parser("cell", help="per-vector leakage of one cell")
+    cell.add_argument("name")
+    cell.add_argument("--library", default="generalized")
+    cell.set_defaults(func=_cmd_cell)
+
+    techs = sub.add_parser("techs", help="technology summaries")
+    techs.set_defaults(func=_cmd_techs)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

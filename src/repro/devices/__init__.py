@@ -1,0 +1,61 @@
+"""Compact device models for the 32 nm CMOS and CNTFET technologies.
+
+The paper characterizes gates with HSPICE and the Stanford CNTFET model;
+this package provides the substitute: an EKV-style compact model (smooth
+from subthreshold to strong inversion, with DIBL and channel-length
+modulation, so off-transistor stacks exhibit the stack effect the
+pattern-classification method relies on), plus calibrated parameter sets
+for the two technologies and the ambipolar device abstraction of Fig. 1.
+"""
+
+from repro.devices.parameters import (
+    DeviceParams,
+    TechnologyParams,
+    CMOS_32NM,
+    CNTFET_32NM,
+    cmos_32nm,
+    cntfet_32nm,
+)
+from repro.devices.model import (
+    drain_current,
+    transconductance,
+    output_conductance,
+    gate_leakage_current,
+    off_current,
+    on_current,
+)
+from repro.devices.ambipolar import (
+    Polarity,
+    AmbipolarCNTFET,
+    polarity_from_gate_level,
+)
+from repro.devices.calibrate import (
+    inverter_input_capacitance,
+    fanout_load_capacitance,
+    effective_resistance,
+    fo_delay,
+    technology_report,
+)
+
+__all__ = [
+    "DeviceParams",
+    "TechnologyParams",
+    "CMOS_32NM",
+    "CNTFET_32NM",
+    "cmos_32nm",
+    "cntfet_32nm",
+    "drain_current",
+    "transconductance",
+    "output_conductance",
+    "gate_leakage_current",
+    "off_current",
+    "on_current",
+    "Polarity",
+    "AmbipolarCNTFET",
+    "polarity_from_gate_level",
+    "inverter_input_capacitance",
+    "fanout_load_capacitance",
+    "effective_resistance",
+    "fo_delay",
+    "technology_report",
+]

@@ -1,0 +1,106 @@
+"""The ambipolar CNTFET abstraction of Fig. 1.
+
+An ambipolar CNTFET has two gates: the *polarity gate* (the back gate at
+the Schottky contacts) selects whether the device behaves as n-type or
+p-type, and the *conventional gate* switches it on and off.  Fig. 1 of
+the paper fixes the convention:
+
+* polarity gate tied to logic 0 (VSS)  ->  n-type behaviour;
+* polarity gate tied to logic 1 (VDD)  ->  p-type behaviour.
+
+Following O'Connor et al. [5], the electrical behaviour is emulated with
+a parallel pair of unipolar devices of opposite polarity; the polarity
+gate voltage decides which of the two actually conducts.  That is what
+:meth:`AmbipolarCNTFET.drain_current` implements, and it is also how the
+SPICE netlists in :mod:`repro.spice` realize ambipolar devices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.devices.model import drain_current
+from repro.devices.parameters import DeviceParams
+from repro.errors import DeviceModelError
+from repro.units import ROOM_TEMPERATURE
+
+
+class Polarity(enum.Enum):
+    """In-field configured polarity of an ambipolar device."""
+
+    N = "n"
+    P = "p"
+
+
+def polarity_from_gate_level(level: int) -> Polarity:
+    """Map a polarity-gate logic level to the device polarity (Fig. 1).
+
+    ``level = 0`` yields an n-type device, ``level = 1`` a p-type device.
+    """
+    if level not in (0, 1):
+        raise DeviceModelError(f"polarity gate level must be 0 or 1, got {level}")
+    return Polarity.N if level == 0 else Polarity.P
+
+
+@dataclass(frozen=True)
+class AmbipolarCNTFET:
+    """An ambipolar CNTFET built from a base (n-type) parameter set.
+
+    The device is modeled as the parallel combination of an n-type and a
+    p-type unipolar CNTFET sharing the conventional gate; the polarity
+    gate voltage selects the branch that dominates.  With the paper's
+    symmetric n/p assumption both branches share the same magnitudes.
+    """
+
+    base: DeviceParams
+
+    def __post_init__(self) -> None:
+        if self.base.polarity != "n":
+            raise DeviceModelError(
+                "AmbipolarCNTFET must be built from the n-type base parameters")
+
+    @property
+    def n_branch(self) -> DeviceParams:
+        """The n-type half of the behavioural pair."""
+        return self.base
+
+    @property
+    def p_branch(self) -> DeviceParams:
+        """The p-type half of the behavioural pair."""
+        return self.base.as_polarity("p")
+
+    def configured(self, polarity: Polarity) -> DeviceParams:
+        """Unipolar parameters once the polarity gate is biased (Fig. 1b/c)."""
+        if polarity is Polarity.N:
+            return self.n_branch
+        return self.p_branch
+
+    def drain_current(
+        self,
+        vg: float,
+        vpg: float,
+        vd: float,
+        vs: float,
+        vdd: float,
+        temperature: float = ROOM_TEMPERATURE,
+    ) -> float:
+        """Behavioural current of the in-field programmable device.
+
+        Args:
+            vg: conventional gate voltage (absolute, V).
+            vpg: polarity gate voltage (absolute, V).
+            vd / vs: drain and source voltages (absolute, V).
+            vdd: supply, used to normalize the polarity-gate control.
+
+        The polarity-gate voltage blends the two branches: at vpg = 0
+        only the n branch conducts, at vpg = vdd only the p branch.  A
+        smooth mix keeps the behavioural model continuous for the DC
+        solver while reproducing the two unipolar corners exactly.
+        """
+        if vdd <= 0.0:
+            raise DeviceModelError("vdd must be positive")
+        weight_p = min(max(vpg / vdd, 0.0), 1.0)
+        i_n = drain_current(self.n_branch, vg - vs, vd - vs, temperature)
+        i_p = drain_current(self.p_branch, vg - vs, vd - vs, temperature)
+        return (1.0 - weight_p) * i_n + weight_p * i_p

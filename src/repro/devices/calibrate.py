@@ -1,0 +1,106 @@
+"""Derived figures of merit for a technology.
+
+These helpers compute, from the compact model alone, the quantities the
+paper quotes as technology anchors: inverter input capacitance, the FO3
+delay (and the 5x CNTFET/CMOS delay ratio of Deng et al. [10]), and
+effective switching resistance.  Nothing here is hard-coded — the
+calibration tests check that the parameter sets in
+:mod:`repro.devices.parameters` actually hit the paper's targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.model import drain_current, off_current, on_current
+from repro.devices.parameters import TechnologyParams
+from repro.units import to_attofarads, to_nanoamperes, to_picoseconds
+
+
+def inverter_input_capacitance(tech: TechnologyParams) -> float:
+    """Input capacitance of a minimum inverter (F).
+
+    One n plus one p conventional gate.  The paper quotes 36 aF for the
+    CNTFET inverter and 52 aF for CMOS.  Polarity gates of an inverter
+    are tied to the rails (Fig. 1), so they do not load the input.
+    """
+    return tech.nmos.c_gate + tech.pmos.c_gate
+
+
+def fanout_load_capacitance(tech: TechnologyParams, fanout: int = 3) -> float:
+    """Load seen by a gate output driving ``fanout`` inverter inputs (F).
+
+    Following Section 4 the load is the fanout gate capacitance plus the
+    intrinsic drain capacitance of the driving inverter's two devices.
+    """
+    return fanout * inverter_input_capacitance(tech) + (
+        tech.nmos.c_sd + tech.pmos.c_sd)
+
+
+def effective_resistance(tech: TechnologyParams, polarity: str = "n") -> float:
+    """Effective switching resistance of one on device (ohm).
+
+    Uses the average-current method: the device discharges the load from
+    VDD to VDD/2, so R_eff = (3/4) * VDD / I_avg with I_avg the mean of
+    the currents at Vds = VDD and Vds = VDD/2 (Rabaey's approximation).
+    """
+    params = tech.device(polarity)
+    vdd = tech.vdd
+    sign = 1.0 if polarity == "n" else -1.0
+    i_full = abs(drain_current(params, sign * vdd, sign * vdd))
+    i_half = abs(drain_current(params, sign * vdd, sign * vdd / 2.0))
+    i_avg = 0.5 * (i_full + i_half)
+    return 0.75 * vdd / i_avg
+
+
+def fo_delay(tech: TechnologyParams, fanout: int = 3) -> float:
+    """Analytic FO-``fanout`` inverter propagation delay (s).
+
+    t_p = ln(2) * R_eff * C_load — the standard first-order RC estimate.
+    """
+    r_eff = 0.5 * (effective_resistance(tech, "n") + effective_resistance(tech, "p"))
+    c_load = fanout_load_capacitance(tech, fanout)
+    return 0.6931471805599453 * r_eff * c_load
+
+
+@dataclass(frozen=True)
+class TechnologyReport:
+    """Summary of a technology's derived figures of merit."""
+
+    name: str
+    vdd: float
+    cin_inverter_af: float
+    ioff_na: float
+    ion_ua: float
+    ion_ioff_ratio: float
+    r_eff_kohm: float
+    fo3_delay_ps: float
+    gate_leak_na: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: VDD={self.vdd:.2f} V, "
+            f"Cin(inv)={self.cin_inverter_af:.1f} aF, "
+            f"Ioff={self.ioff_na:.3f} nA, Ion={self.ion_ua:.2f} uA "
+            f"(ratio {self.ion_ioff_ratio:.0f}), "
+            f"Reff={self.r_eff_kohm:.1f} kOhm, "
+            f"FO3={self.fo3_delay_ps:.2f} ps, "
+            f"Ig(on)={self.gate_leak_na:.4f} nA"
+        )
+
+
+def technology_report(tech: TechnologyParams) -> TechnologyReport:
+    """Compute the derived figures of merit for ``tech``."""
+    ioff = off_current(tech.nmos, tech.vdd)
+    ion = on_current(tech.nmos, tech.vdd)
+    return TechnologyReport(
+        name=tech.name,
+        vdd=tech.vdd,
+        cin_inverter_af=to_attofarads(inverter_input_capacitance(tech)),
+        ioff_na=to_nanoamperes(ioff),
+        ion_ua=ion / 1e-6,
+        ion_ioff_ratio=ion / ioff if ioff > 0 else float("inf"),
+        r_eff_kohm=effective_resistance(tech) / 1e3,
+        fo3_delay_ps=to_picoseconds(fo_delay(tech)),
+        gate_leak_na=to_nanoamperes(tech.nmos.ig_on),
+    )

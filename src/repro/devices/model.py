@@ -1,0 +1,193 @@
+"""EKV-style compact transistor model.
+
+A single smooth expression covers subthreshold and strong inversion:
+
+    I_D = i_spec * (F(u_f) - F(u_r)) * (1 + lambda * |v_ds|)
+
+    F(u) = ln(1 + exp(u / 2))^2          (EKV interpolation function)
+    u_f  = (v_p - 0)      / Vt           forward normalized voltage
+    u_r  = (v_p - v_ds)   / Vt           reverse normalized voltage
+    v_p  = (v_gs - vth_eff) / n          pinch-off voltage
+    vth_eff = vth - dibl * v_ds
+
+In weak inversion this reduces to ``i_spec * exp((vgs - vth)/(n Vt)) *
+(1 - exp(-vds / Vt))`` — the classic subthreshold law whose series
+"stack effect" drives the paper's off-current pattern classification.
+In strong inversion it reduces to a square law with saturation.
+
+All functions take NMOS-convention voltages and handle drain/source
+reversal (vds < 0) by symmetry; p-type devices are handled by mirroring
+both terminal voltages.  Inputs may be floats or numpy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.devices.parameters import DeviceParams
+from repro.units import thermal_voltage, ROOM_TEMPERATURE
+
+Number = Union[float, np.ndarray]
+
+#: Largest exponent fed to exp() — beyond this the softplus is linear.
+_EXP_CLIP = 45.0
+
+
+def _softplus(u: Number) -> Number:
+    """Numerically stable ln(1 + exp(u))."""
+    u = np.asarray(u, dtype=float)
+    out = np.where(u > _EXP_CLIP, u, np.log1p(np.exp(np.minimum(u, _EXP_CLIP))))
+    return out
+
+
+def _sigmoid(u: Number) -> Number:
+    """Numerically stable logistic function."""
+    u = np.asarray(u, dtype=float)
+    return 0.5 * (1.0 + np.tanh(0.5 * u))
+
+
+def _ekv_f(u: Number) -> Number:
+    """EKV interpolation function F(u) = ln(1 + e^(u/2))^2."""
+    return _softplus(np.asarray(u, dtype=float) / 2.0) ** 2
+
+
+def _ekv_f_prime(u: Number) -> Number:
+    """dF/du = ln(1 + e^(u/2)) * sigmoid(u/2)."""
+    half = np.asarray(u, dtype=float) / 2.0
+    return _softplus(half) * _sigmoid(half)
+
+
+def _nmos_current_and_derivs(
+    params: DeviceParams, vgs: float, vds: float, temperature: float
+):
+    """Current and partial derivatives for NMOS convention, vds >= 0."""
+    vt = thermal_voltage(temperature)
+    n = params.n_factor
+    vth_eff = params.vth - params.dibl * vds
+    vp = (vgs - vth_eff) / n
+    u_f = vp / vt
+    u_r = (vp - vds) / vt
+    f_f = _ekv_f(u_f)
+    f_r = _ekv_f(u_r)
+    fp_f = _ekv_f_prime(u_f)
+    fp_r = _ekv_f_prime(u_r)
+    clm = 1.0 + params.lambda_ch * vds
+    base = f_f - f_r
+    current = params.i_spec * base * clm
+
+    # d(vp)/d(vds) = dibl / n ; d(u_f)/d(vds) = dibl/(n vt)
+    du_f_dvds = params.dibl / (n * vt)
+    du_r_dvds = (params.dibl / n - 1.0) / vt
+    d_base_dvds = fp_f * du_f_dvds - fp_r * du_r_dvds
+    gds = params.i_spec * (d_base_dvds * clm + base * params.lambda_ch)
+
+    du_dvgs = 1.0 / (n * vt)
+    gm = params.i_spec * (fp_f - fp_r) * du_dvgs * clm
+    return current, gm, gds
+
+
+def drain_current(
+    params: DeviceParams,
+    vgs: float,
+    vds: float,
+    temperature: float = ROOM_TEMPERATURE,
+) -> float:
+    """Drain current of the device at the given terminal voltages.
+
+    Voltages follow the device's own convention: for a p-type device pass
+    ``vgs`` and ``vds`` as seen at its terminals (they will typically be
+    negative in normal operation); the model mirrors them internally.
+
+    Returns the signed current flowing into the drain terminal.
+    """
+    sign = 1.0
+    if params.polarity == "p":
+        vgs, vds = -vgs, -vds
+        sign = -1.0
+    if vds < 0.0:
+        # Swap source and drain: I(vgs, vds) = -I(vgd, -vds)
+        current, _, _ = _nmos_current_and_derivs(
+            params, vgs - vds, -vds, temperature)
+        return -sign * float(current)
+    current, _, _ = _nmos_current_and_derivs(params, vgs, vds, temperature)
+    return sign * float(current)
+
+
+#: Step used for the numerical derivatives below (V).  The model is
+#: smooth, so central differences at 10 uV are accurate to ~1e-9 relative.
+_DERIV_STEP = 1e-5
+
+
+def transconductance(
+    params: DeviceParams,
+    vgs: float,
+    vds: float,
+    temperature: float = ROOM_TEMPERATURE,
+) -> float:
+    """dId/dVgs at the operating point (same conventions as drain_current).
+
+    Computed by central differences of :func:`drain_current`; this keeps
+    the sign conventions of reversed-terminal and p-type operation
+    trivially consistent with the current itself, which is what the
+    Newton solver in :mod:`repro.spice.dc` needs.
+    """
+    hi = drain_current(params, vgs + _DERIV_STEP, vds, temperature)
+    lo = drain_current(params, vgs - _DERIV_STEP, vds, temperature)
+    return (hi - lo) / (2.0 * _DERIV_STEP)
+
+
+def output_conductance(
+    params: DeviceParams,
+    vgs: float,
+    vds: float,
+    temperature: float = ROOM_TEMPERATURE,
+) -> float:
+    """dId/dVds at the operating point (same conventions as drain_current)."""
+    hi = drain_current(params, vgs, vds + _DERIV_STEP, temperature)
+    lo = drain_current(params, vgs, vds - _DERIV_STEP, temperature)
+    return (hi - lo) / (2.0 * _DERIV_STEP)
+
+
+def gate_leakage_current(params: DeviceParams, vox: float) -> float:
+    """Gate tunneling current at oxide voltage ``vox``.
+
+    First-order law: the paper only ever evaluates gate leakage at
+    |Vox| = VDD (fully on or fully reverse-biased devices), so we use a
+    steep polynomial interpolation anchored at ``ig_on``:
+
+        Ig(vox) = ig_on * sign(vox) * (|vox| / vdd_ref)^3
+    """
+    if params.vdd_ref <= 0.0:
+        return 0.0
+    magnitude = abs(vox) / params.vdd_ref
+    return math.copysign(params.ig_on * magnitude**3, vox)
+
+
+def off_current(
+    params: DeviceParams,
+    vdd: float,
+    temperature: float = ROOM_TEMPERATURE,
+) -> float:
+    """|Id| of a single off device with the full supply across it.
+
+    For an n-type device: vgs = 0, vds = vdd.  This is the worst-case
+    single-device subthreshold leakage used as the unit of comparison in
+    Fig. 4.
+    """
+    if params.polarity == "n":
+        return abs(drain_current(params, 0.0, vdd, temperature))
+    return abs(drain_current(params, 0.0, -vdd, temperature))
+
+
+def on_current(
+    params: DeviceParams,
+    vdd: float,
+    temperature: float = ROOM_TEMPERATURE,
+) -> float:
+    """|Id| of a fully-on device in saturation (|vgs| = |vds| = vdd)."""
+    if params.polarity == "n":
+        return abs(drain_current(params, vdd, vdd, temperature))
+    return abs(drain_current(params, -vdd, -vdd, temperature))

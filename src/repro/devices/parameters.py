@@ -1,0 +1,217 @@
+"""Device and technology parameter sets.
+
+The paper fixes its technology assumptions in Section 4:
+
+* 32 nm gate width, 3 CNTs per channel for the CNTFET library;
+* 32 nm bulk CMOS with metal gate and strained channel (MASTAR / ITRS
+  2007 built-in model) for the reference library;
+* VDD = 0.9 V, f = 1 GHz, fanout = 3;
+* identical unit gate, drain and source capacitances;
+* CNTFET inverter input capacitance 36 aF vs 52 aF for CMOS;
+* CNTFET gate leakage negligible (high-k gate stack), CMOS gate leakage
+  about 10 % of the subthreshold leakage power;
+* CNTFET intrinsic delay about 5x lower than MOSFET (Deng et al. [10]).
+
+The calibrated values below encode exactly those first-order targets.
+They were derived analytically from the EKV-style model in
+:mod:`repro.devices.model` (see DESIGN.md Section 6) and are locked in by
+``tests/devices/test_calibration.py``; nothing downstream hard-codes the
+resulting currents or delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import DeviceModelError
+from repro.units import AF, NA, ROOM_TEMPERATURE
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """Compact-model parameters for one transistor flavour.
+
+    The model is symmetric in drain/source and uses an EKV-style
+    interpolation, so a handful of parameters covers subthreshold,
+    saturation and the linear region well enough for the paper's
+    first-order power study.
+
+    Attributes:
+        name: human-readable identifier, e.g. ``"cmos32-n"``.
+        polarity: ``"n"`` or ``"p"``.
+        vth: threshold voltage magnitude (V).
+        n_factor: subthreshold slope factor (S = n * Vt * ln 10).
+        i_spec: specific current of the whole device (A); absorbs
+            mobility, Cox, W/L and, for CNTFETs, the number of tubes.
+        lambda_ch: channel-length modulation (1/V).
+        dibl: drain-induced barrier lowering (V/V).
+        c_gate: conventional-gate input capacitance per device (F).
+        c_pol: polarity (back) gate capacitance per device (F); zero for
+            devices without a second gate.
+        c_sd: source/drain junction capacitance per device (F).
+        ig_on: gate tunneling current at |Vox| = vdd_ref (A).
+        vdd_ref: supply the leakage figures are quoted at (V).
+    """
+
+    name: str
+    polarity: str
+    vth: float
+    n_factor: float
+    i_spec: float
+    lambda_ch: float
+    dibl: float
+    c_gate: float
+    c_pol: float
+    c_sd: float
+    ig_on: float
+    vdd_ref: float
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("n", "p"):
+            raise DeviceModelError(
+                f"device polarity must be 'n' or 'p', got {self.polarity!r}")
+        if self.vth <= 0.0:
+            raise DeviceModelError("vth must be positive (magnitude)")
+        if self.n_factor < 1.0:
+            raise DeviceModelError("subthreshold slope factor must be >= 1")
+        if self.i_spec <= 0.0:
+            raise DeviceModelError("i_spec must be positive")
+        for attr in ("c_gate", "c_pol", "c_sd", "ig_on"):
+            if getattr(self, attr) < 0.0:
+                raise DeviceModelError(f"{attr} must be non-negative")
+
+    def as_polarity(self, polarity: str) -> "DeviceParams":
+        """Return a copy of these parameters with the given polarity.
+
+        The paper assumes n- and p-type off-currents of equally sized
+        devices are identical (Section 3.2), so flipping polarity keeps
+        every numeric parameter.
+        """
+        if polarity == self.polarity:
+            return self
+        base = self.name.rsplit("-", 1)[0]
+        return replace(self, name=f"{base}-{polarity}", polarity=polarity)
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """A full technology: one n-type and one p-type device plus globals.
+
+    Attributes:
+        name: e.g. ``"cmos-32nm"``.
+        vdd: nominal supply (V).
+        nmos / pmos: the two device flavours.
+        ambipolar: whether devices have an in-field polarity gate
+            (Fig. 1); controls transmission-gate availability and the
+            polarity-gate capacitance seen by gate inputs.
+        area_per_device: normalized layout area of one device (arbitrary
+            units, used for genlib areas).
+        temperature: junction temperature (K).
+    """
+
+    name: str
+    vdd: float
+    nmos: DeviceParams
+    pmos: DeviceParams
+    ambipolar: bool
+    area_per_device: float
+    temperature: float = ROOM_TEMPERATURE
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0.0:
+            raise DeviceModelError("vdd must be positive")
+        if self.nmos.polarity != "n" or self.pmos.polarity != "p":
+            raise DeviceModelError(
+                "TechnologyParams.nmos/pmos must have matching polarities")
+
+    def device(self, polarity: str) -> DeviceParams:
+        """Return the device flavour for ``polarity`` ('n' or 'p')."""
+        if polarity == "n":
+            return self.nmos
+        if polarity == "p":
+            return self.pmos
+        raise DeviceModelError(f"unknown polarity {polarity!r}")
+
+    def with_vdd(self, vdd: float) -> "TechnologyParams":
+        """Copy of the technology at a different supply (for ablations)."""
+        return replace(self, vdd=vdd)
+
+
+def cmos_32nm() -> TechnologyParams:
+    """32 nm bulk CMOS, metal gate, strained channel (MASTAR-flavoured).
+
+    Calibration targets (DESIGN.md Section 6):
+
+    * inverter input capacitance 52 aF  ->  26 aF unit gate cap;
+    * unit off-current ~3 nA at Vgs = 0, Vds = 0.9 V;
+    * unit on-current ~3 uA, which puts the FO3 inverter delay near
+      20 ps so that mapped circuit delays land at the paper's scale;
+    * gate tunneling such that PG comes out near 10 % of PS at the
+      library level (0.15 nA per fully-biased device).
+    """
+    n = DeviceParams(
+        name="cmos32-n",
+        polarity="n",
+        vth=0.2670,
+        n_factor=2.0,
+        i_spec=95.99e-9,
+        lambda_ch=0.15,
+        dibl=0.10,
+        c_gate=26.0 * AF,
+        c_pol=0.0,
+        c_sd=26.0 * AF,
+        ig_on=0.15 * NA,
+        vdd_ref=0.9,
+    )
+    return TechnologyParams(
+        name="cmos-32nm",
+        vdd=0.9,
+        nmos=n,
+        pmos=n.as_polarity("p"),
+        ambipolar=False,
+        area_per_device=1.0,
+    )
+
+
+def cntfet_32nm() -> TechnologyParams:
+    """MOSFET-like CNTFET, 32 nm gate width, 3 tubes per channel.
+
+    Calibration targets (DESIGN.md Section 6):
+
+    * inverter input capacitance 36 aF  ->  18 aF unit gate cap;
+    * polarity (back) gate adds 6 aF per ambipolar device input —
+      smaller than the front gate because it couples through the
+      thick buried insulator;
+    * unit off-current ~0.2-0.3 nA (one order of magnitude below CMOS,
+      thick insulator isolating the tubes from the substrate);
+    * on-current ~11 uA (about 3.7 uA per tube) so that the FO3 delay
+      is ~5x below the CMOS FO3 delay (Deng et al. [10]);
+    * gate tunneling ~1.5 pA per device (high-k stack): PG < 1 % of PS.
+    """
+    n = DeviceParams(
+        name="cnt32-n",
+        polarity="n",
+        vth=0.2902,
+        n_factor=1.4,
+        i_spec=198.4e-9,
+        lambda_ch=0.08,
+        dibl=0.06,
+        c_gate=18.0 * AF,
+        c_pol=6.0 * AF,
+        c_sd=18.0 * AF,
+        ig_on=1.5e-12,
+        vdd_ref=0.9,
+    )
+    return TechnologyParams(
+        name="cntfet-32nm",
+        vdd=0.9,
+        nmos=n,
+        pmos=n.as_polarity("p"),
+        ambipolar=True,
+        area_per_device=0.8,
+    )
+
+
+#: Module-level singletons for the two technologies of the paper.
+CMOS_32NM = cmos_32nm()
+CNTFET_32NM = cntfet_32nm()

@@ -1,0 +1,56 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of the reproduction stack with one handler
+while still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DeviceModelError(ReproError):
+    """Invalid device parameters or operating point request."""
+
+
+class NetlistError(ReproError):
+    """Malformed circuit netlist (unknown node, duplicate element, ...)."""
+
+
+class ConvergenceError(ReproError):
+    """The nonlinear solver failed to converge.
+
+    Carries the last residual so callers can decide whether the partial
+    answer is usable.
+    """
+
+    def __init__(self, message: str, residual: float = float("nan")):
+        super().__init__(message)
+        self.residual = residual
+
+
+class TopologyError(ReproError):
+    """Ill-formed switch network (e.g. PU and PD not complementary)."""
+
+
+class LibraryError(ReproError):
+    """Problems building or querying a gate library."""
+
+
+class SynthesisError(ReproError):
+    """Errors in AIG construction, optimization or technology mapping."""
+
+
+class MappingError(SynthesisError):
+    """The technology mapper could not cover the subject graph."""
+
+
+class SimulationError(ReproError):
+    """Gate-level simulation failures (width mismatch, missing nets)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,44 @@
+"""Reproduction harnesses for every table and figure of the paper.
+
+* :mod:`repro.experiments.table1` — Table 1 (12 circuits x 3 libraries);
+* :mod:`repro.experiments.library_power` — the Section 4 gate-level
+  results (the 46-cell characterization and CNTFET-vs-CMOS comparison);
+* :mod:`repro.experiments.figures` — Fig. 2 (transmission gate), Fig. 4
+  (pattern leakage) and Fig. 5 (flow statistics) demonstrations;
+* :mod:`repro.experiments.flow` — the per-circuit synth/map/estimate
+  pipeline shared by all of the above.
+"""
+
+from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
+from repro.experiments.flow import CircuitFlowResult, run_circuit_flow, three_libraries
+from repro.experiments.table1 import Table1Result, reproduce_table1
+from repro.experiments.library_power import (
+    LibraryStudyResult,
+    reproduce_library_study,
+)
+from repro.experiments.figures import (
+    TransmissionGateResult,
+    reproduce_fig2_transmission,
+    PatternLeakageResult,
+    reproduce_fig4_patterns,
+    FlowStatsResult,
+    reproduce_fig5_flow,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_CONFIG",
+    "CircuitFlowResult",
+    "run_circuit_flow",
+    "three_libraries",
+    "Table1Result",
+    "reproduce_table1",
+    "LibraryStudyResult",
+    "reproduce_library_study",
+    "TransmissionGateResult",
+    "reproduce_fig2_transmission",
+    "PatternLeakageResult",
+    "reproduce_fig4_patterns",
+    "FlowStatsResult",
+    "reproduce_fig5_flow",
+]

@@ -1,0 +1,48 @@
+"""Experiment configuration.
+
+The paper's operating point (Section 4): VDD = 0.9 V, f = 1 GHz, fanout
+of 3 for library characterization, 640 K random patterns for circuit
+power estimation.  ``PAPER_CONFIG`` pins those values; tests and
+benchmark harnesses use scaled-down pattern counts for speed, which is
+explicitly recorded in their results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.power.model import PowerParameters
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything a reproduction run needs to be deterministic."""
+
+    vdd: float = 0.9
+    frequency: float = 1.0e9
+    fanout: int = 3
+    n_patterns: int = 640_000
+    state_patterns: int = 65_536
+    seed: int = 2010
+    synthesize: bool = True       # run resyn2rs before mapping
+    mapper_cut_size: int = 5
+    mapper_cut_limit: int = 8
+    mapper_area_rounds: int = 2
+
+    @property
+    def power_parameters(self) -> PowerParameters:
+        """The Eq. 2-5 operating conditions."""
+        return PowerParameters(vdd=self.vdd, frequency=self.frequency,
+                               fanout=self.fanout)
+
+    def scaled(self, n_patterns: int) -> "ExperimentConfig":
+        """Copy with a different pattern budget (for fast test runs)."""
+        return replace(self, n_patterns=n_patterns,
+                       state_patterns=min(self.state_patterns, n_patterns))
+
+
+#: The paper's configuration.
+PAPER_CONFIG = ExperimentConfig()
+
+#: A fast configuration for unit tests and CI-style benchmark runs.
+FAST_CONFIG = ExperimentConfig(n_patterns=16_384, state_patterns=16_384)

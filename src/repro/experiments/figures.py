@@ -1,0 +1,194 @@
+"""Figure reproductions: Fig. 2, Fig. 4 and Fig. 5.
+
+Fig. 1 (device polarity configuration) and Fig. 3 (gate schematics) are
+structural and covered by the device/gate unit tests; the three
+figures here have quantitative content:
+
+* **Fig. 2** — a transmission gate in any passing configuration pulls
+  its output to the full rail, while a single pass transistor degrades
+  the passed 1 by a threshold drop.
+* **Fig. 4** — parallel off transistors ([0 0 0] on a NOR3) leak more
+  than 3x the series stack ([1 1 1]).
+* **Fig. 5** — the two-step characterization flow touches only a few
+  dozen distinct patterns instead of one circuit simulation per
+  (cell, input vector) pair.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.devices.ambipolar import AmbipolarCNTFET
+from repro.devices.parameters import CNTFET_32NM, TechnologyParams
+from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
+from repro.gates.ambipolar_library import generalized_cntfet_library
+from repro.gates.conventional import cmos_library
+from repro.power.characterize import characterize_library
+from repro.power.pattern_sim import PatternSimulator
+from repro.power.patterns import stage_patterns
+from repro.spice.netlist import Circuit, GROUND
+from repro.spice.transient import transient
+from repro.units import PS, to_nanoamperes
+
+
+@dataclass(frozen=True)
+class TransmissionGateResult:
+    """Fig. 2: good vs bad transmission of a logic 1 and a logic 0."""
+
+    vdd: float
+    tg_pass_one: float       # TG output when passing VDD
+    tg_pass_zero: float      # TG output when passing 0
+    nfet_pass_one: float     # single n-device passing VDD (degraded)
+    pfet_pass_zero: float    # single p-device passing 0 (degraded)
+
+    @property
+    def tg_degradation(self) -> float:
+        """Worst rail gap of the transmission gate (V)."""
+        return max(self.vdd - self.tg_pass_one, self.tg_pass_zero)
+
+    @property
+    def single_device_degradation(self) -> float:
+        """Worst rail gap of the single pass device (V)."""
+        return max(self.vdd - self.nfet_pass_one, self.pfet_pass_zero)
+
+    def render(self) -> str:
+        return "\n".join([
+            "== Fig. 2: transmission-gate signal integrity ==",
+            f"TG passing 1:   {self.tg_pass_one:.3f} V of {self.vdd} V",
+            f"TG passing 0:   {self.tg_pass_zero:.3f} V",
+            f"n-FET passing 1: {self.nfet_pass_one:.3f} V "
+            f"(threshold drop: {self.vdd - self.nfet_pass_one:.3f} V)",
+            f"p-FET passing 0: {self.pfet_pass_zero:.3f} V",
+            f"TG worst degradation: {self.tg_degradation * 1000:.1f} mV; "
+            f"single device: {self.single_device_degradation * 1000:.1f} mV",
+        ])
+
+
+def _pass_experiment(tech: TechnologyParams, use_tg: bool,
+                     drive_high: bool) -> float:
+    """Final output voltage when passing a rail through a switch."""
+    vdd = tech.vdd
+    circuit = Circuit("fig2")
+    circuit.add_vsource("vdd", "vdd", GROUND, vdd)
+    source_net = "vdd" if drive_high else GROUND
+    device = AmbipolarCNTFET(tech.nmos)
+    if use_tg:
+        # Passing pair: n device with gate high, p device with gate low.
+        circuit.add_mosfet("mn", source_net, "vdd", "out", tech.nmos)
+        circuit.add_mosfet("mp", source_net, GROUND, "out", tech.pmos)
+    else:
+        if drive_high:
+            circuit.add_mosfet("mn", source_net, "vdd", "out", tech.nmos)
+        else:
+            circuit.add_mosfet("mp", source_net, GROUND, "out", tech.pmos)
+    del device
+    circuit.add_capacitor("cl", "out", GROUND, 200e-18)
+    initial = {"out": 0.0 if drive_high else vdd, "vdd": vdd}
+    result = transient(circuit, stop_time=2000 * PS, step=2 * PS,
+                       initial=initial)
+    return result.final_voltage("out")
+
+
+def reproduce_fig2_transmission(
+        tech: TechnologyParams = CNTFET_32NM) -> TransmissionGateResult:
+    """Reproduce the Fig. 2 good/bad transmission comparison."""
+    return TransmissionGateResult(
+        vdd=tech.vdd,
+        tg_pass_one=_pass_experiment(tech, use_tg=True, drive_high=True),
+        tg_pass_zero=_pass_experiment(tech, use_tg=True, drive_high=False),
+        nfet_pass_one=_pass_experiment(tech, use_tg=False, drive_high=True),
+        pfet_pass_zero=_pass_experiment(tech, use_tg=False, drive_high=False),
+    )
+
+
+@dataclass(frozen=True)
+class PatternLeakageResult:
+    """Fig. 4: NOR3 leakage for the all-zeros vs all-ones vectors."""
+
+    parallel_pattern: str
+    series_pattern: str
+    parallel_current: float
+    series_current: float
+    single_device_current: float
+
+    @property
+    def ratio(self) -> float:
+        """Parallel / series leakage (paper: more than 3x)."""
+        return self.parallel_current / self.series_current
+
+    def render(self) -> str:
+        return "\n".join([
+            "== Fig. 4: input-vector dependence of leakage (NOR3) ==",
+            f"[0 0 0] off network {self.parallel_pattern}: "
+            f"{to_nanoamperes(self.parallel_current):.3f} nA "
+            f"(~3 x Ileak = {to_nanoamperes(3 * self.single_device_current):.3f} nA)",
+            f"[1 1 1] off network {self.series_pattern}: "
+            f"{to_nanoamperes(self.series_current):.3f} nA (< Ileak = "
+            f"{to_nanoamperes(self.single_device_current):.3f} nA)",
+            f"ratio: {self.ratio:.1f}x (paper: more than 3x)",
+        ])
+
+
+def reproduce_fig4_patterns(
+        library=None) -> PatternLeakageResult:
+    """Reproduce the Fig. 4 parallel-vs-series leakage comparison."""
+    if library is None:
+        library = cmos_library()
+    nor3 = library.cell("NOR3")
+    simulator = PatternSimulator(library.tech)
+    parallel = stage_patterns(nor3, (False, False, False))[0]
+    series = stage_patterns(nor3, (True, True, True))[0]
+    single = stage_patterns(library.cell("INV"), (False,))[0]
+    return PatternLeakageResult(
+        parallel_pattern=parallel.key,
+        series_pattern=series.key,
+        parallel_current=simulator.off_current(parallel),
+        series_current=simulator.off_current(series),
+        single_device_current=simulator.off_current(single),
+    )
+
+
+@dataclass(frozen=True)
+class FlowStatsResult:
+    """Fig. 5: cost of the two-step characterization flow."""
+
+    library: str
+    n_cells: int
+    n_cell_vectors: int       # naive: one SPICE run per (cell, vector)
+    distinct_patterns: int    # actual SPICE runs needed
+    characterization_seconds: float
+
+    @property
+    def simulation_savings(self) -> float:
+        """Naive / classified simulation count."""
+        return self.n_cell_vectors / max(1, self.distinct_patterns)
+
+    def render(self) -> str:
+        return "\n".join([
+            "== Fig. 5: characterization flow statistics ==",
+            f"library: {self.library} ({self.n_cells} cells)",
+            f"(cell, input vector) pairs: {self.n_cell_vectors}",
+            f"distinct Ioff patterns simulated: {self.distinct_patterns} "
+            f"(paper: 26)",
+            f"simulation count reduction: {self.simulation_savings:.0f}x",
+            f"characterization wall time: "
+            f"{self.characterization_seconds:.2f} s",
+        ])
+
+
+def reproduce_fig5_flow(
+        config: ExperimentConfig = PAPER_CONFIG) -> FlowStatsResult:
+    """Run the Fig. 5 flow on the 46-cell library and collect statistics."""
+    library = generalized_cntfet_library()
+    start = time.perf_counter()
+    report = characterize_library(library, config.power_parameters)
+    elapsed = time.perf_counter() - start
+    n_vectors = sum(1 << cell.n_inputs for cell in library)
+    return FlowStatsResult(
+        library=library.name,
+        n_cells=len(library),
+        n_cell_vectors=n_vectors,
+        distinct_patterns=report.distinct_patterns,
+        characterization_seconds=elapsed,
+    )

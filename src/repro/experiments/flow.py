@@ -1,0 +1,101 @@
+"""The per-circuit experiment pipeline: synthesize -> map -> estimate.
+
+This mirrors the paper's methodology exactly: circuits are first
+synthesized with the resyn2rs script (library-independent), then mapped
+onto each of the three genlib-characterized libraries, and finally
+power is estimated with random patterns on the mapped netlists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
+from repro.gates.ambipolar_library import generalized_cntfet_library
+from repro.gates.conventional import cmos_library, conventional_cntfet_library
+from repro.gates.library import Library
+from repro.power.model import energy_delay_product
+from repro.sim.estimator import CircuitPowerReport, estimate_circuit_power
+from repro.synth.aig import Aig
+from repro.synth.mapper import MappingOptions, map_aig
+from repro.synth.scripts import resyn2rs
+from repro.circuits.suite import CMOS, CONVENTIONAL, GENERALIZED
+
+
+def three_libraries() -> Dict[str, Library]:
+    """The three libraries of the Table 1 comparison, by key."""
+    return {
+        GENERALIZED: generalized_cntfet_library(),
+        CONVENTIONAL: conventional_cntfet_library(),
+        CMOS: cmos_library(),
+    }
+
+
+@dataclass(frozen=True)
+class CircuitFlowResult:
+    """One Table 1 cell: a circuit mapped and estimated on one library."""
+
+    circuit: str
+    library: str
+    gate_count: int
+    delay_s: float
+    pd_w: float
+    ps_w: float
+    pg_w: float
+    pt_w: float
+    edp_js: float
+
+    @property
+    def delay_ps(self) -> float:
+        return self.delay_s / 1e-12
+
+    @property
+    def pd_uw(self) -> float:
+        return self.pd_w / 1e-6
+
+    @property
+    def ps_uw(self) -> float:
+        return self.ps_w / 1e-6
+
+    @property
+    def pt_uw(self) -> float:
+        return self.pt_w / 1e-6
+
+    @property
+    def edp_paper_units(self) -> float:
+        """EDP in the paper's 1e-24 J*s unit."""
+        return self.edp_js / 1e-24
+
+
+def run_circuit_flow(aig: Aig, library: Library,
+                     config: ExperimentConfig = PAPER_CONFIG,
+                     presynthesized: bool = False) -> CircuitFlowResult:
+    """Run the full pipeline for one circuit on one library."""
+    subject = aig
+    if config.synthesize and not presynthesized:
+        subject = resyn2rs(aig)
+    options = MappingOptions(
+        cut_size=config.mapper_cut_size,
+        cut_limit=config.mapper_cut_limit,
+        area_rounds=config.mapper_area_rounds,
+    )
+    netlist = map_aig(subject, library, options)
+    params = config.power_parameters
+    report: CircuitPowerReport = estimate_circuit_power(
+        netlist, params,
+        n_patterns=config.n_patterns,
+        seed=config.seed,
+        state_patterns=config.state_patterns,
+    )
+    return CircuitFlowResult(
+        circuit=aig.name,
+        library=library.name,
+        gate_count=report.gate_count,
+        delay_s=report.delay,
+        pd_w=report.p_dynamic,
+        ps_w=report.p_static,
+        pg_w=report.p_gate_leak,
+        pt_w=report.p_total,
+        edp_js=energy_delay_product(report.p_total, report.delay, params),
+    )

@@ -1,0 +1,89 @@
+"""The Section 4 gate-level study (S4-LIB in DESIGN.md).
+
+Characterizes the 46-cell generalized CNTFET library and the CMOS
+reference library, and assembles the quantities the paper reports in
+prose: inverter input capacitances, the PG/PS fractions, activity
+factors, dynamic/static/total power comparisons, and the distinct
+off-current pattern count of the classification method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.devices.calibrate import technology_report
+from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
+from repro.experiments.reporting import render_table
+from repro.gates.ambipolar_library import generalized_cntfet_library
+from repro.gates.conventional import cmos_library
+from repro.power.characterize import LibraryPowerReport, characterize_library
+from repro.power.compare import LibraryComparison, compare_libraries
+from repro.units import to_attofarads
+
+
+@dataclass(frozen=True)
+class LibraryStudyResult:
+    """Everything the Section 4 narrative quotes."""
+
+    cntfet: LibraryPowerReport
+    cmos: LibraryPowerReport
+    comparison: LibraryComparison
+    cntfet_inverter_cin_af: float   # paper: 36 aF
+    cmos_inverter_cin_af: float     # paper: 52 aF
+    distinct_patterns: int          # paper: 26
+
+    def render(self) -> str:
+        """Readable digest with paper anchors."""
+        lines: List[str] = [
+            "== Section 4 library study ==",
+            f"46-cell generalized library characterized with "
+            f"{self.distinct_patterns} distinct Ioff patterns "
+            f"(paper: 26)",
+            f"inverter input capacitance: CNTFET "
+            f"{self.cntfet_inverter_cin_af:.1f} aF vs CMOS "
+            f"{self.cmos_inverter_cin_af:.1f} aF (paper: 36 vs 52)",
+        ]
+        lines.extend(self.comparison.summary_lines())
+        headers = ["cell", "inputs", "devices", "alpha", "Cin(aF)",
+                   "PD(nW)", "PS(nW)", "PG(nW)", "PT(nW)", "patterns"]
+        rows = []
+        for name, report in self.cntfet.cells.items():
+            rows.append([
+                name, report.n_inputs, report.n_devices,
+                f"{report.activity:.2f}",
+                f"{to_attofarads(report.input_capacitance):.1f}",
+                f"{report.power.dynamic * 1e9:.2f}",
+                f"{report.power.static * 1e9:.3f}",
+                f"{report.power.gate_leak * 1e9:.4f}",
+                f"{report.power.total * 1e9:.2f}",
+                report.distinct_patterns,
+            ])
+        lines.append("")
+        lines.append(render_table(headers, rows,
+                                  title="Generalized CNTFET library (46 cells)"))
+        return "\n".join(lines)
+
+
+def reproduce_library_study(
+        config: ExperimentConfig = PAPER_CONFIG) -> LibraryStudyResult:
+    """Run the full Section 4 gate-level characterization."""
+    params = config.power_parameters
+    cntfet_lib = generalized_cntfet_library()
+    cmos_lib = cmos_library()
+    cntfet_report = characterize_library(cntfet_lib, params)
+    cmos_report = characterize_library(cmos_lib, params)
+    comparison = compare_libraries(cntfet_report, cmos_report)
+
+    cnt_inv = cntfet_lib.inverter()
+    cmos_inv = cmos_lib.inverter()
+    return LibraryStudyResult(
+        cntfet=cntfet_report,
+        cmos=cmos_report,
+        comparison=comparison,
+        cntfet_inverter_cin_af=to_attofarads(
+            cntfet_lib.pin_capacitance(cnt_inv.name, cnt_inv.inputs[0])),
+        cmos_inverter_cin_af=to_attofarads(
+            cmos_lib.pin_capacitance(cmos_inv.name, cmos_inv.inputs[0])),
+        distinct_patterns=cntfet_report.distinct_patterns,
+    )

@@ -1,0 +1,39 @@
+"""Plain-text table rendering for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: str = "") -> str:
+    """Render a monospace table with right-aligned columns."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index in range(columns):
+            widths[index] = max(widths[index], len(str(row[index])))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(str(cell).rjust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_ratio(reference: float, value: float) -> str:
+    """'7.1x' style improvement ratio (reference / value)."""
+    if value == 0:
+        return "inf"
+    return f"{reference / value:.1f}x"
+
+
+def format_saving(reference: float, value: float) -> str:
+    """'57.1%' style saving of value relative to reference."""
+    if reference == 0:
+        return "n/a"
+    return f"{(1.0 - value / reference) * 100.0:.1f}%"

@@ -1,0 +1,146 @@
+"""Table 1 reproduction: logic synthesis, mapping and power for 12
+benchmarks on the three libraries.
+
+Each benchmark is synthesized once with resyn2rs, mapped onto the
+generalized-CNTFET, conventional-CNTFET and CMOS libraries, and power-
+estimated with random patterns.  The result object carries per-cell
+data, the column averages and the improvement rows exactly as the paper
+formats them, plus the paper's own numbers for side-by-side reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.circuits.suite import (
+    BenchmarkSpec,
+    CMOS,
+    CONVENTIONAL,
+    GENERALIZED,
+    PAPER_AVERAGES,
+    PaperRow,
+    benchmark_suite,
+)
+from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
+from repro.experiments.flow import (
+    CircuitFlowResult,
+    run_circuit_flow,
+    three_libraries,
+)
+from repro.experiments.reporting import format_ratio, format_saving, render_table
+from repro.synth.scripts import resyn2rs
+
+LIBRARY_ORDER = [GENERALIZED, CONVENTIONAL, CMOS]
+
+
+@dataclass
+class Table1Result:
+    """All data of the reproduced Table 1."""
+
+    config: ExperimentConfig
+    #: results[benchmark][library_key]
+    results: Dict[str, Dict[str, CircuitFlowResult]] = field(
+        default_factory=dict)
+    benchmark_order: List[str] = field(default_factory=list)
+
+    # -- aggregates ----------------------------------------------------------
+
+    def averages(self, library: str) -> CircuitFlowResult:
+        """Column averages for one library (the paper's Average row)."""
+        rows = [self.results[name][library] for name in self.benchmark_order]
+        count = len(rows)
+        return CircuitFlowResult(
+            circuit="Average",
+            library=library,
+            gate_count=round(sum(r.gate_count for r in rows) / count),
+            delay_s=sum(r.delay_s for r in rows) / count,
+            pd_w=sum(r.pd_w for r in rows) / count,
+            ps_w=sum(r.ps_w for r in rows) / count,
+            pg_w=sum(r.pg_w for r in rows) / count,
+            pt_w=sum(r.pt_w for r in rows) / count,
+            edp_js=sum(r.edp_js for r in rows) / count,
+        )
+
+    def improvement_vs_cmos(self, library: str) -> Dict[str, str]:
+        """The paper's "Improvement vs. CMOS" row for one library."""
+        ours = self.averages(library)
+        cmos = self.averages(CMOS)
+        return {
+            "gates": format_saving(cmos.gate_count, ours.gate_count),
+            "delay": format_ratio(cmos.delay_s, ours.delay_s),
+            "pd": format_saving(cmos.pd_w, ours.pd_w),
+            "ps": format_saving(cmos.ps_w, ours.ps_w),
+            "pt": format_saving(cmos.pt_w, ours.pt_w),
+            "edp": format_ratio(cmos.edp_js, ours.edp_js),
+        }
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self, include_paper: bool = True) -> str:
+        """Monospace rendition of the reproduced table."""
+        blocks: List[str] = []
+        for library in LIBRARY_ORDER:
+            headers = ["Circuit", "No.", "Delay(ps)", "PD(uW)", "PS(uW)",
+                       "PT(uW)", "EDP(1e-24Js)"]
+            rows = []
+            for name in self.benchmark_order:
+                r = self.results[name][library]
+                rows.append([name, r.gate_count, f"{r.delay_ps:.0f}",
+                             f"{r.pd_uw:.2f}", f"{r.ps_uw:.3f}",
+                             f"{r.pt_uw:.2f}", f"{r.edp_paper_units:.2f}"])
+            avg = self.averages(library)
+            rows.append(["Average", avg.gate_count, f"{avg.delay_ps:.0f}",
+                         f"{avg.pd_uw:.2f}", f"{avg.ps_uw:.3f}",
+                         f"{avg.pt_uw:.2f}", f"{avg.edp_paper_units:.2f}"])
+            if include_paper:
+                paper = PAPER_AVERAGES[library]
+                rows.append(["(paper avg)", paper.gates,
+                             f"{paper.delay_ps:.0f}", f"{paper.pd_uw:.2f}",
+                             f"{paper.ps_uw:.3f}", f"{paper.pt_uw:.2f}",
+                             f"{paper.edp:.2f}"])
+            blocks.append(render_table(headers, rows,
+                                       title=f"== {library} =="))
+            if library != CMOS:
+                imp = self.improvement_vs_cmos(library)
+                blocks.append(
+                    f"Improvement vs CMOS: gates {imp['gates']}, "
+                    f"delay {imp['delay']}, PD {imp['pd']}, "
+                    f"PS {imp['ps']}, PT {imp['pt']}, EDP {imp['edp']}")
+        return "\n\n".join(blocks)
+
+
+def reproduce_table1(config: ExperimentConfig = PAPER_CONFIG,
+                     benchmarks: Optional[List[str]] = None,
+                     verbose: bool = False) -> Table1Result:
+    """Run the full Table 1 experiment.
+
+    Args:
+        config: operating point and pattern budget.
+        benchmarks: optional subset of Table 1 names (default: all 12).
+        verbose: print one line per (circuit, library) as results land.
+    """
+    libraries = three_libraries()
+    result = Table1Result(config=config)
+    for spec in benchmark_suite():
+        if benchmarks is not None and spec.name not in benchmarks:
+            continue
+        aig = spec.build()
+        subject = resyn2rs(aig) if config.synthesize else aig
+        row: Dict[str, CircuitFlowResult] = {}
+        for key in LIBRARY_ORDER:
+            flow = run_circuit_flow(subject, libraries[key], config,
+                                    presynthesized=True)
+            flow = CircuitFlowResult(
+                circuit=spec.name, library=key,
+                gate_count=flow.gate_count, delay_s=flow.delay_s,
+                pd_w=flow.pd_w, ps_w=flow.ps_w, pg_w=flow.pg_w,
+                pt_w=flow.pt_w, edp_js=flow.edp_js)
+            row[key] = flow
+            if verbose:
+                print(f"{spec.name:6s} {key:20s} gates={flow.gate_count:5d} "
+                      f"delay={flow.delay_ps:7.1f}ps PT={flow.pt_uw:8.2f}uW "
+                      f"EDP={flow.edp_paper_units:8.2f}")
+        result.results[spec.name] = row
+        result.benchmark_order.append(spec.name)
+    return result

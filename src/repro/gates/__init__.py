@@ -1,0 +1,65 @@
+"""Transistor-level logic cells and gate libraries.
+
+Cells are described as complementary switch networks (Section 2.2 of the
+paper): the pull-down network is given explicitly, the pull-up network
+is its series/parallel dual.  Leaves are either fixed-polarity
+transistors or ambipolar transmission gates (which conduct when the XOR
+of their two control signals is 1 — the key primitive of the paper).
+
+Three libraries reproduce the paper's Section 4 comparison:
+
+* :func:`generalized_cntfet_library` — the 46-cell ambipolar library;
+* :func:`conventional_cntfet_library` — the same conventional functions
+  restricted to MOSFET-like CNTFETs (no transmission gates);
+* :func:`cmos_library` — the CMOS reference.
+"""
+
+from repro.gates.topology import (
+    Fet,
+    TransmissionGate,
+    Series,
+    Parallel,
+    Network,
+    conduction,
+    dual,
+    device_count,
+    network_support,
+    iter_leaves,
+    series_depth,
+    output_adjacency,
+)
+from repro.gates.cells import Cell, Stage, signal
+from repro.gates.library import Library, CellTiming
+from repro.gates.ambipolar_library import generalized_cntfet_library
+from repro.gates.conventional import (
+    cmos_library,
+    conventional_cntfet_library,
+    conventional_cell_names,
+)
+from repro.gates.genlib import write_genlib, parse_genlib
+
+__all__ = [
+    "Fet",
+    "TransmissionGate",
+    "Series",
+    "Parallel",
+    "Network",
+    "conduction",
+    "dual",
+    "device_count",
+    "network_support",
+    "iter_leaves",
+    "series_depth",
+    "output_adjacency",
+    "Cell",
+    "Stage",
+    "signal",
+    "Library",
+    "CellTiming",
+    "generalized_cntfet_library",
+    "conventional_cntfet_library",
+    "cmos_library",
+    "conventional_cell_names",
+    "write_genlib",
+    "parse_genlib",
+]

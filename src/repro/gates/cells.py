@@ -1,0 +1,263 @@
+"""Static logic cells built from complementary switch networks.
+
+A :class:`Cell` is an ordered list of :class:`Stage` objects.  Each
+stage is a static CMOS-style sub-gate: its pull-down network is given,
+its pull-up network is the series/parallel dual, and its output is the
+complement of the pull-down conduction function.  Multi-stage cells
+(BUF, AND2, CMOS XOR with input inverters, ...) chain stages through
+named internal signals.
+
+Complement generation: transmission gates always need both phases of
+their control signals, and some CMOS topologies use complemented
+literals directly.  The cell machinery inserts one shared inverter per
+complemented signal automatically; those inverters count toward the
+cell's device total, input capacitance and leakage, exactly like any
+other stage, but are invisible to the logic function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.gates.topology import (
+    Fet,
+    Network,
+    Signal,
+    TransmissionGate,
+    complement_requirements,
+    conduction,
+    device_count,
+    dual,
+    network_support,
+    output_adjacency,
+    series_depth,
+)
+from repro.synth.truth import from_function
+
+
+def signal(spec: str) -> Signal:
+    """Parse ``"a"`` or ``"a'"`` into a :class:`Signal`."""
+    if spec.endswith("'"):
+        return Signal(spec[:-1], negated=True)
+    return Signal(spec)
+
+
+def nfet(spec: str) -> Fet:
+    """n-type switch controlled by the named signal (``"a"`` / ``"a'"``)."""
+    return Fet(signal(spec), "n")
+
+
+def pfet(spec: str) -> Fet:
+    """p-type switch controlled by the named signal."""
+    return Fet(signal(spec), "p")
+
+
+def tg(a: str, b: str, invert: bool = False) -> TransmissionGate:
+    """Transmission gate conducting when ``a XOR b XOR invert`` is 1."""
+    return TransmissionGate(signal(a), signal(b), invert)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One static sub-gate: output = NOT(pull-down conduction)."""
+
+    name: str
+    pulldown: Network
+
+    @property
+    def pullup(self) -> Network:
+        """The dual pull-up network."""
+        return dual(self.pulldown)
+
+    @property
+    def is_complement_inverter(self) -> bool:
+        """True for the auto-generated complement inverters."""
+        return self.name.endswith("#bar")
+
+
+@dataclass
+class Cell:
+    """A static logic cell.
+
+    Args:
+        name: cell name, unique within a library.
+        inputs: ordered pin names; pin ``i`` is truth-table variable ``i``.
+        stages: declared stages in evaluation order; the last stage
+            drives the cell output.
+        description: human-readable function, e.g. ``"((a^c)b)'"``.
+        generalized: True for cells that exploit ambipolar transmission
+            gates (only available in the generalized CNTFET library).
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    stages: Tuple[Stage, ...]
+    description: str = ""
+    generalized: bool = False
+    _truth: Optional[int] = field(default=None, repr=False)
+    _all_stages: Optional[Tuple[Stage, ...]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.inputs = tuple(self.inputs)
+        self.stages = tuple(self.stages)
+        if not self.stages:
+            raise TopologyError(f"cell {self.name}: needs at least one stage")
+        if len(set(self.inputs)) != len(self.inputs):
+            raise TopologyError(f"cell {self.name}: duplicate pin names")
+        available = set(self.inputs)
+        for stage in self.stages:
+            missing = network_support(stage.pulldown) - available
+            if missing:
+                raise TopologyError(
+                    f"cell {self.name}: stage {stage.name} uses unknown "
+                    f"signals {sorted(missing)}")
+            if stage.name in available:
+                raise TopologyError(
+                    f"cell {self.name}: duplicate signal {stage.name!r}")
+            available.add(stage.name)
+
+    # -- logic ----------------------------------------------------------
+
+    def evaluate(self, values: Sequence[bool]) -> bool:
+        """Cell output for the given pin values (pin order)."""
+        if len(values) != len(self.inputs):
+            raise TopologyError(
+                f"cell {self.name}: expected {len(self.inputs)} values")
+        assignment: Dict[str, bool] = dict(zip(self.inputs, map(bool, values)))
+        result = False
+        for stage in self.stages:
+            result = not conduction(stage.pulldown, assignment)
+            assignment[stage.name] = result
+        return result
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of pins."""
+        return len(self.inputs)
+
+    @property
+    def truth_table(self) -> int:
+        """Truth table over the pins (pin 0 = variable 0 = LSB)."""
+        if self._truth is None:
+            self._truth = from_function(
+                lambda *bits: self.evaluate(bits), self.n_inputs)
+        return self._truth
+
+    def stage_input_values(self, values: Sequence[bool]) -> Dict[str, bool]:
+        """All signal values (pins + stage outputs) for an input vector."""
+        assignment: Dict[str, bool] = dict(zip(self.inputs, map(bool, values)))
+        for stage in self.all_stages():
+            assignment[stage.name] = not conduction(stage.pulldown, assignment)
+        return assignment
+
+    # -- structure ------------------------------------------------------
+
+    def all_stages(self) -> Tuple[Stage, ...]:
+        """Declared stages plus auto-generated complement inverters.
+
+        Complement inverters are emitted as soon as their source signal
+        is available and before the first stage that consumes them.
+        """
+        if self._all_stages is not None:
+            return self._all_stages
+        emitted: List[Stage] = []
+        have_complement: set = set()
+        for stage in self.stages:
+            for name in sorted(complement_requirements(stage.pulldown)):
+                if name not in have_complement:
+                    emitted.append(Stage(f"{name}#bar", Fet(Signal(name), "n")))
+                    have_complement.add(name)
+            emitted.append(stage)
+        self._all_stages = tuple(emitted)
+        return self._all_stages
+
+    def complemented_signals(self) -> List[str]:
+        """Signals for which a shared complement inverter exists."""
+        return [s.name[:-4] for s in self.all_stages()
+                if s.is_complement_inverter]
+
+    @property
+    def n_devices(self) -> int:
+        """Total transistor count (both networks of every stage)."""
+        total = 0
+        for stage in self.all_stages():
+            total += 2 * device_count(stage.pulldown)
+        return total
+
+    def pin_capacitance(self, pin: str, c_gate: float, c_pol: float) -> float:
+        """Input capacitance presented by ``pin``.
+
+        Direct (non-negated) transistor controls load the pin with one
+        conventional-gate capacitance per device (once in the pull-down,
+        once in the dual pull-up).  Transmission-gate ``a`` signals load
+        a polarity gate, ``b`` signals a conventional gate (again, twice:
+        PU and PD).  Complemented phases load the shared inverter output
+        instead of the pin; the inverter's own input counts once at half
+        width (complement generators drive only gate capacitance, so
+        they are sized minimally: n + p at half width = one unit gate
+        capacitance total).
+        """
+        if pin not in self.inputs:
+            raise TopologyError(f"cell {self.name}: no pin {pin!r}")
+        total = 0.0
+        for stage in self.all_stages():
+            if stage.is_complement_inverter:
+                # the inverter input loads the source signal directly
+                leaf = stage.pulldown
+                assert isinstance(leaf, Fet)
+                if leaf.control.name == pin:
+                    total += c_gate  # half-width n + p devices
+                continue
+            for network in (stage.pulldown, stage.pullup):
+                for leaf in _leaves(network):
+                    if isinstance(leaf, Fet):
+                        if leaf.control.name == pin and not leaf.control.negated:
+                            total += c_gate
+                    else:
+                        # TG: direct phase of `a` drives one polarity gate,
+                        # direct phase of `b` one conventional gate; the
+                        # complemented device hangs off the inverters.
+                        if leaf.a.name == pin and not leaf.a.negated:
+                            total += c_pol
+                        if leaf.b.name == pin and not leaf.b.negated:
+                            total += c_gate
+                        if leaf.a.name == pin and leaf.a.negated:
+                            pass  # loads the complement net
+                        if leaf.b.name == pin and leaf.b.negated:
+                            pass
+        return total
+
+    def average_input_capacitance(self, c_gate: float, c_pol: float) -> float:
+        """Mean pin capacitance across all pins."""
+        caps = [self.pin_capacitance(p, c_gate, c_pol) for p in self.inputs]
+        return sum(caps) / len(caps)
+
+    @property
+    def output_stage(self) -> Stage:
+        """The stage driving the cell output."""
+        return self.stages[-1]
+
+    def drive_depth(self) -> int:
+        """Worst series switch depth of the output stage (for R_drive)."""
+        stage = self.output_stage
+        return max(series_depth(stage.pulldown), series_depth(stage.pullup))
+
+    def output_intrinsic_devices(self) -> int:
+        """Devices whose diffusion touches the output node."""
+        stage = self.output_stage
+        return output_adjacency(stage.pulldown) + output_adjacency(stage.pullup)
+
+    def uses_transmission_gates(self) -> bool:
+        """True if any stage contains a transmission gate."""
+        for stage in self.all_stages():
+            for leaf in _leaves(stage.pulldown):
+                if isinstance(leaf, TransmissionGate):
+                    return True
+        return False
+
+
+def _leaves(network: Network):
+    from repro.gates.topology import iter_leaves
+    return iter_leaves(network)

@@ -1,0 +1,129 @@
+"""Conventional-function cells with pure complementary (CMOS-style) topologies.
+
+These 20 cells exist in all three libraries of the paper's comparison.
+In the CMOS and conventional-CNTFET libraries the XOR/XNOR/MUX cells are
+built the classic way — complex AOI-style networks plus input inverters —
+because without ambipolar devices there are no transmission gates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.devices.parameters import TechnologyParams, CMOS_32NM, CNTFET_32NM
+from repro.gates.cells import Cell, Stage, nfet
+from repro.gates.library import Library
+from repro.gates.topology import parallel, series
+
+
+def _single(name: str, pd, inputs, description: str) -> Cell:
+    """One-stage cell with the given pull-down network."""
+    return Cell(name, tuple(inputs), (Stage("y", pd),), description)
+
+
+def _buffered(name: str, pd, inputs, description: str) -> Cell:
+    """Two-stage cell: the given network followed by an output inverter."""
+    stages = (Stage("i0", pd), Stage("y", nfet("i0")))
+    return Cell(name, tuple(inputs), stages, description)
+
+
+def conventional_cells() -> List[Cell]:
+    """The 20 conventional-function cells (CMOS-style topologies)."""
+    cells: List[Cell] = []
+    add = cells.append
+
+    add(_single("INV", nfet("a"), "a", "a'"))
+    add(_buffered("BUF", nfet("a"), "a", "a"))
+
+    add(_single("NAND2", series(nfet("a"), nfet("b")), "ab", "(ab)'"))
+    add(_single("NAND3", series(nfet("a"), nfet("b"), nfet("c")),
+                "abc", "(abc)'"))
+    add(_single("NAND4", series(nfet("a"), nfet("b"), nfet("c"), nfet("d")),
+                "abcd", "(abcd)'"))
+    add(_single("NOR2", parallel(nfet("a"), nfet("b")), "ab", "(a+b)'"))
+    add(_single("NOR3", parallel(nfet("a"), nfet("b"), nfet("c")),
+                "abc", "(a+b+c)'"))
+    add(_single("NOR4", parallel(nfet("a"), nfet("b"), nfet("c"), nfet("d")),
+                "abcd", "(a+b+c+d)'"))
+    add(_buffered("AND2", series(nfet("a"), nfet("b")), "ab", "ab"))
+    add(_buffered("OR2", parallel(nfet("a"), nfet("b")), "ab", "a+b"))
+
+    add(_single("AOI21", parallel(series(nfet("a"), nfet("b")), nfet("c")),
+                "abc", "(ab+c)'"))
+    add(_single("AOI22", parallel(series(nfet("a"), nfet("b")),
+                                  series(nfet("c"), nfet("d"))),
+                "abcd", "(ab+cd)'"))
+    add(_single("OAI21", series(parallel(nfet("a"), nfet("b")), nfet("c")),
+                "abc", "((a+b)c)'"))
+    add(_single("OAI22", series(parallel(nfet("a"), nfet("b")),
+                                parallel(nfet("c"), nfet("d"))),
+                "abcd", "((a+b)(c+d))'"))
+    add(_single("AOI211", parallel(series(nfet("a"), nfet("b")),
+                                   nfet("c"), nfet("d")),
+                "abcd", "(ab+c+d)'"))
+    add(_single("OAI211", series(parallel(nfet("a"), nfet("b")),
+                                 nfet("c"), nfet("d")),
+                "abcd", "((a+b)cd)'"))
+
+    # MUXI2(s, a, b) = (s a + s' b)'
+    mux_pd = parallel(series(nfet("s"), nfet("a")),
+                      series(nfet("s'"), nfet("b")))
+    add(_single("MUXI2", mux_pd, "sab", "(sa+s'b)'"))
+    add(_buffered("MUX2", mux_pd, "sab", "sa+s'b"))
+
+    # XOR2(a, b): pull-down conducts when the output must be 0, i.e. for
+    # a XNOR b = ab + a'b'.
+    xor_pd = parallel(series(nfet("a"), nfet("b")),
+                      series(nfet("a'"), nfet("b'")))
+    add(_single("XOR2", xor_pd, "ab", "a^b"))
+    xnor_pd = parallel(series(nfet("a"), nfet("b'")),
+                       series(nfet("a'"), nfet("b")))
+    add(_single("XNOR2", xnor_pd, "ab", "(a^b)'"))
+    return cells
+
+
+#: Expected functions of the conventional cells, used by the unit tests.
+CONVENTIONAL_FUNCTIONS: Dict[str, Callable[..., bool]] = {
+    "INV": lambda a: not a,
+    "BUF": lambda a: a,
+    "NAND2": lambda a, b: not (a and b),
+    "NAND3": lambda a, b, c: not (a and b and c),
+    "NAND4": lambda a, b, c, d: not (a and b and c and d),
+    "NOR2": lambda a, b: not (a or b),
+    "NOR3": lambda a, b, c: not (a or b or c),
+    "NOR4": lambda a, b, c, d: not (a or b or c or d),
+    "AND2": lambda a, b: a and b,
+    "OR2": lambda a, b: a or b,
+    "AOI21": lambda a, b, c: not ((a and b) or c),
+    "AOI22": lambda a, b, c, d: not ((a and b) or (c and d)),
+    "OAI21": lambda a, b, c: not ((a or b) and c),
+    "OAI22": lambda a, b, c, d: not ((a or b) and (c or d)),
+    "AOI211": lambda a, b, c, d: not ((a and b) or c or d),
+    "OAI211": lambda a, b, c, d: not ((a or b) and c and d),
+    "MUXI2": lambda s, a, b: not (a if s else b),
+    "MUX2": lambda s, a, b: (a if s else b),
+    "XOR2": lambda a, b: a != b,
+    "XNOR2": lambda a, b: a == b,
+}
+
+
+def conventional_cell_names() -> List[str]:
+    """Names of the 20 conventional-function cells."""
+    return list(CONVENTIONAL_FUNCTIONS)
+
+
+def cmos_library(tech: TechnologyParams = CMOS_32NM) -> Library:
+    """The CMOS reference library of the paper's comparison."""
+    return Library("cmos", tech, conventional_cells())
+
+
+def conventional_cntfet_library(
+        tech: TechnologyParams = CNTFET_32NM) -> Library:
+    """The reduced CNTFET library with only MOSFET-like CNTFETs.
+
+    Same functions and topologies as the CMOS library, but implemented
+    in the CNTFET technology (lower capacitance and leakage, higher
+    drive).  The paper calls this "CNTFET Technology (conventional
+    gates)" in Table 1.
+    """
+    return Library("cntfet-conventional", tech, conventional_cells())

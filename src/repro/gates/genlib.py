@@ -1,0 +1,178 @@
+"""genlib export/import for the characterized libraries.
+
+The paper compiles genlib libraries per logic family (from the area and
+delay of [3]) and feeds them to ABC for technology mapping.  We emit the
+same format so the libraries are portable to real tools, and parse it
+back for round-trip tests.  Functions are written as sums of products
+derived from the cell truth tables; delays are in picoseconds and loads
+in attofarads (slope in ps/aF), matching the paper's reporting units.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import LibraryError
+from repro.gates.library import Library
+from repro.synth.sop import isop
+from repro.synth.truth import full_mask
+from repro.units import AF, PS
+
+
+def _sop_expression(table: int, pins: Tuple[str, ...]) -> str:
+    """Render a truth table as a genlib sum-of-products expression."""
+    n = len(pins)
+    if table == 0:
+        return "CONST0"
+    if table == full_mask(n):
+        return "CONST1"
+    cubes = isop(table, n)
+    terms: List[str] = []
+    for cube in cubes:
+        literals: List[str] = []
+        for var in range(n):
+            phase = cube.phase(var)
+            if phase == 1:
+                literals.append(pins[var])
+            elif phase == 0:
+                literals.append(f"!{pins[var]}")
+        terms.append("*".join(literals) if literals else "CONST1")
+    return "+".join(terms)
+
+
+def write_genlib(library: Library, fanout: int = 3) -> str:
+    """Serialize a library to genlib text.
+
+    ``fanout`` only affects the informational max-load column.
+    """
+    lines: List[str] = [
+        f"# genlib for {library.name} "
+        f"(technology {library.tech.name}, VDD={library.tech.vdd} V)",
+        "# area: normalized device area; delays: ps; loads: aF",
+    ]
+    inv_cap = (library.tech.nmos.c_gate + library.tech.pmos.c_gate)
+    max_load = fanout * inv_cap / AF * 10
+    for cell in library:
+        expression = _sop_expression(cell.truth_table, cell.inputs)
+        timing = library.timing(cell.name)
+        block_ps = timing.intrinsic / PS
+        slope_ps_per_af = timing.slope * AF / PS
+        lines.append(
+            f"GATE {cell.name} {library.area(cell.name):.2f} "
+            f"O={expression};")
+        for pin in cell.inputs:
+            cap_af = library.pin_capacitance(cell.name, pin) / AF
+            lines.append(
+                f"  PIN {pin} UNKNOWN {cap_af:.2f} {max_load:.2f} "
+                f"{block_ps:.4f} {slope_ps_per_af:.6f} "
+                f"{block_ps:.4f} {slope_ps_per_af:.6f}")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class GenlibGate:
+    """One parsed genlib entry."""
+
+    name: str
+    area: float
+    expression: str
+    pins: List[str] = field(default_factory=list)
+    pin_caps: Dict[str, float] = field(default_factory=dict)
+    block_delay_ps: float = 0.0
+    slope_ps_per_af: float = 0.0
+
+
+_GATE_RE = re.compile(r"^GATE\s+(\S+)\s+([\d.eE+-]+)\s+O=(.*);\s*$")
+_PIN_RE = re.compile(
+    r"^\s*PIN\s+(\S+)\s+\S+\s+([\d.eE+-]+)\s+([\d.eE+-]+)\s+"
+    r"([\d.eE+-]+)\s+([\d.eE+-]+)\s+([\d.eE+-]+)\s+([\d.eE+-]+)\s*$")
+
+
+def parse_genlib(text: str) -> Dict[str, GenlibGate]:
+    """Parse genlib text produced by :func:`write_genlib`."""
+    gates: Dict[str, GenlibGate] = {}
+    current: GenlibGate = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        match = _GATE_RE.match(stripped)
+        if match:
+            current = GenlibGate(match.group(1), float(match.group(2)),
+                                 match.group(3).strip())
+            gates[current.name] = current
+            continue
+        match = _PIN_RE.match(line)
+        if match:
+            if current is None:
+                raise LibraryError("PIN line before any GATE line")
+            pin = match.group(1)
+            current.pins.append(pin)
+            current.pin_caps[pin] = float(match.group(2))
+            current.block_delay_ps = float(match.group(4))
+            current.slope_ps_per_af = float(match.group(5))
+            continue
+        raise LibraryError(f"unparseable genlib line: {line!r}")
+    return gates
+
+
+class _ExpressionParser:
+    """Recursive-descent parser for genlib SOP expressions."""
+
+    def __init__(self, text: str, values: Dict[str, bool]):
+        self.tokens = re.findall(r"[A-Za-z_][A-Za-z0-9_]*|[!*+()]", text)
+        self.pos = 0
+        self.values = values
+
+    def _peek(self) -> str:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else ""
+
+    def _take(self) -> str:
+        token = self._peek()
+        self.pos += 1
+        return token
+
+    def parse(self) -> bool:
+        result = self._or()
+        if self.pos != len(self.tokens):
+            raise LibraryError(
+                f"trailing tokens in expression: {self.tokens[self.pos:]}")
+        return result
+
+    def _or(self) -> bool:
+        value = self._and()
+        while self._peek() == "+":
+            self._take()
+            value = self._and() or value
+        return value
+
+    def _and(self) -> bool:
+        value = self._atom()
+        while self._peek() == "*":
+            self._take()
+            value = self._atom() and value
+        return value
+
+    def _atom(self) -> bool:
+        token = self._take()
+        if token == "!":
+            return not self._atom()
+        if token == "(":
+            value = self._or()
+            if self._take() != ")":
+                raise LibraryError("unbalanced parentheses")
+            return value
+        if token == "CONST0":
+            return False
+        if token == "CONST1":
+            return True
+        if token in self.values:
+            return self.values[token]
+        raise LibraryError(f"unknown identifier {token!r} in expression")
+
+
+def evaluate_expression(expression: str, values: Dict[str, bool]) -> bool:
+    """Evaluate a genlib SOP expression under the given pin values."""
+    return _ExpressionParser(expression, values).parse()

@@ -1,0 +1,199 @@
+"""Gate library: cells + technology = areas, timings, capacitances.
+
+The library is the object the mapper and the power flow consume.  All
+numbers are *derived* from the cell topologies and the technology
+parameters — the reproduction never hand-enters per-cell data, mirroring
+how the paper compiled its genlib libraries from the characterized
+area/delay values of [3].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.devices.calibrate import effective_resistance
+from repro.devices.parameters import TechnologyParams
+from repro.errors import LibraryError
+from repro.gates.cells import Cell
+from repro.gates.topology import series_depth
+from repro.synth.truth import all_permutations, negate
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Linear delay model: delay(load) = intrinsic + slope * load."""
+
+    intrinsic: float  # seconds
+    slope: float      # seconds per farad (an effective resistance)
+
+    def delay(self, load: float) -> float:
+        """Propagation delay driving ``load`` farads."""
+        return self.intrinsic + self.slope * load
+
+
+class Library:
+    """A characterized cell library bound to one technology."""
+
+    def __init__(self, name: str, tech: TechnologyParams, cells: List[Cell]):
+        self.name = name
+        self.tech = tech
+        self._cells: Dict[str, Cell] = {}
+        for cell in cells:
+            if cell.name in self._cells:
+                raise LibraryError(f"duplicate cell {cell.name!r}")
+            self._cells[cell.name] = cell
+        self._r_unit = 0.5 * (effective_resistance(tech, "n")
+                              + effective_resistance(tech, "p"))
+        self._timings: Dict[str, CellTiming] = {}
+        self._match_index: Optional[Dict[int, Dict[int, Tuple[str, Tuple[int, ...]]]]] = None
+
+    # -- container protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    @property
+    def names(self) -> List[str]:
+        """Cell names in insertion order."""
+        return list(self._cells)
+
+    def cell(self, name: str) -> Cell:
+        """Look a cell up by name."""
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise LibraryError(
+                f"library {self.name!r} has no cell {name!r}") from None
+
+    # -- derived electrical characteristics --------------------------------
+
+    @property
+    def unit_resistance(self) -> float:
+        """Effective switching resistance of one on device (ohm)."""
+        return self._r_unit
+
+    def area(self, name: str) -> float:
+        """Normalized layout area of a cell."""
+        return self.cell(name).n_devices * self.tech.area_per_device
+
+    def pin_capacitance(self, name: str, pin: str) -> float:
+        """Input capacitance of one pin (F)."""
+        cell = self.cell(name)
+        return cell.pin_capacitance(pin, self.tech.nmos.c_gate,
+                                    self.tech.nmos.c_pol)
+
+    def pin_capacitances(self, name: str) -> Dict[str, float]:
+        """Input capacitance of every pin (F)."""
+        cell = self.cell(name)
+        return {pin: self.pin_capacitance(name, pin) for pin in cell.inputs}
+
+    def average_pin_capacitance(self, name: str) -> float:
+        """Mean pin capacitance of a cell (F)."""
+        caps = self.pin_capacitances(name)
+        return sum(caps.values()) / len(caps) if caps else 0.0
+
+    def library_average_pin_capacitance(self) -> float:
+        """Mean pin capacitance across every pin of every cell (F)."""
+        total = 0.0
+        count = 0
+        for cell in self:
+            for pin in cell.inputs:
+                total += self.pin_capacitance(cell.name, pin)
+                count += 1
+        return total / count if count else 0.0
+
+    def output_capacitance(self, name: str) -> float:
+        """Intrinsic diffusion capacitance at the cell output (F)."""
+        cell = self.cell(name)
+        return cell.output_intrinsic_devices() * self.tech.nmos.c_sd
+
+    def timing(self, name: str) -> CellTiming:
+        """Linear delay model of a cell.
+
+        The output stage contributes ``R_unit * depth`` of drive
+        resistance; every earlier stage adds one internal RC with a
+        typical next-stage load.  Shared complement inverters sit on
+        only one of the two input phases (the direct phase bypasses
+        them), so their RC is averaged in at half weight.
+        """
+        if name in self._timings:
+            return self._timings[name]
+        cell = self.cell(name)
+        c_gate = self.tech.nmos.c_gate
+        c_sd = self.tech.nmos.c_sd
+        r_drive = self._r_unit * cell.drive_depth()
+        intrinsic = r_drive * self.output_capacitance(name)
+        for stage in cell.all_stages()[:-1]:
+            depth = max(series_depth(stage.pulldown),
+                        series_depth(stage.pullup))
+            internal_load = 2.0 * c_sd + 2.0 * c_gate
+            stage_rc = self._r_unit * depth * internal_load
+            if stage.is_complement_inverter:
+                stage_rc *= 0.5
+            intrinsic += stage_rc
+        timing = CellTiming(intrinsic, r_drive)
+        self._timings[name] = timing
+        return timing
+
+    def delay(self, name: str, load: float) -> float:
+        """Propagation delay of a cell driving ``load`` farads (s)."""
+        return self.timing(name).delay(load)
+
+    # -- cells by function --------------------------------------------------
+
+    def inverter(self) -> Cell:
+        """The smallest cell computing NOT (required by the mapper)."""
+        best: Optional[Cell] = None
+        for cell in self:
+            if cell.n_inputs == 1 and cell.truth_table == 0b01:
+                if best is None or self.area(cell.name) < self.area(best.name):
+                    best = cell
+        if best is None:
+            raise LibraryError(f"library {self.name!r} has no inverter")
+        return best
+
+    def match_index(self) -> Dict[int, Dict[int, Tuple[str, Tuple[int, ...]]]]:
+        """Function-matching index for the technology mapper.
+
+        Returns ``{arity: {truth_table: (cell_name, permutation)}}``
+        where ``permutation[i]`` is the cell pin index that cut leaf
+        ``i`` must feed for the cell to realize the table.  On
+        collisions the smallest-area cell wins.
+        """
+        if self._match_index is not None:
+            return self._match_index
+        index: Dict[int, Dict[int, Tuple[str, Tuple[int, ...]]]] = {}
+        for cell in self:
+            arity = cell.n_inputs
+            table = cell.truth_table
+            bucket = index.setdefault(arity, {})
+            area = self.area(cell.name)
+            for permuted, perm in all_permutations(table, arity):
+                current = bucket.get(permuted)
+                if current is not None:
+                    incumbent_area = self.area(current[0])
+                    if (incumbent_area, current[0]) <= (area, cell.name):
+                        continue
+                # ``permuted`` is the function when cut leaf i feeds cell
+                # pin perm[i].
+                bucket[permuted] = (cell.name, perm)
+        self._match_index = index
+        return index
+
+    def match(self, table: int, arity: int):
+        """Match a cut function directly; returns (cell, perm) or None."""
+        bucket = self.match_index().get(arity)
+        if not bucket:
+            return None
+        return bucket.get(table)
+
+    def match_negated(self, table: int, arity: int):
+        """Match the complement of a cut function."""
+        return self.match(negate(table, arity), arity)

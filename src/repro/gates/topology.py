@@ -1,0 +1,263 @@
+"""Switch-network representation of gate pull-up/pull-down networks.
+
+A network is a series/parallel tree whose leaves are switches:
+
+* :class:`Fet` — a fixed-polarity transistor.  An n-type leaf conducts
+  when its control signal is 1, a p-type leaf when it is 0.  In the
+  ambipolar technology a "fixed-polarity transistor" is an ambipolar
+  device with its polarity gate tied to a rail (Fig. 1b/c).
+* :class:`TransmissionGate` — the paper's XOR primitive (Fig. 2): two
+  ambipolar devices in parallel, biased with opposite polarities, that
+  conduct exactly when ``a XOR b XOR invert`` is 1.  A conducting pair
+  always passes the signal well (one of the two devices is strongly on);
+  a non-conducting pair presents *two* parallel off devices to leakage.
+
+The pull-up network of a static gate is the series/parallel *dual* of
+its pull-down network (:func:`dual`): series and parallel swap, device
+polarities flip, and transmission gates flip their ``invert`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Set, Tuple, Union
+
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A named control signal, optionally complemented.
+
+    ``negated=True`` means the switch is driven by the complement of the
+    named signal; cells generate the complement with a shared internal
+    inverter (see :mod:`repro.gates.cells`).
+    """
+
+    name: str
+    negated: bool = False
+
+    def value(self, assignment: Dict[str, bool]) -> bool:
+        """Logic value of the signal under ``assignment``."""
+        try:
+            raw = assignment[self.name]
+        except KeyError:
+            raise TopologyError(f"no value for signal {self.name!r}") from None
+        return (not raw) if self.negated else bool(raw)
+
+    def __str__(self) -> str:
+        return f"{self.name}'" if self.negated else self.name
+
+
+@dataclass(frozen=True)
+class Fet:
+    """A fixed-polarity transistor switch."""
+
+    control: Signal
+    polarity: str  # 'n' or 'p'
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("n", "p"):
+            raise TopologyError(f"bad polarity {self.polarity!r}")
+
+    def conducts(self, assignment: Dict[str, bool]) -> bool:
+        """Conduction state under the given input assignment."""
+        value = self.control.value(assignment)
+        return value if self.polarity == "n" else not value
+
+    def __str__(self) -> str:
+        return f"{self.polarity}({self.control})"
+
+
+@dataclass(frozen=True)
+class TransmissionGate:
+    """An ambipolar transmission-gate switch (two devices).
+
+    Signals ``a`` and ``b`` drive the polarity and conventional gates of
+    one device; their complements drive the other device.  The pair
+    conducts if and only if ``a XOR b XOR invert`` evaluates to 1.
+    """
+
+    a: Signal
+    b: Signal
+    invert: bool = False
+
+    def conducts(self, assignment: Dict[str, bool]) -> bool:
+        """Conduction state under the given input assignment."""
+        return (self.a.value(assignment) ^ self.b.value(assignment)
+                ^ self.invert)
+
+    def __str__(self) -> str:
+        middle = "xnor" if self.invert else "xor"
+        return f"tg({self.a} {middle} {self.b})"
+
+
+@dataclass(frozen=True)
+class Series:
+    """Series composition: conducts when every child conducts."""
+
+    children: Tuple["Network", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise TopologyError("series node needs at least two children")
+
+    def __str__(self) -> str:
+        return "s(" + " ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Parallel:
+    """Parallel composition: conducts when any child conducts."""
+
+    children: Tuple["Network", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise TopologyError("parallel node needs at least two children")
+
+    def __str__(self) -> str:
+        return "p(" + " ".join(str(c) for c in self.children) + ")"
+
+
+Network = Union[Fet, TransmissionGate, Series, Parallel]
+
+
+# -- constructors -----------------------------------------------------------
+
+def series(*children: Network) -> Network:
+    """Series composition (flattens nested series, passes through 1 child)."""
+    flat = []
+    for child in children:
+        if isinstance(child, Series):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if len(flat) == 1:
+        return flat[0]
+    return Series(tuple(flat))
+
+
+def parallel(*children: Network) -> Network:
+    """Parallel composition (flattens nested parallel, passes through 1)."""
+    flat = []
+    for child in children:
+        if isinstance(child, Parallel):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if len(flat) == 1:
+        return flat[0]
+    return Parallel(tuple(flat))
+
+
+# -- queries ----------------------------------------------------------------
+
+def conduction(network: Network, assignment: Dict[str, bool]) -> bool:
+    """Evaluate whether the network conducts under ``assignment``."""
+    if isinstance(network, (Fet, TransmissionGate)):
+        return network.conducts(assignment)
+    if isinstance(network, Series):
+        return all(conduction(c, assignment) for c in network.children)
+    if isinstance(network, Parallel):
+        return any(conduction(c, assignment) for c in network.children)
+    raise TopologyError(f"unknown network node {type(network).__name__}")
+
+
+def dual(network: Network) -> Network:
+    """Series/parallel dual: the complementary pull-up for a pull-down.
+
+    ``conduction(dual(net), x) == not conduction(net, x)`` for all x.
+    """
+    if isinstance(network, Fet):
+        flipped = "p" if network.polarity == "n" else "n"
+        return Fet(network.control, flipped)
+    if isinstance(network, TransmissionGate):
+        return TransmissionGate(network.a, network.b, not network.invert)
+    if isinstance(network, Series):
+        return Parallel(tuple(dual(c) for c in network.children))
+    if isinstance(network, Parallel):
+        return Series(tuple(dual(c) for c in network.children))
+    raise TopologyError(f"unknown network node {type(network).__name__}")
+
+
+def iter_leaves(network: Network) -> Iterator[Union[Fet, TransmissionGate]]:
+    """Yield every switch leaf of the tree."""
+    if isinstance(network, (Fet, TransmissionGate)):
+        yield network
+    elif isinstance(network, (Series, Parallel)):
+        for child in network.children:
+            yield from iter_leaves(child)
+    else:
+        raise TopologyError(f"unknown network node {type(network).__name__}")
+
+
+def device_count(network: Network) -> int:
+    """Number of transistors in the network (a TG counts as two)."""
+    total = 0
+    for leaf in iter_leaves(network):
+        total += 2 if isinstance(leaf, TransmissionGate) else 1
+    return total
+
+
+def network_support(network: Network) -> Set[str]:
+    """Names of all signals controlling switches in the network."""
+    names: Set[str] = set()
+    for leaf in iter_leaves(network):
+        if isinstance(leaf, Fet):
+            names.add(leaf.control.name)
+        else:
+            names.add(leaf.a.name)
+            names.add(leaf.b.name)
+    return names
+
+
+def series_depth(network: Network) -> int:
+    """Worst-case number of switches in series along any conduction path.
+
+    Used for the first-order drive-resistance estimate: a transmission
+    gate counts as one switch (its conducting device is strongly on).
+    """
+    if isinstance(network, (Fet, TransmissionGate)):
+        return 1
+    if isinstance(network, Series):
+        return sum(series_depth(c) for c in network.children)
+    if isinstance(network, Parallel):
+        return max(series_depth(c) for c in network.children)
+    raise TopologyError(f"unknown network node {type(network).__name__}")
+
+
+def output_adjacency(network: Network) -> int:
+    """Number of devices whose diffusion touches the network's output end.
+
+    First-order intrinsic-capacitance model: for a series chain only the
+    first element touches the output; every parallel branch contributes
+    its own adjacent devices.
+    """
+    if isinstance(network, Fet):
+        return 1
+    if isinstance(network, TransmissionGate):
+        return 2
+    if isinstance(network, Series):
+        return output_adjacency(network.children[0])
+    if isinstance(network, Parallel):
+        return sum(output_adjacency(c) for c in network.children)
+    raise TopologyError(f"unknown network node {type(network).__name__}")
+
+
+def complement_requirements(network: Network) -> Set[str]:
+    """Signal names whose complement the network needs.
+
+    A transmission gate always needs both phases of both of its control
+    signals (the second device is driven by the complements).  A plain
+    transistor needs a complement only when its control is negated.
+    """
+    needed: Set[str] = set()
+    for leaf in iter_leaves(network):
+        if isinstance(leaf, Fet):
+            if leaf.control.negated:
+                needed.add(leaf.control.name)
+        else:
+            needed.add(leaf.a.name)
+            needed.add(leaf.b.name)
+    return needed

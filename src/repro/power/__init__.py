@@ -1,0 +1,70 @@
+"""Power characterization — the paper's primary contribution.
+
+Implements the model of Section 3.1 (``PT = PD + PSC + PS + PG``), the
+off-current pattern classification of Section 3.2, and the two-step
+characterization flow of Fig. 5: a gate topology analyzer maps every
+(cell, input vector) pair to a reduced off-transistor pattern, the small
+set of distinct patterns is quantified once with the circuit simulator,
+and per-cell powers are assembled from the averages.
+"""
+
+from repro.power.model import (
+    PowerParameters,
+    PowerBreakdown,
+    dynamic_power,
+    short_circuit_power,
+    static_power,
+    gate_leakage_power,
+    total_power,
+    energy_delay_product,
+    SHORT_CIRCUIT_FRACTION,
+)
+from repro.power.activity import (
+    activity_factor,
+    switching_probability,
+    output_one_probability,
+)
+from repro.power.patterns import (
+    LeakagePattern,
+    off_pattern,
+    stage_patterns,
+    cell_patterns,
+    library_patterns,
+    count_on_devices,
+)
+from repro.power.pattern_sim import PatternSimulator
+from repro.power.characterize import (
+    CellPowerReport,
+    LibraryPowerReport,
+    characterize_cell,
+    characterize_library,
+)
+from repro.power.compare import LibraryComparison, compare_libraries
+
+__all__ = [
+    "PowerParameters",
+    "PowerBreakdown",
+    "dynamic_power",
+    "short_circuit_power",
+    "static_power",
+    "gate_leakage_power",
+    "total_power",
+    "energy_delay_product",
+    "SHORT_CIRCUIT_FRACTION",
+    "activity_factor",
+    "switching_probability",
+    "output_one_probability",
+    "LeakagePattern",
+    "off_pattern",
+    "stage_patterns",
+    "cell_patterns",
+    "library_patterns",
+    "count_on_devices",
+    "PatternSimulator",
+    "CellPowerReport",
+    "LibraryPowerReport",
+    "characterize_cell",
+    "characterize_library",
+    "LibraryComparison",
+    "compare_libraries",
+]

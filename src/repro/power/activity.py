@@ -1,0 +1,43 @@
+"""Activity factors.
+
+The paper defines the activity factor of a gate as the average number
+of output switches when all input combinations are applied, and quotes
+25 % for 2-input NAND/NOR and 50 % for 2-input XOR.  Those values match
+the *minority output fraction* min(P(out=0), P(out=1)) under uniform
+inputs: a NAND output is 0 for one of four input vectors (25 %), an XOR
+output is 1 for two of four (50 %).  :func:`activity_factor` implements
+that definition; the standard toggle-probability 2*p0*p1 is also
+provided (:func:`switching_probability`) because the circuit-level flow
+measures real toggle rates from simulation.
+"""
+
+from __future__ import annotations
+
+from repro.gates.cells import Cell
+from repro.synth.truth import popcount, table_size
+
+
+def output_one_probability(cell: Cell) -> float:
+    """P(output = 1) under uniform random inputs."""
+    size = table_size(cell.n_inputs)
+    return popcount(cell.truth_table) / size
+
+
+def activity_factor(cell: Cell) -> float:
+    """The paper's activity factor: min(P(out=0), P(out=1)).
+
+    Equals 0.25 for NAND2/NOR2 and 0.5 for XOR2, as quoted in
+    Section 3.
+    """
+    p_one = output_one_probability(cell)
+    return min(p_one, 1.0 - p_one)
+
+
+def switching_probability(cell: Cell) -> float:
+    """Toggle probability between two independent uniform vectors.
+
+    2 * p * (1 - p): the standard temporal-independence estimate used
+    when measuring switching activity from random-pattern simulation.
+    """
+    p_one = output_one_probability(cell)
+    return 2.0 * p_one * (1.0 - p_one)

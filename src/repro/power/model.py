@@ -1,0 +1,109 @@
+"""The total-power model of Section 3.1 (Equations 1-5).
+
+    PT  = PD + PSC + PS + PG                       (1)
+    PD  = alpha * C * f * VDD^2                    (2)
+    PSC = 0.15 * PD                                (3)
+    PS  = Ioff * VDD                               (4)
+    PG  = Ig * VDD                                 (5)
+
+The 0.15 short-circuit fraction is the CMOS result of Nose & Sakurai
+that the paper assumes also holds for CNTFETs (and flags as a
+limitation in Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+
+#: PSC / PD ratio assumed by the paper (Eq. 3).
+SHORT_CIRCUIT_FRACTION = 0.15
+
+
+@dataclass(frozen=True)
+class PowerParameters:
+    """Operating conditions shared by every power evaluation.
+
+    The paper's setting: VDD = 0.9 V, f = 1 GHz, fanout = 3.
+    """
+
+    vdd: float = 0.9
+    frequency: float = 1.0e9
+    fanout: int = 3
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0 or self.frequency <= 0 or self.fanout < 1:
+            raise ExperimentError("invalid power parameters")
+
+
+def dynamic_power(activity: float, capacitance: float,
+                  params: PowerParameters) -> float:
+    """Eq. 2: PD = alpha * C * f * VDD^2 (watts)."""
+    return activity * capacitance * params.frequency * params.vdd**2
+
+
+def short_circuit_power(p_dynamic: float) -> float:
+    """Eq. 3: PSC = 0.15 * PD (watts)."""
+    return SHORT_CIRCUIT_FRACTION * p_dynamic
+
+
+def static_power(i_off: float, params: PowerParameters) -> float:
+    """Eq. 4: PS = Ioff * VDD (watts)."""
+    return i_off * params.vdd
+
+
+def gate_leakage_power(i_gate: float, params: PowerParameters) -> float:
+    """Eq. 5: PG = Ig * VDD (watts)."""
+    return i_gate * params.vdd
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """The four components of Eq. 1, in watts."""
+
+    dynamic: float
+    short_circuit: float
+    static: float
+    gate_leak: float
+
+    @property
+    def total(self) -> float:
+        """PT = PD + PSC + PS + PG."""
+        return self.dynamic + self.short_circuit + self.static + self.gate_leak
+
+    def __add__(self, other: "PowerBreakdown") -> "PowerBreakdown":
+        return PowerBreakdown(
+            self.dynamic + other.dynamic,
+            self.short_circuit + other.short_circuit,
+            self.static + other.static,
+            self.gate_leak + other.gate_leak,
+        )
+
+    def scaled(self, factor: float) -> "PowerBreakdown":
+        """Component-wise scaling (used for averages)."""
+        return PowerBreakdown(
+            self.dynamic * factor,
+            self.short_circuit * factor,
+            self.static * factor,
+            self.gate_leak * factor,
+        )
+
+
+ZERO_POWER = PowerBreakdown(0.0, 0.0, 0.0, 0.0)
+
+
+def total_power(breakdown: PowerBreakdown) -> float:
+    """Eq. 1 as a function (watts)."""
+    return breakdown.total
+
+
+def energy_delay_product(p_total: float, delay: float,
+                         params: PowerParameters) -> float:
+    """EDP as reported in Table 1: (PT / f) * delay, in J*s.
+
+    The paper's numbers are exactly consistent with energy-per-cycle
+    (PT divided by the 1 GHz operating frequency) times the critical
+    delay; e.g. C2670/CMOS: 25.42 uW / 1 GHz * 320 ps = 8.13e-24 J*s.
+    """
+    return (p_total / params.frequency) * delay

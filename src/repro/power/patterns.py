@@ -1,0 +1,216 @@
+"""Off-current pattern classification (Section 3.2, Fig. 4).
+
+For a static gate and an input vector, exactly one of the two switch
+networks of each stage conducts; the other one separates the rails and
+leaks.  The *pattern* of that leaking network is obtained by:
+
+1. replacing every conducting switch with a short circuit,
+2. removing off-switches that are short-circuited by parallel
+   conducting paths,
+3. canonicalizing the remaining series/parallel tree of off devices
+   (n- and p-type off devices of equal size are assumed to leak
+   identically, so device type is erased — the paper's Section 3.2
+   assumption).
+
+Every (cell, input vector) then maps to a small multiset of patterns
+(one per stage); the whole 46-cell library collapses to a few dozen
+distinct patterns (the paper found 26), each of which is quantified by
+a single circuit simulation in :mod:`repro.power.pattern_sim`.
+
+A non-conducting transmission gate contributes *two* parallel off
+devices — this is why the paper notes TG leakage is twice that of a
+single transistor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import TopologyError
+from repro.gates.cells import Cell
+from repro.gates.library import Library
+from repro.gates.topology import (
+    Fet,
+    Network,
+    Parallel,
+    Series,
+    TransmissionGate,
+    conduction,
+)
+
+# Pattern trees: ("d",) a single off device; ("s", children...) series;
+# ("p", children...) parallel.  Children are canonically sorted.
+PatternTree = Tuple
+
+DEVICE: PatternTree = ("d",)
+
+#: Sentinel for a sub-network that conducts (reduced away).
+_CONDUCTING = ("on",)
+
+
+@dataclass(frozen=True)
+class LeakagePattern:
+    """A canonical reduced off-network."""
+
+    tree: PatternTree
+
+    @property
+    def key(self) -> str:
+        """Stable canonical string key (e.g. ``"s(d,p(d,d))"``)."""
+        return _render(self.tree)
+
+    @property
+    def n_devices(self) -> int:
+        """Number of off devices in the pattern."""
+        return _count(self.tree)
+
+    def __str__(self) -> str:
+        return self.key
+
+
+def _render(tree: PatternTree) -> str:
+    if tree == DEVICE:
+        return "d"
+    tag = tree[0]
+    return f"{tag}({','.join(_render(c) for c in tree[1:])})"
+
+
+def _count(tree: PatternTree) -> int:
+    if tree == DEVICE:
+        return 1
+    return sum(_count(c) for c in tree[1:])
+
+
+def _canonical(tag: str, children: Sequence[PatternTree]) -> PatternTree:
+    """Build a canonical node: flatten same-tag children and sort."""
+    flat: List[PatternTree] = []
+    for child in children:
+        if child != DEVICE and child[0] == tag:
+            flat.extend(child[1:])
+        else:
+            flat.append(child)
+    if len(flat) == 1:
+        return flat[0]
+    flat.sort(key=_render)
+    return (tag, *flat)
+
+
+def _reduce(network: Network, assignment: Dict[str, bool]) -> PatternTree:
+    """Reduce a switch network to its leakage pattern (or _CONDUCTING)."""
+    if isinstance(network, Fet):
+        return _CONDUCTING if network.conducts(assignment) else DEVICE
+    if isinstance(network, TransmissionGate):
+        if network.conducts(assignment):
+            return _CONDUCTING
+        # Both devices of the pair are off, in parallel.
+        return ("p", DEVICE, DEVICE)
+    if isinstance(network, Series):
+        children: List[PatternTree] = []
+        for child in network.children:
+            reduced = _reduce(child, assignment)
+            if reduced == _CONDUCTING:
+                continue  # shorted: drop from the series chain
+            children.append(reduced)
+        if not children:
+            return _CONDUCTING
+        if len(children) == 1:
+            return children[0]
+        return _canonical("s", children)
+    if isinstance(network, Parallel):
+        children = []
+        for child in network.children:
+            reduced = _reduce(child, assignment)
+            if reduced == _CONDUCTING:
+                # A conducting parallel branch shorts the whole node.
+                return _CONDUCTING
+            children.append(reduced)
+        if len(children) == 1:
+            return children[0]
+        return _canonical("p", children)
+    raise TopologyError(f"unknown network node {type(network).__name__}")
+
+
+def off_pattern(network: Network,
+                assignment: Dict[str, bool]) -> LeakagePattern:
+    """Leakage pattern of a *non-conducting* network.
+
+    Raises :class:`TopologyError` if the network actually conducts
+    under ``assignment`` (then it has no off pattern).
+    """
+    if conduction(network, assignment):
+        raise TopologyError("network conducts; it has no off pattern")
+    reduced = _reduce(network, assignment)
+    if reduced == _CONDUCTING:
+        raise TopologyError("reduction produced a conducting pattern")
+    return LeakagePattern(reduced)
+
+
+def stage_patterns(cell: Cell,
+                   values: Sequence[bool]) -> List[LeakagePattern]:
+    """One leakage pattern per stage for the given input vector.
+
+    For each stage exactly one of {pull-up, pull-down} is off; its
+    reduced pattern describes the stage's subthreshold path.
+    """
+    assignment = cell.stage_input_values(values)
+    patterns: List[LeakagePattern] = []
+    for stage in cell.all_stages():
+        if conduction(stage.pulldown, assignment):
+            off_network = stage.pullup
+        else:
+            off_network = stage.pulldown
+        patterns.append(off_pattern(off_network, assignment))
+    return patterns
+
+
+def count_on_devices(cell: Cell, values: Sequence[bool]) -> int:
+    """Number of fully-on devices across all stages (for gate leakage).
+
+    Every conducting switch has the full supply across its gate stack
+    and tunnels; a conducting transmission gate counts once (one of its
+    two devices is strongly on).  This mirrors the paper's observation
+    that gate leakage "occurs under the same circumstances as Ioff" and
+    can reuse the pattern machinery.
+    """
+    assignment = cell.stage_input_values(values)
+    total = 0
+    for stage in cell.all_stages():
+        for network in (stage.pulldown, stage.pullup):
+            for leaf in _iter_leaves(network):
+                if leaf.conducts(assignment):
+                    total += 1
+    return total
+
+
+def _iter_leaves(network: Network):
+    from repro.gates.topology import iter_leaves
+    return iter_leaves(network)
+
+
+def cell_patterns(cell: Cell) -> Dict[Tuple[bool, ...], List[LeakagePattern]]:
+    """Patterns of every input vector of a cell."""
+    result: Dict[Tuple[bool, ...], List[LeakagePattern]] = {}
+    for minterm in range(1 << cell.n_inputs):
+        values = tuple(bool((minterm >> i) & 1) for i in range(cell.n_inputs))
+        result[values] = stage_patterns(cell, values)
+    return result
+
+
+def library_patterns(library_or_cells) -> Set[str]:
+    """All distinct pattern keys across a library (or iterable of cells).
+
+    The paper reports 26 distinct Ioff patterns for the 46-cell
+    ambipolar library.
+    """
+    cells: Iterable[Cell]
+    if isinstance(library_or_cells, Library):
+        cells = iter(library_or_cells)
+    else:
+        cells = library_or_cells
+    keys: Set[str] = set()
+    for cell in cells:
+        for patterns in cell_patterns(cell).values():
+            for pattern in patterns:
+                keys.add(pattern.key)
+    return keys

@@ -1,0 +1,109 @@
+"""Per-input-vector leakage reports (Section 3.3's intermediate data).
+
+The flow of Fig. 5 produces, "for every logic gate ... a vector of Ioff
+and Ig values for every input vector, which were averaged".  This
+module materializes that intermediate artifact so users can inspect the
+vector dependence directly (which vectors are leaky, which benefit from
+the stack effect) instead of only the averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.gates.cells import Cell
+from repro.gates.library import Library
+from repro.power.pattern_sim import PatternSimulator
+from repro.power.patterns import count_on_devices, stage_patterns
+from repro.units import to_nanoamperes
+
+
+@dataclass(frozen=True)
+class VectorLeakage:
+    """Leakage of one cell under one input vector."""
+
+    vector: tuple            # booleans, pin order
+    pattern_keys: tuple      # one canonical pattern per stage
+    i_off: float             # A
+    i_gate: float            # A
+
+    @property
+    def vector_string(self) -> str:
+        return "[" + " ".join(str(int(v)) for v in self.vector) + "]"
+
+
+@dataclass(frozen=True)
+class CellLeakageReport:
+    """The full Ioff/Ig vector of one cell (Fig. 5's output)."""
+
+    cell: str
+    rows: tuple  # of VectorLeakage
+
+    @property
+    def mean_i_off(self) -> float:
+        return sum(r.i_off for r in self.rows) / len(self.rows)
+
+    @property
+    def mean_i_gate(self) -> float:
+        return sum(r.i_gate for r in self.rows) / len(self.rows)
+
+    @property
+    def worst_vector(self) -> VectorLeakage:
+        """The leakiest input vector."""
+        return max(self.rows, key=lambda r: r.i_off)
+
+    @property
+    def best_vector(self) -> VectorLeakage:
+        """The least leaky input vector (deepest stacks)."""
+        return min(self.rows, key=lambda r: r.i_off)
+
+    @property
+    def spread(self) -> float:
+        """Worst/best Ioff ratio — the vector dependence the pattern
+        method exists to capture (Fig. 4)."""
+        best = self.best_vector.i_off
+        return self.worst_vector.i_off / best if best > 0 else float("inf")
+
+    def render(self) -> str:
+        lines = [f"== {self.cell}: per-vector leakage =="]
+        lines.append(f"{'vector':>14s} {'Ioff (nA)':>10s} {'Ig (nA)':>9s} "
+                     f" patterns")
+        for row in self.rows:
+            lines.append(
+                f"{row.vector_string:>14s} "
+                f"{to_nanoamperes(row.i_off):10.4f} "
+                f"{to_nanoamperes(row.i_gate):9.5f}  "
+                + " + ".join(row.pattern_keys))
+        lines.append(
+            f"mean Ioff {to_nanoamperes(self.mean_i_off):.4f} nA, "
+            f"worst/best spread {self.spread:.1f}x")
+        return "\n".join(lines)
+
+
+def cell_leakage_report(cell: Cell, library: Library,
+                        simulator: PatternSimulator = None
+                        ) -> CellLeakageReport:
+    """Compute the Ioff/Ig vector of one cell."""
+    if simulator is None:
+        simulator = PatternSimulator(library.tech)
+    ig_unit = library.tech.nmos.ig_on
+    rows: List[VectorLeakage] = []
+    for minterm in range(1 << cell.n_inputs):
+        vector = tuple(bool((minterm >> i) & 1)
+                       for i in range(cell.n_inputs))
+        patterns = stage_patterns(cell, vector)
+        rows.append(VectorLeakage(
+            vector=vector,
+            pattern_keys=tuple(p.key for p in patterns),
+            i_off=sum(simulator.off_current(p) for p in patterns),
+            i_gate=count_on_devices(cell, vector) * ig_unit,
+        ))
+    return CellLeakageReport(cell=cell.name, rows=tuple(rows))
+
+
+def library_leakage_reports(library: Library) -> List[CellLeakageReport]:
+    """Per-vector reports for every cell, sharing one pattern cache."""
+    simulator = PatternSimulator(library.tech)
+    return [cell_leakage_report(cell, library, simulator)
+            for cell in library]

@@ -1,0 +1,19 @@
+"""Gate-level simulation and circuit power estimation.
+
+The paper estimates circuit power by applying 640 K random patterns to
+the mapped netlists.  :mod:`repro.sim.bitsim` performs that simulation
+64 patterns at a time on numpy uint64 words; :mod:`repro.sim.estimator`
+turns the measured toggle rates and input-state statistics into the
+four power components of Eq. 1, using the same pattern-classified
+leakage data as the library characterization.
+"""
+
+from repro.sim.bitsim import BitParallelSimulator, SimulationStats
+from repro.sim.estimator import CircuitPowerReport, estimate_circuit_power
+
+__all__ = [
+    "BitParallelSimulator",
+    "SimulationStats",
+    "CircuitPowerReport",
+    "estimate_circuit_power",
+]

@@ -1,0 +1,167 @@
+"""Circuit-level power estimation (the Table 1 methodology).
+
+For a mapped netlist the estimator combines:
+
+* measured per-net toggle rates (640 K random patterns by default) with
+  per-net switched capacitance for PD (Eq. 2) and PSC (Eq. 3);
+* the pattern-classified per-cell leakage tables, weighted by the
+  input-state frequencies observed in simulation, for PS (Eq. 4) and
+  PG (Eq. 5);
+* static timing for the critical delay, and the EDP definition used by
+  Table 1: (PT / f) * delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.gates.library import Library
+from repro.power.model import (
+    PowerParameters,
+    energy_delay_product,
+    SHORT_CIRCUIT_FRACTION,
+)
+from repro.power.pattern_sim import PatternSimulator
+from repro.power.patterns import count_on_devices, stage_patterns
+from repro.sim.bitsim import BitParallelSimulator, SimulationStats
+from repro.synth.netlist import MappedNetlist, static_timing
+
+
+@dataclass(frozen=True)
+class CircuitPowerReport:
+    """Table 1 row data for one circuit / one library."""
+
+    circuit: str
+    library: str
+    gate_count: int
+    delay: float           # s
+    p_dynamic: float       # W
+    p_short_circuit: float # W
+    p_static: float        # W
+    p_gate_leak: float     # W
+    n_patterns: int
+
+    @property
+    def p_total(self) -> float:
+        """PT = PD + PSC + PS + PG (Eq. 1)."""
+        return (self.p_dynamic + self.p_short_circuit
+                + self.p_static + self.p_gate_leak)
+
+    def edp(self, params: PowerParameters) -> float:
+        """Energy-delay product, J*s (Table 1 definition)."""
+        return energy_delay_product(self.p_total, self.delay, params)
+
+
+class _LeakageTables:
+    """Per-cell leakage lookup tables for one library.
+
+    ``i_off[cell][v]`` is the summed pattern current for input vector v;
+    ``i_gate[cell][v]`` the gate-tunneling current.  Built once per
+    library via the pattern simulator (Fig. 5 flow) and reused across
+    circuits.
+    """
+
+    _cache: Dict[str, "_LeakageTables"] = {}
+
+    def __init__(self, library: Library):
+        simulator = PatternSimulator(library.tech)
+        ig_unit = library.tech.nmos.ig_on
+        self.i_off: Dict[str, np.ndarray] = {}
+        self.i_gate: Dict[str, np.ndarray] = {}
+        for cell in library:
+            k = cell.n_inputs
+            off = np.zeros(1 << k)
+            gate = np.zeros(1 << k)
+            for vector in range(1 << k):
+                values = tuple(bool((vector >> i) & 1) for i in range(k))
+                off[vector] = sum(simulator.off_current(p)
+                                  for p in stage_patterns(cell, values))
+                gate[vector] = count_on_devices(cell, values) * ig_unit
+            self.i_off[cell.name] = off
+            self.i_gate[cell.name] = gate
+
+    @classmethod
+    def for_library(cls, library: Library) -> "_LeakageTables":
+        key = f"{library.name}|{library.tech.name}|{id(library)}"
+        if key not in cls._cache:
+            cls._cache[key] = cls(library)
+        return cls._cache[key]
+
+
+def _switched_capacitance(netlist: MappedNetlist) -> Dict[str, float]:
+    """Full switched capacitance per gate-output net.
+
+    Fanout pin capacitance (plus the PO external load) from
+    :meth:`MappedNetlist.net_loads`, plus the driver's intrinsic drain
+    capacitance.
+    """
+    loads = netlist.net_loads()
+    library = netlist.library
+    caps: Dict[str, float] = {}
+    for gate in netlist.gates:
+        caps[gate.output] = (loads[gate.output]
+                             + library.output_capacitance(gate.cell))
+    return caps
+
+
+def estimate_circuit_power(netlist: MappedNetlist,
+                           params: Optional[PowerParameters] = None,
+                           n_patterns: int = 640_000,
+                           seed: int = 2010,
+                           state_patterns: Optional[int] = None,
+                           stats: Optional[SimulationStats] = None
+                           ) -> CircuitPowerReport:
+    """Estimate the power of a mapped circuit (one Table 1 cell).
+
+    Args:
+        netlist: the mapped circuit.
+        params: operating conditions (defaults to the paper's).
+        n_patterns: random patterns for activity (paper: 640 K).
+        seed: RNG seed.
+        state_patterns: patterns for the leakage state histogram
+            (defaults to 64 K; leakage averages converge much faster
+            than activity).
+        stats: pre-computed simulation statistics (skips simulation).
+    """
+    library = netlist.library
+    if params is None:
+        params = PowerParameters(vdd=library.tech.vdd)
+    if stats is None:
+        simulator = BitParallelSimulator(netlist)
+        stats = simulator.run(n_patterns, seed, state_patterns)
+
+    caps = _switched_capacitance(netlist)
+    p_dynamic = 0.0
+    for gate in netlist.gates:
+        alpha = stats.toggle_rate(gate.output)
+        p_dynamic += (alpha * caps[gate.output]
+                      * params.frequency * params.vdd**2)
+    p_short = SHORT_CIRCUIT_FRACTION * p_dynamic
+
+    tables = _LeakageTables.for_library(library)
+    total_i_off = 0.0
+    total_i_gate = 0.0
+    denominator = max(1, stats.n_state_patterns)
+    for gate in netlist.gates:
+        counts = stats.state_counts[gate.name]
+        weights = counts / denominator
+        total_i_off += float(weights @ tables.i_off[gate.cell])
+        total_i_gate += float(weights @ tables.i_gate[gate.cell])
+    p_static = total_i_off * params.vdd
+    p_gate = total_i_gate * params.vdd
+
+    delay, _ = static_timing(netlist)
+    return CircuitPowerReport(
+        circuit=netlist.name,
+        library=library.name,
+        gate_count=netlist.gate_count,
+        delay=delay,
+        p_dynamic=p_dynamic,
+        p_short_circuit=p_short,
+        p_static=p_static,
+        p_gate_leak=p_gate,
+        n_patterns=stats.n_patterns,
+    )

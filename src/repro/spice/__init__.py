@@ -1,0 +1,53 @@
+"""A small SPICE-like circuit simulator.
+
+This is the reproduction's substitute for HSPICE: a modified-nodal-
+analysis (MNA) engine with a Newton-Raphson DC operating-point solver
+(gmin and source stepping for robustness) and a trapezoidal transient
+integrator.  It supports resistors, capacitors, independent sources,
+unipolar MOSFET/CNTFET devices using the compact model of
+:mod:`repro.devices.model`, and ambipolar CNTFETs via the behavioural
+parallel-pair model of :mod:`repro.devices.ambipolar`.
+
+The paper's flow (Fig. 5) only needs DC leakage of small off-transistor
+stacks plus a handful of demonstration transients (Fig. 2), so the
+engine favours robustness and clarity over speed.
+"""
+
+from repro.spice.netlist import (
+    Circuit,
+    GROUND,
+    Resistor,
+    Capacitor,
+    VoltageSource,
+    CurrentSource,
+    Mosfet,
+    AmbipolarFet,
+)
+from repro.spice.dc import DCSolution, operating_point, dc_sweep
+from repro.spice.transient import TransientResult, transient
+from repro.spice.analysis import (
+    pulse,
+    piecewise_linear,
+    crossing_time,
+    measure_swing,
+)
+
+__all__ = [
+    "Circuit",
+    "GROUND",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "Mosfet",
+    "AmbipolarFet",
+    "DCSolution",
+    "operating_point",
+    "dc_sweep",
+    "TransientResult",
+    "transient",
+    "pulse",
+    "piecewise_linear",
+    "crossing_time",
+    "measure_swing",
+]

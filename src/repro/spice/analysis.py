@@ -1,0 +1,89 @@
+"""Source waveform builders and measurement helpers."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def pulse(v_initial: float, v_pulse: float, delay: float, rise: float,
+          width: float, fall: float = None,
+          period: float = None) -> Callable[[float], float]:
+    """SPICE-style pulse source.
+
+    Args:
+        v_initial: level before the pulse.
+        v_pulse: level during the pulse.
+        delay: time of the rising edge start.
+        rise: rise time.
+        width: time spent at ``v_pulse``.
+        fall: fall time (defaults to ``rise``).
+        period: repetition period (defaults to no repetition).
+    """
+    fall_time = rise if fall is None else fall
+
+    def waveform(t: float) -> float:
+        if period is not None and period > 0.0 and t >= delay:
+            t = delay + (t - delay) % period
+        if t < delay:
+            return v_initial
+        t -= delay
+        if t < rise:
+            return v_initial + (v_pulse - v_initial) * t / rise
+        t -= rise
+        if t < width:
+            return v_pulse
+        t -= width
+        if t < fall_time:
+            return v_pulse + (v_initial - v_pulse) * t / fall_time
+        return v_initial
+
+    return waveform
+
+
+def piecewise_linear(
+        points: Sequence[Tuple[float, float]]) -> Callable[[float], float]:
+    """Piecewise-linear source through the given (time, value) points."""
+    if not points:
+        raise SimulationError("piecewise_linear needs at least one point")
+    pts = sorted(points)
+    times = np.array([p[0] for p in pts])
+    values = np.array([p[1] for p in pts])
+
+    def waveform(t: float) -> float:
+        return float(np.interp(t, times, values))
+
+    return waveform
+
+
+def crossing_time(times: np.ndarray, values: np.ndarray, threshold: float,
+                  rising: bool = True, start: float = 0.0) -> float:
+    """First time ``values`` crosses ``threshold`` in the given direction.
+
+    Linearly interpolates between samples.  Raises
+    :class:`SimulationError` if no crossing is found.
+    """
+    times = np.asarray(times)
+    values = np.asarray(values)
+    for k in range(1, len(times)):
+        if times[k] < start:
+            continue
+        before, after = values[k - 1], values[k]
+        crosses_up = rising and before < threshold <= after
+        crosses_down = (not rising) and before > threshold >= after
+        if crosses_up or crosses_down:
+            span = after - before
+            frac = 0.5 if span == 0 else (threshold - before) / span
+            return float(times[k - 1] + frac * (times[k] - times[k - 1]))
+    direction = "rising" if rising else "falling"
+    raise SimulationError(
+        f"no {direction} crossing of {threshold} after t={start}")
+
+
+def measure_swing(values: np.ndarray) -> float:
+    """Peak-to-peak swing of a waveform."""
+    values = np.asarray(values)
+    return float(values.max() - values.min())

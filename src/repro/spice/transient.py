@@ -1,0 +1,159 @@
+"""Fixed-step trapezoidal transient analysis.
+
+Capacitors are replaced by their trapezoidal companion model at each
+timestep::
+
+    i_C(t+h) = (2C/h) * (v(t+h) - v(t)) - i_C(t)
+
+which stamps as a conductance ``2C/h`` in parallel with a history
+current source.  Every timestep is solved with the same Newton iteration
+as the DC analysis, warm-started from the previous solution, so the
+integrator inherits the DC solver's robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError, SimulationError
+from repro.spice.dc import _System, _newton, ABSTOL, MAX_STEP, MAX_ITERATIONS
+from repro.spice.netlist import Capacitor, Circuit, GROUND, canonical_node
+
+
+@dataclass
+class TransientResult:
+    """Waveforms from a transient run."""
+
+    times: np.ndarray
+    node_voltages: Dict[str, np.ndarray]
+    branch_currents: Dict[str, np.ndarray]
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Waveform of ``node`` (ground returns zeros)."""
+        node = canonical_node(node)
+        if node == GROUND:
+            return np.zeros_like(self.times)
+        try:
+            return self.node_voltages[node]
+        except KeyError:
+            raise SimulationError(f"unknown node {node!r}") from None
+
+    def final_voltage(self, node: str) -> float:
+        """Last sample of the node's waveform."""
+        return float(self.voltage(node)[-1])
+
+
+class _TransientSystem(_System):
+    """MNA system with capacitor companion stamps added."""
+
+    def __init__(self, circuit: Circuit, step: float):
+        super().__init__(circuit)
+        self.step = step
+        self.capacitors = [e for e in circuit.elements
+                           if isinstance(e, Capacitor)]
+        # History: previous voltage across and current through each cap.
+        self.cap_voltage = np.zeros(len(self.capacitors))
+        self.cap_current = np.zeros(len(self.capacitors))
+
+    def residual_and_jacobian(self, x, gmin, source_scale, time=0.0,
+                              want_jacobian=True):
+        f, jac = super().residual_and_jacobian(
+            x, gmin, source_scale, time, want_jacobian)
+        two_over_h = 2.0 / self.step
+        for k, cap in enumerate(self.capacitors):
+            a, b = self.index(cap.node_a), self.index(cap.node_b)
+            va = 0.0 if a < 0 else x[a]
+            vb = 0.0 if b < 0 else x[b]
+            g_eq = two_over_h * cap.capacitance
+            i_eq = g_eq * (va - vb - self.cap_voltage[k]) - self.cap_current[k]
+            if a >= 0:
+                f[a] += i_eq
+                if jac is not None:
+                    jac[a, a] += g_eq
+                    if b >= 0:
+                        jac[a, b] -= g_eq
+            if b >= 0:
+                f[b] -= i_eq
+                if jac is not None:
+                    jac[b, b] += g_eq
+                    if a >= 0:
+                        jac[b, a] -= g_eq
+        return f, jac
+
+    def commit_step(self, x) -> None:
+        """Record capacitor history after a converged timestep."""
+        two_over_h = 2.0 / self.step
+        for k, cap in enumerate(self.capacitors):
+            a, b = self.index(cap.node_a), self.index(cap.node_b)
+            va = 0.0 if a < 0 else x[a]
+            vb = 0.0 if b < 0 else x[b]
+            v_new = va - vb
+            g_eq = two_over_h * cap.capacitance
+            self.cap_current[k] = (g_eq * (v_new - self.cap_voltage[k])
+                                   - self.cap_current[k])
+            self.cap_voltage[k] = v_new
+
+
+def transient(circuit: Circuit, stop_time: float, step: float,
+              initial: Optional[Dict[str, float]] = None) -> TransientResult:
+    """Run a transient analysis from 0 to ``stop_time``.
+
+    Args:
+        circuit: the netlist (time-dependent sources are callables of t).
+        stop_time: end of the simulation window (s).
+        step: fixed integration timestep (s).
+        initial: optional initial node voltages.  If omitted, the DC
+            operating point at t = 0 is used.
+
+    Returns:
+        A :class:`TransientResult` with one sample per timestep
+        (including t = 0).
+    """
+    if step <= 0.0 or stop_time <= 0.0:
+        raise SimulationError("step and stop_time must be positive")
+    system = _TransientSystem(circuit, step)
+
+    # Initial condition: user-provided or DC at t=0.
+    x = np.zeros(system.n_vars)
+    if initial is None:
+        from repro.spice.dc import operating_point
+        dc = operating_point(circuit, time=0.0)
+        for node, idx in system.node_index.items():
+            x[idx] = dc.node_voltages[node]
+        for name, row in system.source_row.items():
+            x[row] = dc.branch_currents[name]
+    else:
+        for node, voltage in initial.items():
+            idx = system.index(node)
+            if idx >= 0:
+                x[idx] = voltage
+    # Seed capacitor history with the initial voltages.
+    for k, cap in enumerate(system.capacitors):
+        a, b = system.index(cap.node_a), system.index(cap.node_b)
+        va = 0.0 if a < 0 else x[a]
+        vb = 0.0 if b < 0 else x[b]
+        system.cap_voltage[k] = va - vb
+        system.cap_current[k] = 0.0
+
+    n_steps = int(round(stop_time / step))
+    times = np.linspace(0.0, n_steps * step, n_steps + 1)
+    history = np.zeros((n_steps + 1, system.n_vars))
+    history[0] = x
+    for k in range(1, n_steps + 1):
+        t = times[k]
+        try:
+            x, _, _ = _newton(system, x, 0.0, 1.0, t)
+        except ConvergenceError:
+            # retry from a gmin-relaxed solve before giving up
+            x, _, _ = _newton(system, x, 1e-9, 1.0, t)
+        system.commit_step(x)
+        history[k] = x
+
+    node_waves = {node: history[:, idx]
+                  for node, idx in system.node_index.items()}
+    branch_waves = {name: history[:, row]
+                    for name, row in system.source_row.items()}
+    return TransientResult(times, node_waves, branch_waves)

@@ -1,0 +1,72 @@
+"""Delay-oriented AND-tree balancing (ABC's ``balance``).
+
+Maximal conjunction trees (chains of AND nodes reached through
+non-complemented edges) are collected and rebuilt as balanced trees,
+pairing the two shallowest operands first (Huffman style).  Structural
+hashing in the target graph deduplicates shared subtrees.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from repro.synth.aig import Aig, lit_node, lit_phase, lit_not
+
+
+def _collect_conjuncts(aig: Aig, node: int) -> List[int]:
+    """Leaves of the maximal AND tree rooted at ``node``.
+
+    Traversal follows non-complemented fanin edges into AND nodes; a
+    complemented edge or a PI stops the expansion.  Returns old-graph
+    literals.
+    """
+    leaves: List[int] = []
+    stack = list(aig.fanins(node))
+    while stack:
+        literal = stack.pop()
+        child = lit_node(literal)
+        if lit_phase(literal) == 0 and aig.is_and(child):
+            stack.extend(aig.fanins(child))
+        else:
+            leaves.append(literal)
+    return leaves
+
+
+def balance(aig: Aig) -> Aig:
+    """Return a functionally equivalent AIG with balanced AND trees."""
+    new = Aig(aig.name)
+    mapping: Dict[int, int] = {0: 0}
+    for node, name in zip(aig.pis, aig.pi_names):
+        mapping[node] = new.add_pi(name)
+    level: Dict[int, int] = {}
+
+    def new_level(literal: int) -> int:
+        return level.get(lit_node(literal), 0)
+
+    for node in aig.and_nodes():
+        leaves = _collect_conjuncts(aig, node)
+        new_literals = []
+        for leaf in leaves:
+            mapped = mapping[lit_node(leaf)] ^ lit_phase(leaf)
+            new_literals.append(mapped)
+        # Huffman pairing on current levels.
+        heap = [(new_level(literal), index, literal)
+                for index, literal in enumerate(new_literals)]
+        heapq.heapify(heap)
+        counter = len(heap)
+        while len(heap) > 1:
+            l0, _, lit0 = heapq.heappop(heap)
+            l1, _, lit1 = heapq.heappop(heap)
+            combined = new.and_(lit0, lit1)
+            combined_level = max(l0, l1) + 1
+            node_id = lit_node(combined)
+            if node_id not in level or level[node_id] > combined_level:
+                level[node_id] = combined_level
+            heapq.heappush(heap, (level.get(node_id, combined_level),
+                                  counter, combined))
+            counter += 1
+        mapping[node] = heap[0][2] if heap else 1  # empty => constant 1
+    for po, name in zip(aig.pos, aig.po_names):
+        new.add_po(mapping[lit_node(po)] ^ lit_phase(po), name)
+    return new.compact()

@@ -1,0 +1,106 @@
+"""k-feasible priority cut enumeration with cut truth tables.
+
+Every AIG node gets a small set of cuts (subsets of nodes whose cones
+cover it).  Cut functions are computed incrementally during merging by
+lifting the child tables onto the merged leaf set, so no cone traversal
+is needed.  The trivial cut {node} is always kept (it seeds merges at
+fanout boundaries); matching passes skip it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.synth.aig import Aig, lit_node, lit_phase
+from repro.synth.truth import expand, full_mask
+
+
+@dataclass(frozen=True)
+class Cut:
+    """A cut: sorted leaf nodes plus the root function over them."""
+
+    leaves: Tuple[int, ...]
+    table: int
+
+    @property
+    def size(self) -> int:
+        return len(self.leaves)
+
+    def is_trivial_for(self, node: int) -> bool:
+        """True if this is the unit cut {node}."""
+        return self.leaves == (node,)
+
+
+def _merge_leaves(a: Tuple[int, ...], b: Tuple[int, ...],
+                  max_size: int) -> Tuple[int, ...]:
+    """Sorted union of two leaf tuples, or () if it exceeds ``max_size``."""
+    merged: List[int] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if len(merged) > max_size:
+            return ()
+        if a[i] == b[j]:
+            merged.append(a[i])
+            i += 1
+            j += 1
+        elif a[i] < b[j]:
+            merged.append(a[i])
+            i += 1
+        else:
+            merged.append(b[j])
+            j += 1
+    merged.extend(a[i:])
+    merged.extend(b[j:])
+    if len(merged) > max_size:
+        return ()
+    return tuple(merged)
+
+
+def _lift(cut: Cut, merged: Tuple[int, ...], phase: int) -> int:
+    """Express a child cut's function over the merged leaf set."""
+    positions = [merged.index(leaf) for leaf in cut.leaves]
+    table = expand(cut.table, positions, len(merged))
+    if phase:
+        table ^= full_mask(len(merged))
+    return table
+
+
+def enumerate_cuts(aig: Aig, cut_size: int = 5,
+                   cut_limit: int = 8) -> Dict[int, List[Cut]]:
+    """Enumerate priority cuts for every node of the AIG.
+
+    Returns a dict from node id to its cut list; the trivial cut is
+    always the first entry.  Cuts are ranked smallest-first, which
+    favours cheap matches and keeps merging tractable.
+    """
+    cuts: Dict[int, List[Cut]] = {}
+    for pi in aig.pis:
+        cuts[pi] = [Cut((pi,), 0b10)]
+    for node in aig.and_nodes():
+        f0, f1 = aig.fanins(node)
+        n0, n1 = lit_node(f0), lit_node(f1)
+        p0, p1 = lit_phase(f0), lit_phase(f1)
+        candidates: Dict[Tuple[int, ...], Cut] = {}
+        for cut0 in cuts.get(n0, []):
+            for cut1 in cuts.get(n1, []):
+                merged = _merge_leaves(cut0.leaves, cut1.leaves, cut_size)
+                if not merged:
+                    continue
+                if merged in candidates:
+                    continue
+                t0 = _lift(cut0, merged, p0)
+                t1 = _lift(cut1, merged, p1)
+                candidates[merged] = Cut(merged, t0 & t1)
+        ranked = sorted(candidates.values(), key=lambda c: (c.size, c.leaves))
+        # Drop cuts dominated by a smaller cut with a subset of leaves.
+        kept: List[Cut] = []
+        for cut in ranked:
+            leaf_set = set(cut.leaves)
+            if any(set(other.leaves) <= leaf_set for other in kept):
+                continue
+            kept.append(cut)
+            if len(kept) >= cut_limit:
+                break
+        cuts[node] = [Cut((node,), 0b10)] + kept
+    return cuts

@@ -1,0 +1,9 @@
+"""The ``refactor`` pass (re-exported from the shared resynthesis engine).
+
+Kept as its own module so the pipeline in :mod:`repro.synth.scripts`
+reads like ABC's script, and so the pass can evolve independently.
+"""
+
+from repro.synth.rewrite import refactor
+
+__all__ = ["refactor"]

@@ -1,0 +1,104 @@
+"""Cut-based resynthesis: the ``rewrite`` and ``refactor`` passes.
+
+Both passes rebuild the AIG bottom-up.  For every node they compare the
+plain structural copy against re-implementations of the node's cuts
+(ISOP of the cut function, algebraically factored, built into the new
+graph through the structural hash), and keep whichever adds the fewest
+new nodes.  Rejected candidates become dangling nodes that the final
+``compact`` sweep removes — unless a later node reuses them through the
+hash, in which case the sharing was free.
+
+``rewrite`` uses small cuts (k = 4) and is cheap; ``refactor`` uses
+larger cuts (k = 6) and catches bigger restructurings.  This mirrors the
+role the two passes play inside ABC's ``resyn2rs`` script.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.synth.aig import Aig, lit_node, lit_phase, lit_not
+from repro.synth.cuts import Cut, enumerate_cuts
+from repro.synth.sop import Expr, factor, isop
+from repro.synth.truth import full_mask
+
+
+def build_expr(aig: Aig, expr: Expr, leaf_literals: Sequence[int]) -> int:
+    """Instantiate a factored expression over the given leaf literals."""
+    kind = expr[0]
+    if kind == "const":
+        return 1 if expr[1] else 0
+    if kind == "lit":
+        literal = leaf_literals[expr[1]]
+        return literal if expr[2] else lit_not(literal)
+    left = build_expr(aig, expr[1], leaf_literals)
+    right = build_expr(aig, expr[2], leaf_literals)
+    if kind == "and":
+        return aig.and_(left, right)
+    return aig.or_(left, right)
+
+
+def _resynthesize(aig: Aig, cut_size: int, cut_limit: int,
+                  max_candidates: int) -> Aig:
+    """Shared engine for rewrite/refactor (see module docstring)."""
+    cuts = enumerate_cuts(aig, cut_size, cut_limit)
+    new = Aig(aig.name)
+    mapping: Dict[int, int] = {0: 0}
+    for node, name in zip(aig.pis, aig.pi_names):
+        mapping[node] = new.add_pi(name)
+
+    for node in aig.and_nodes():
+        f0, f1 = aig.fanins(node)
+        a = mapping[lit_node(f0)] ^ lit_phase(f0)
+        b = mapping[lit_node(f1)] ^ lit_phase(f1)
+        before = new.n_objects
+        best_literal = new.and_(a, b)
+        best_cost = new.n_objects - before
+
+        if best_cost > 0:
+            tried = 0
+            for cut in cuts[node]:
+                if cut.is_trivial_for(node) or cut.size < 2:
+                    continue
+                if tried >= max_candidates:
+                    break
+                tried += 1
+                table = cut.table
+                n_leaves = cut.size
+                if table == 0 or table == full_mask(n_leaves):
+                    best_literal = 1 if table else 0
+                    best_cost = 0
+                    break
+                leaf_literals = [mapping[leaf] for leaf in cut.leaves]
+                # Factor whichever phase has the smaller cover.
+                for phase in (0, 1):
+                    target = table if phase == 0 else (
+                        table ^ full_mask(n_leaves))
+                    expr = factor(isop(target, n_leaves))
+                    before = new.n_objects
+                    literal = build_expr(new, expr, leaf_literals)
+                    if phase:
+                        literal = lit_not(literal)
+                    cost = new.n_objects - before
+                    if cost < best_cost:
+                        best_literal = literal
+                        best_cost = cost
+                    if best_cost == 0:
+                        break
+                if best_cost == 0:
+                    break
+        mapping[node] = best_literal
+
+    for po, name in zip(aig.pos, aig.po_names):
+        new.add_po(mapping[lit_node(po)] ^ lit_phase(po), name)
+    return new.compact()
+
+
+def rewrite(aig: Aig) -> Aig:
+    """Small-cut rewriting pass (k = 4)."""
+    return _resynthesize(aig, cut_size=4, cut_limit=6, max_candidates=3)
+
+
+def refactor(aig: Aig) -> Aig:
+    """Large-cut refactoring pass (k = 6)."""
+    return _resynthesize(aig, cut_size=6, cut_limit=4, max_candidates=2)

@@ -1,0 +1,59 @@
+"""Synthesis scripts mirroring the ABC flows used by the paper.
+
+The paper synthesizes every benchmark with ``resyn2rs`` before mapping.
+Our pipeline is the same alternation of balancing, rewriting and
+refactoring; each pass preserves functionality (checked by the tests
+with random-vector signatures) and the sequence is idempotent enough
+that a second application changes little.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.errors import SynthesisError
+from repro.synth.aig import Aig
+from repro.synth.balance import balance
+from repro.synth.rewrite import refactor, rewrite
+
+Pass = Callable[[Aig], Aig]
+
+#: The pass sequence of ABC's resyn2rs (zero-cost variants folded into
+#: their plain counterparts, which our engine subsumes).
+RESYN2RS_SEQUENCE: List[Pass] = [
+    balance, rewrite, refactor, balance, rewrite,
+    rewrite, balance, refactor, rewrite, balance,
+]
+
+
+def _run(aig: Aig, passes: List[Pass], verify: bool) -> Aig:
+    signature = aig.random_simulation_signature() if verify else None
+    result = aig
+    for synthesis_pass in passes:
+        result = synthesis_pass(result)
+        if verify and result.random_simulation_signature() != signature:
+            raise SynthesisError(
+                f"pass {synthesis_pass.__name__} changed circuit function")
+    return result
+
+
+def resyn2rs(aig: Aig, verify: bool = False) -> Aig:
+    """Run the full resyn2rs-equivalent optimization script.
+
+    Args:
+        aig: subject graph (not modified).
+        verify: when True, every pass is checked against a 256-pattern
+            random simulation signature of the input (cheap insurance,
+            used by the tests and available to cautious callers).
+    """
+    return _run(aig, RESYN2RS_SEQUENCE, verify)
+
+
+def compress(aig: Aig, verify: bool = False) -> Aig:
+    """A lighter script (balance, rewrite, balance) for quick cleanups."""
+    return _run(aig, [balance, rewrite, balance], verify)
+
+
+def balance_only(aig: Aig) -> Aig:
+    """Just the balancing pass (delay preparation before mapping)."""
+    return balance(aig)

@@ -1,0 +1,217 @@
+"""Sum-of-products machinery: ISOP extraction and algebraic factoring.
+
+:func:`isop` implements the Minato-Morreale irredundant SOP algorithm on
+integer truth tables.  :func:`factor` performs quick literal-count
+algebraic factoring of a cube list; the result is an expression tree
+used both by the refactoring pass (to rebuild small cones) and by the
+mapped-netlist simulator (to evaluate cell functions efficiently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import SynthesisError
+from repro.synth.truth import full_mask, negate, variable_mask
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A product term: ``mask`` selects variables, ``phases`` their polarity."""
+
+    mask: int
+    phases: int
+
+    def phase(self, var: int) -> Optional[int]:
+        """1 / 0 for a positive / negative literal, None if absent."""
+        if not (self.mask >> var) & 1:
+            return None
+        return (self.phases >> var) & 1
+
+    def literals(self) -> List[Tuple[int, int]]:
+        """List of (variable, phase) pairs in ascending variable order."""
+        result = []
+        var = 0
+        mask = self.mask
+        while mask:
+            if mask & 1:
+                result.append((var, (self.phases >> var) & 1))
+            mask >>= 1
+            var += 1
+        return result
+
+    def n_literals(self) -> int:
+        """Number of literals in the cube."""
+        return bin(self.mask).count("1")
+
+    def with_literal(self, var: int, phase: int) -> "Cube":
+        """Copy of the cube with one extra literal."""
+        return Cube(self.mask | (1 << var), self.phases | (phase << var))
+
+    def table(self, n_vars: int) -> int:
+        """Truth table of the cube over ``n_vars`` variables."""
+        result = full_mask(n_vars)
+        for var, phase in self.literals():
+            var_table = variable_mask(var, n_vars)
+            result &= var_table if phase else negate(var_table, n_vars)
+        return result
+
+
+def cubes_to_table(cubes: List[Cube], n_vars: int) -> int:
+    """Truth table of the OR of the cubes."""
+    table = 0
+    for cube in cubes:
+        table |= cube.table(n_vars)
+    return table
+
+
+def _restrict(table: int, var: int, value: int, n_vars: int) -> int:
+    """Cofactor of the table (kept over the same variable count)."""
+    var_table = variable_mask(var, n_vars)
+    size = 1 << n_vars
+    stride = 1 << var
+    if value:
+        half = table & var_table
+        return half | (half >> stride)
+    half = table & negate(var_table, n_vars)
+    return half | ((half << stride) & ((1 << size) - 1))
+
+
+def _isop_rec(lower: int, upper: int, n_vars: int, top: int) -> Tuple[List[Cube], int]:
+    """Minato-Morreale recursion: lower <= f <= upper must hold."""
+    if lower == 0:
+        return [], 0
+    if upper == full_mask(n_vars):
+        return [Cube(0, 0)], full_mask(n_vars)
+    # choose the highest variable that lower or upper depends on
+    var = top
+    while var >= 0:
+        l0 = _restrict(lower, var, 0, n_vars)
+        l1 = _restrict(lower, var, 1, n_vars)
+        u0 = _restrict(upper, var, 0, n_vars)
+        u1 = _restrict(upper, var, 1, n_vars)
+        if l0 != l1 or u0 != u1:
+            break
+        var -= 1
+    if var < 0:
+        # function is constant over remaining vars; lower != 0 here
+        return [Cube(0, 0)], full_mask(n_vars)
+
+    cubes0, cover0 = _isop_rec(l0 & negate(u1, n_vars), u0, n_vars, var - 1)
+    cubes1, cover1 = _isop_rec(l1 & negate(u0, n_vars), u1, n_vars, var - 1)
+    l_new = (l0 & negate(cover0, n_vars)) | (l1 & negate(cover1, n_vars))
+    cubes_star, cover_star = _isop_rec(l_new, u0 & u1, n_vars, var - 1)
+
+    var_table = variable_mask(var, n_vars)
+    cover = ((cover0 & negate(var_table, n_vars))
+             | (cover1 & var_table) | cover_star)
+    cubes = ([c.with_literal(var, 0) for c in cubes0]
+             + [c.with_literal(var, 1) for c in cubes1]
+             + cubes_star)
+    return cubes, cover
+
+
+def isop(table: int, n_vars: int) -> List[Cube]:
+    """Irredundant sum-of-products cover of a completely-specified function.
+
+    The cover is exact: ``cubes_to_table(isop(t, n), n) == t``.
+    """
+    if table < 0 or table > full_mask(n_vars):
+        raise SynthesisError("truth table out of range")
+    cubes, cover = _isop_rec(table, table, n_vars, n_vars - 1)
+    if cover != table:
+        raise SynthesisError("ISOP internal error: cover mismatch")
+    return cubes
+
+
+# -- algebraic factoring ------------------------------------------------------
+
+#: Expression tree nodes: ("lit", var, phase) | ("and", a, b) | ("or", a, b)
+#: | ("const", 0 or 1)
+Expr = tuple
+
+
+def _cube_expr(cube: Cube) -> Expr:
+    """Balanced AND tree for one cube."""
+    literals = cube.literals()
+    if not literals:
+        return ("const", 1)
+    exprs: List[Expr] = [("lit", var, phase) for var, phase in literals]
+    while len(exprs) > 1:
+        paired: List[Expr] = []
+        for k in range(0, len(exprs) - 1, 2):
+            paired.append(("and", exprs[k], exprs[k + 1]))
+        if len(exprs) % 2:
+            paired.append(exprs[-1])
+        exprs = paired
+    return exprs[0]
+
+
+def _or_balanced(exprs: List[Expr]) -> Expr:
+    if not exprs:
+        return ("const", 0)
+    while len(exprs) > 1:
+        paired: List[Expr] = []
+        for k in range(0, len(exprs) - 1, 2):
+            paired.append(("or", exprs[k], exprs[k + 1]))
+        if len(exprs) % 2:
+            paired.append(exprs[-1])
+        exprs = paired
+    return exprs[0]
+
+
+def factor(cubes: List[Cube]) -> Expr:
+    """Algebraically factor a cube cover into an expression tree.
+
+    Uses greedy most-frequent-literal division: F = l * Q + R with the
+    literal ``l`` occurring most often; Q and R are factored recursively.
+    """
+    if not cubes:
+        return ("const", 0)
+    if len(cubes) == 1:
+        return _cube_expr(cubes[0])
+    counts: dict = {}
+    for cube in cubes:
+        for var, phase in cube.literals():
+            counts[(var, phase)] = counts.get((var, phase), 0) + 1
+    (var, phase), best_count = max(counts.items(), key=lambda kv: kv[1])
+    if best_count <= 1:
+        return _or_balanced([_cube_expr(c) for c in cubes])
+    quotient: List[Cube] = []
+    remainder: List[Cube] = []
+    for cube in cubes:
+        if cube.phase(var) == phase:
+            quotient.append(
+                Cube(cube.mask & ~(1 << var), cube.phases & ~(1 << var)))
+        else:
+            remainder.append(cube)
+    lit_expr: Expr = ("lit", var, phase)
+    q_expr = factor(quotient)
+    factored: Expr = ("and", lit_expr, q_expr)
+    if remainder:
+        return ("or", factored, factor(remainder))
+    return factored
+
+
+def expr_literal_count(expr: Expr) -> int:
+    """Number of literal leaves in an expression tree."""
+    kind = expr[0]
+    if kind == "lit":
+        return 1
+    if kind == "const":
+        return 0
+    return expr_literal_count(expr[1]) + expr_literal_count(expr[2])
+
+
+def evaluate_expr(expr: Expr, assignment: List[bool]) -> bool:
+    """Evaluate an expression tree on a 0/1 assignment."""
+    kind = expr[0]
+    if kind == "const":
+        return bool(expr[1])
+    if kind == "lit":
+        value = bool(assignment[expr[1]])
+        return value if expr[2] else not value
+    left = evaluate_expr(expr[1], assignment)
+    right = evaluate_expr(expr[2], assignment)
+    return (left and right) if kind == "and" else (left or right)

@@ -1,0 +1,205 @@
+"""Truth tables as plain integers.
+
+A function of ``n`` variables is a mask of ``2**n`` bits: bit ``m`` is
+the output for the input assignment whose variable ``i`` equals bit
+``i`` of ``m`` (variable 0 is the least significant).  This module keeps
+every operation allocation-free on Python ints, which is plenty fast for
+the cut sizes (k <= 6) used by the rewriting passes and the mapper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import SynthesisError
+
+#: Largest variable count supported by these helpers.
+MAX_VARS = 8
+
+
+def table_size(n_vars: int) -> int:
+    """Number of rows (bits) in an ``n_vars``-input truth table."""
+    if not 0 <= n_vars <= MAX_VARS:
+        raise SynthesisError(f"variable count {n_vars} out of range")
+    return 1 << n_vars
+
+
+def full_mask(n_vars: int) -> int:
+    """All-ones mask for ``n_vars`` variables."""
+    return (1 << table_size(n_vars)) - 1
+
+
+@lru_cache(maxsize=None)
+def variable_mask(var: int, n_vars: int) -> int:
+    """Truth table of the projection function x_var over n_vars inputs."""
+    if not 0 <= var < n_vars:
+        raise SynthesisError(f"variable {var} out of range for {n_vars} vars")
+    bits = 0
+    for minterm in range(table_size(n_vars)):
+        if (minterm >> var) & 1:
+            bits |= 1 << minterm
+    return bits
+
+
+def negate(table: int, n_vars: int) -> int:
+    """Complement of a truth table."""
+    return ~table & full_mask(n_vars)
+
+
+def evaluate(table: int, assignment: Sequence[int]) -> int:
+    """Evaluate a truth table on a 0/1 assignment (index 0 = variable 0)."""
+    minterm = 0
+    for bit, value in enumerate(assignment):
+        if value:
+            minterm |= 1 << bit
+    return (table >> minterm) & 1
+
+
+def from_function(func, n_vars: int) -> int:
+    """Build a truth table from a Python predicate over bool tuples.
+
+    ``func`` receives ``n_vars`` booleans (variable 0 first) and returns
+    a truthy value for minterms where the table is 1.
+    """
+    table = 0
+    for minterm in range(table_size(n_vars)):
+        bits = [bool((minterm >> i) & 1) for i in range(n_vars)]
+        if func(*bits):
+            table |= 1 << minterm
+    return table
+
+
+def cofactors(table: int, var: int, n_vars: int) -> Tuple[int, int]:
+    """Negative and positive cofactors with respect to ``var``.
+
+    Both cofactors are returned as full ``n_vars``-variable tables (the
+    cofactored variable becomes don't-care and is simply duplicated).
+    """
+    size = table_size(n_vars)
+    stride = 1 << var
+    negative = 0
+    positive = 0
+    for minterm in range(size):
+        bit = (table >> minterm) & 1
+        if not bit:
+            continue
+        if (minterm >> var) & 1:
+            positive |= 1 << minterm
+            positive |= 1 << (minterm ^ stride)
+        else:
+            negative |= 1 << minterm
+            negative |= 1 << (minterm ^ stride)
+    return negative, positive
+
+
+def depends_on(table: int, var: int, n_vars: int) -> bool:
+    """True if the function actually depends on ``var``."""
+    negative, positive = cofactors(table, var, n_vars)
+    return negative != positive
+
+
+def support(table: int, n_vars: int) -> List[int]:
+    """Indices of the variables the function depends on."""
+    return [v for v in range(n_vars) if depends_on(table, v, n_vars)]
+
+
+def shrink_to_support(table: int, n_vars: int) -> Tuple[int, List[int]]:
+    """Project a table onto its true support.
+
+    Returns ``(small_table, support_vars)`` where ``small_table`` is
+    expressed over ``len(support_vars)`` variables, in ascending order of
+    the original indices.
+    """
+    sup = support(table, n_vars)
+    if len(sup) == n_vars:
+        return table, sup
+    small = 0
+    for small_minterm in range(1 << len(sup)):
+        big_minterm = 0
+        for new_index, old_index in enumerate(sup):
+            if (small_minterm >> new_index) & 1:
+                big_minterm |= 1 << old_index
+        if (table >> big_minterm) & 1:
+            small |= 1 << small_minterm
+    return small, sup
+
+
+def permute(table: int, permutation: Sequence[int], n_vars: int) -> int:
+    """Reorder variables: new variable ``i`` is old ``permutation[i]``.
+
+    ``permutation`` must be a permutation of ``range(n_vars)``.
+    """
+    if sorted(permutation) != list(range(n_vars)):
+        raise SynthesisError(f"bad permutation {permutation!r}")
+    result = 0
+    for minterm in range(table_size(n_vars)):
+        if not (table >> minterm) & 1:
+            continue
+        new_minterm = 0
+        for new_index in range(n_vars):
+            old_index = permutation[new_index]
+            if (minterm >> old_index) & 1:
+                new_minterm |= 1 << new_index
+        result |= 1 << new_minterm
+    return result
+
+
+def all_permutations(table: int, n_vars: int) -> Iterable[Tuple[int, Tuple[int, ...]]]:
+    """Yield ``(permuted_table, permutation)`` for every input ordering."""
+    for perm in itertools.permutations(range(n_vars)):
+        yield permute(table, perm, n_vars), perm
+
+
+def p_canonical(table: int, n_vars: int) -> Tuple[int, Tuple[int, ...]]:
+    """Permutation-canonical form: the minimum table over all orderings.
+
+    Returns the canonical table and one permutation achieving it.
+    """
+    best = None
+    best_perm: Tuple[int, ...] = tuple(range(n_vars))
+    for permuted, perm in all_permutations(table, n_vars):
+        if best is None or permuted < best:
+            best = permuted
+            best_perm = perm
+    return best if best is not None else table, best_perm
+
+
+def expand(table: int, positions: Sequence[int], n_vars: int) -> int:
+    """Lift a small table onto ``n_vars`` variables.
+
+    ``positions[i]`` gives the target variable index for the small
+    table's variable ``i``.  The result is constant in all other
+    variables.
+    """
+    result = 0
+    small_vars = len(positions)
+    for minterm in range(table_size(n_vars)):
+        small_minterm = 0
+        for small_index, big_index in enumerate(positions):
+            if (minterm >> big_index) & 1:
+                small_minterm |= 1 << small_index
+        if (table >> small_minterm) & 1:
+            result |= 1 << minterm
+    del small_vars
+    return result
+
+
+def flip_variable(table: int, var: int, n_vars: int) -> int:
+    """Complement one input variable: T'(x) = T(x with bit ``var`` flipped)."""
+    var_table = variable_mask(var, n_vars)
+    stride = 1 << var
+    hi = table & var_table
+    lo = table & ~var_table & full_mask(n_vars)
+    return ((lo << stride) | (hi >> stride)) & full_mask(n_vars)
+
+
+def popcount(table: int) -> int:
+    """Number of ones in the table."""
+    return bin(table).count("1")
+
+
+def is_constant(table: int, n_vars: int) -> bool:
+    """True for the constant-0 or constant-1 function."""
+    return table == 0 or table == full_mask(n_vars)

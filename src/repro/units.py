@@ -1,0 +1,105 @@
+"""Physical constants and unit helpers.
+
+Everything inside :mod:`repro` uses plain SI units (volts, amperes,
+farads, seconds, watts).  The helpers here exist so that code and tests
+can speak the paper's units (aF, ps, uW, GHz) without sprinkling
+magic powers of ten around.
+"""
+
+from __future__ import annotations
+
+# Fundamental constants ----------------------------------------------------
+
+#: Boltzmann constant (J/K).
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge (C).
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Default junction temperature used throughout the paper's flow (K).
+ROOM_TEMPERATURE = 300.0
+
+
+def thermal_voltage(temperature: float = ROOM_TEMPERATURE) -> float:
+    """Return kT/q in volts (about 25.85 mV at 300 K)."""
+    return BOLTZMANN * temperature / ELEMENTARY_CHARGE
+
+
+# Multipliers (value * unit -> SI) ------------------------------------------
+
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+ATTO = 1e-18
+
+#: One attofarad in farads.
+AF = ATTO
+#: One femtofarad in farads.
+FF = FEMTO
+#: One picosecond in seconds.
+PS = PICO
+#: One nanosecond in seconds.
+NS = NANO
+#: One nanometre in metres.
+NM = NANO
+#: One microwatt in watts.
+UW = MICRO
+#: One nanoampere in amperes.
+NA = NANO
+#: One microampere in amperes.
+UA = MICRO
+#: One gigahertz in hertz.
+GHZ = GIGA
+
+
+# Formatting helpers (SI -> human readable) ----------------------------------
+
+def to_attofarads(capacitance: float) -> float:
+    """Convert farads to attofarads."""
+    return capacitance / AF
+
+
+def to_picoseconds(duration: float) -> float:
+    """Convert seconds to picoseconds."""
+    return duration / PS
+
+
+def to_microwatts(power: float) -> float:
+    """Convert watts to microwatts."""
+    return power / UW
+
+
+def to_nanoamperes(current: float) -> float:
+    """Convert amperes to nanoamperes."""
+    return current / NA
+
+
+def to_edp_units(edp: float) -> float:
+    """Convert an energy-delay product in J*s to the paper's 1e-24 J*s unit."""
+    return edp / 1e-24
+
+
+def engineering(value: float, unit: str = "") -> str:
+    """Format ``value`` with an engineering (power-of-1000) SI prefix.
+
+    >>> engineering(3.2e-9, 'A')
+    '3.200 nA'
+    """
+    prefixes = [
+        (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+        (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"),
+        (1e-15, "f"), (1e-18, "a"), (1e-21, "z"),
+    ]
+    if value == 0.0:
+        return f"0.000 {unit}".rstrip()
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.3f} {prefix}{unit}".rstrip()
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.3f} {prefix}{unit}".rstrip()

@@ -1,0 +1,119 @@
+"""BLIF and Verilog export/import."""
+
+import pytest
+
+from repro.circuits.adders import ripple_adder_circuit
+from repro.circuits.blif import (
+    read_blif,
+    write_aig_blif,
+    write_netlist_blif,
+    write_netlist_verilog,
+)
+from repro.errors import SynthesisError
+from repro.synth.aig import Aig, TRUE, lit_not
+from repro.synth.mapper import map_aig
+from repro.synth.verify import equivalent_aigs
+
+
+class TestAigBlifRoundTrip:
+    def test_adder_round_trip(self):
+        aig = ripple_adder_circuit(4)
+        text = write_aig_blif(aig)
+        parsed = read_blif(text)
+        assert parsed.pi_names == aig.pi_names
+        assert parsed.po_names == aig.po_names
+        assert equivalent_aigs(aig, parsed)
+
+    def test_negated_and_constant_pos(self):
+        aig = Aig("edge")
+        a = aig.add_pi("a")
+        aig.add_po(lit_not(a), "na")
+        aig.add_po(TRUE, "one")
+        aig.add_po(0, "zero")
+        parsed = read_blif(write_aig_blif(aig))
+        assert parsed.evaluate([True]) == [False, True, False]
+        assert parsed.evaluate([False]) == [True, True, False]
+
+    def test_model_name_preserved(self):
+        aig = ripple_adder_circuit(2, name="add2x")
+        assert ".model add2x" in write_aig_blif(aig)
+        assert read_blif(write_aig_blif(aig)).name == "add2x"
+
+
+class TestBlifReader:
+    def test_dont_cares_and_multicube(self):
+        text = """
+.model f
+.inputs a b c
+.outputs y
+.names a b c y
+1-0 1
+01- 1
+.end
+"""
+        aig = read_blif(text)
+        # y = a & !c | !a & b
+        for m in range(8):
+            a, b, c = (bool(m & 1), bool(m & 2), bool(m & 4))
+            expected = (a and not c) or ((not a) and b)
+            assert aig.evaluate([a, b, c]) == [expected], (a, b, c)
+
+    def test_out_of_order_names_blocks(self):
+        text = """
+.model g
+.inputs a b
+.outputs y
+.names t y
+1 1
+.names a b t
+11 1
+.end
+"""
+        aig = read_blif(text)
+        assert aig.evaluate([True, True]) == [True]
+        assert aig.evaluate([True, False]) == [False]
+
+    def test_constant_table(self):
+        text = ".model c\n.inputs a\n.outputs y\n.names y\n1\n.end\n"
+        assert read_blif(text).evaluate([False]) == [True]
+
+    def test_undriven_output_rejected(self):
+        text = ".model c\n.inputs a\n.outputs y\n.end\n"
+        with pytest.raises(SynthesisError):
+            read_blif(text)
+
+    def test_latch_rejected(self):
+        text = ".model c\n.inputs a\n.outputs y\n.latch a y\n.end\n"
+        with pytest.raises(SynthesisError):
+            read_blif(text)
+
+    def test_offset_table_rejected(self):
+        text = (".model c\n.inputs a\n.outputs y\n"
+                ".names a y\n0 0\n.end\n")
+        with pytest.raises(SynthesisError):
+            read_blif(text)
+
+
+class TestNetlistExports:
+    @pytest.fixture(scope="class")
+    def netlist(self, glib):
+        return map_aig(ripple_adder_circuit(3), glib)
+
+    def test_blif_gate_lines(self, netlist):
+        text = write_netlist_blif(netlist)
+        assert text.count(".gate") == netlist.gate_count
+        assert ".model" in text and ".end" in text
+        for pi in netlist.pi_names:
+            assert pi in text
+
+    def test_verilog_structure(self, netlist):
+        text = write_netlist_verilog(netlist)
+        assert text.startswith("module ")
+        assert text.rstrip().endswith("endmodule")
+        assert text.count("  input ") == len(netlist.pi_names)
+        assert text.count("  output ") == len(netlist.po_names)
+        # one instance per gate
+        instances = [line for line in text.splitlines()
+                     if line.strip().startswith(tuple(
+                         c for c in netlist.cell_histogram()))]
+        assert len(instances) == netlist.gate_count

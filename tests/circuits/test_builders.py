@@ -1,0 +1,148 @@
+"""Word-level circuit builder: every block against a Python reference."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.builders import CircuitBuilder
+from repro.errors import SynthesisError
+
+
+def _bits(value, width):
+    return [bool((value >> i) & 1) for i in range(width)]
+
+
+def _value(bits):
+    return sum(1 << i for i, b in enumerate(bits) if b)
+
+
+class TestArithmetic:
+    @given(a=st.integers(0, 255), b=st.integers(0, 255), c=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_ripple_add(self, a, b, c):
+        builder = CircuitBuilder("add")
+        wa = builder.input_word("a", 8)
+        wb = builder.input_word("b", 8)
+        cin = builder.input_bit("cin")
+        total, carry = builder.ripple_add(wa, wb, cin)
+        builder.output_word("s", total)
+        builder.output_bit("co", carry)
+        out = builder.aig.evaluate(_bits(a, 8) + _bits(b, 8) + [c])
+        assert _value(out[:8]) == (a + b + c) & 0xFF
+        assert out[8] == bool((a + b + c) >> 8)
+
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_subtract(self, a, b):
+        builder = CircuitBuilder("sub")
+        wa = builder.input_word("a", 8)
+        wb = builder.input_word("b", 8)
+        diff, borrow_n = builder.subtract(wa, wb)
+        builder.output_word("d", diff)
+        builder.output_bit("bn", borrow_n)
+        out = builder.aig.evaluate(_bits(a, 8) + _bits(b, 8))
+        assert _value(out[:8]) == (a - b) & 0xFF
+        assert out[8] == (a >= b)  # carry out = no borrow
+
+    @given(a=st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_increment(self, a):
+        builder = CircuitBuilder("inc")
+        wa = builder.input_word("a", 8)
+        inc, _ = builder.increment(wa)
+        builder.output_word("y", inc)
+        out = builder.aig.evaluate(_bits(a, 8))
+        assert _value(out) == (a + 1) & 0xFF
+
+
+class TestComparisonAndSelection:
+    @given(a=st.integers(0, 63), b=st.integers(0, 63))
+    @settings(max_examples=60, deadline=None)
+    def test_equal_and_less(self, a, b):
+        builder = CircuitBuilder("cmp")
+        wa = builder.input_word("a", 6)
+        wb = builder.input_word("b", 6)
+        builder.output_bit("eq", builder.equal(wa, wb))
+        builder.output_bit("lt", builder.less_than(wa, wb))
+        builder.output_bit("za", builder.is_zero(wa))
+        out = builder.aig.evaluate(_bits(a, 6) + _bits(b, 6))
+        assert out == [a == b, a < b, a == 0]
+
+    @given(select=st.integers(0, 7))
+    @settings(max_examples=20, deadline=None)
+    def test_decoder_one_hot(self, select):
+        builder = CircuitBuilder("dec")
+        sel = builder.input_word("s", 3)
+        for i, line in enumerate(builder.decoder(sel)):
+            builder.output_bit(f"d{i}", line)
+        out = builder.aig.evaluate(_bits(select, 3))
+        assert out == [i == select for i in range(8)]
+
+    @given(select=st.integers(0, 3), values=st.lists(
+        st.integers(0, 15), min_size=4, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_mux_tree(self, select, values):
+        builder = CircuitBuilder("mux")
+        words = [builder.input_word(f"w{k}", 4) for k in range(4)]
+        sel = builder.input_word("s", 2)
+        builder.output_word("y", builder.mux_tree(sel, words))
+        inputs = []
+        for v in values:
+            inputs.extend(_bits(v, 4))
+        inputs.extend(_bits(select, 2))
+        out = builder.aig.evaluate(inputs)
+        assert _value(out) == values[select]
+
+    def test_mux_tree_size_checked(self):
+        builder = CircuitBuilder("bad")
+        words = [builder.input_word(f"w{k}", 2) for k in range(3)]
+        sel = builder.input_word("s", 2)
+        with pytest.raises(SynthesisError):
+            builder.mux_tree(sel, words)
+
+    @given(requests=st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_priority_encoder(self, requests):
+        builder = CircuitBuilder("prio")
+        lines = builder.input_word("r", 8)
+        builder.output_word("idx", builder.priority_encoder(lines))
+        out = builder.aig.evaluate(_bits(requests, 8))
+        expected = 0
+        for i in range(8):
+            if (requests >> i) & 1:
+                expected = i
+                break
+        assert _value(out) == expected
+
+
+class TestMisc:
+    @given(value=st.integers(0, 4095))
+    @settings(max_examples=40, deadline=None)
+    def test_parity(self, value):
+        builder = CircuitBuilder("par")
+        bits = builder.input_word("x", 12)
+        builder.output_bit("p", builder.parity(bits))
+        out = builder.aig.evaluate(_bits(value, 12))
+        assert out[0] == (bin(value).count("1") % 2 == 1)
+
+    @given(table=st.integers(0, 255), value=st.integers(0, 7))
+    @settings(max_examples=80, deadline=None)
+    def test_from_truth_table(self, table, value):
+        builder = CircuitBuilder("tt")
+        inputs = builder.input_word("x", 3)
+        builder.output_bit("f", builder.from_truth_table(table, inputs))
+        out = builder.aig.evaluate(_bits(value, 3))
+        assert out[0] == bool((table >> value) & 1)
+
+    def test_width_mismatch_rejected(self):
+        builder = CircuitBuilder("w")
+        a = builder.input_word("a", 3)
+        b = builder.input_word("b", 4)
+        with pytest.raises(SynthesisError):
+            builder.xor_word(a, b)
+
+    def test_constant_word(self):
+        builder = CircuitBuilder("c")
+        builder.output_word("k", builder.constant_word(0b1010, 4))
+        assert builder.aig.evaluate([]) == [False, True, False, True]

@@ -1,0 +1,210 @@
+"""Benchmark generators: functional verification of each circuit class."""
+
+import random
+
+import pytest
+
+from repro.circuits.alu import alu_circuit
+from repro.circuits.des import des_rounds, _surrogate_sboxes
+from repro.circuits.ecc import hamming_corrector, secded_decoder
+from repro.circuits.multiplier import array_multiplier
+from repro.circuits.random_logic import random_control_logic, t481_style
+from repro.circuits.suite import benchmark_suite, build_benchmark
+from repro.errors import ExperimentError
+
+
+def _bits(value, width):
+    return [bool((value >> i) & 1) for i in range(width)]
+
+
+def _value(bits):
+    return sum(1 << i for i, b in enumerate(bits) if b)
+
+
+class TestMultiplier:
+    def test_exhaustive_3x3(self):
+        aig = array_multiplier(3)
+        for a in range(8):
+            for b in range(8):
+                out = aig.evaluate(_bits(a, 3) + _bits(b, 3))
+                assert _value(out) == a * b, (a, b)
+
+    def test_random_16x16(self):
+        aig = array_multiplier(16)
+        rng = random.Random(0)
+        for _ in range(20):
+            a, b = rng.randrange(1 << 16), rng.randrange(1 << 16)
+            out = aig.evaluate(_bits(a, 16) + _bits(b, 16))
+            assert _value(out) == a * b
+
+
+class TestHamming:
+    @pytest.mark.parametrize("n_parity", [3, 4])
+    def test_corrects_every_single_bit_error(self, n_parity):
+        total = (1 << n_parity) - 1
+        parity_positions = [1 << i for i in range(n_parity)]
+        data_positions = [p for p in range(1, total + 1)
+                          if p not in parity_positions]
+        aig = hamming_corrector(n_parity)
+        rng = random.Random(9)
+        for trial in range(10):
+            data = [rng.random() < 0.5 for _ in data_positions]
+            word = [False] * (total + 1)  # 1-indexed
+            for position, bit in zip(data_positions, data):
+                word[position] = bit
+            for j in range(n_parity):
+                parity = False
+                for position in range(1, total + 1):
+                    if (position >> j) & 1 and position != (1 << j):
+                        parity ^= word[position]
+                word[1 << j] = parity
+            for flip in range(total + 1):  # 0 = no error
+                received = list(word[1:])
+                if flip:
+                    received[flip - 1] ^= True
+                out = aig.evaluate(received)
+                assert out[:len(data)] == data, (trial, flip)
+
+    def test_secded_flags(self):
+        aig = secded_decoder(3)  # (7,4) + extended parity
+        data_positions = [3, 5, 6, 7]
+        word = [False] * 8
+        # all-zero codeword: parity bits zero, extended parity zero
+        received = word[1:]
+        out = aig.evaluate(received + [False])
+        n_data = len(data_positions)
+        single, double = out[n_data], out[n_data + 1]
+        assert (single, double) == (False, False)
+        # single error: flip data bit 3 and the extended parity trips
+        received1 = list(received)
+        received1[2] = True
+        out = aig.evaluate(received1 + [False])
+        # overall parity of received+extended is odd -> single error
+        assert out[n_data] is True
+        assert out[n_data + 1] is False
+        # double error: flip two codeword bits, overall parity balances
+        received2 = list(received)
+        received2[2] = True
+        received2[4] = True
+        out = aig.evaluate(received2 + [False])
+        assert out[n_data + 1] is True
+
+
+class TestAlu:
+    def _run(self, aig, width, a, b, op, cin=False):
+        out = aig.evaluate(_bits(a, width) + _bits(b, width)
+                           + _bits(op, 3) + [cin])
+        return out
+
+    @pytest.mark.parametrize("op,func", [
+        (0, lambda a, b, w: (a + b) & ((1 << w) - 1)),
+        (1, lambda a, b, w: (a - b) & ((1 << w) - 1)),
+        (2, lambda a, b, w: a & b),
+        (3, lambda a, b, w: a | b),
+        (4, lambda a, b, w: a ^ b),
+        (5, lambda a, b, w: (a ^ b) ^ ((1 << w) - 1)),
+        (6, lambda a, b, w: (a << 1) & ((1 << w) - 1)),
+        (7, lambda a, b, w: b),
+    ])
+    def test_operations(self, op, func):
+        width = 8
+        aig = alu_circuit(width)
+        rng = random.Random(op)
+        for _ in range(10):
+            a, b = rng.randrange(1 << width), rng.randrange(1 << width)
+            out = self._run(aig, width, a, b, op)
+            assert _value(out[:width]) == func(a, b, width), (a, b, op)
+
+    def test_flags(self):
+        width = 8
+        aig = alu_circuit(width)
+        out = self._run(aig, width, 10, 10, 1)  # subtract -> zero
+        names = aig.po_names
+        zero_index = names.index("zero")
+        assert out[zero_index] is True
+        eq_index = names.index("a_eq_b")
+        assert out[eq_index] is True
+        lt_index = names.index("a_lt_b")
+        assert out[lt_index] is False
+
+    def test_selector_variant_builds(self):
+        aig = alu_circuit(8, n_select_words=3)
+        assert aig.n_pis > 8 * 5  # a, b, w0..w2, sel, op, cin
+
+
+class TestDes:
+    def test_deterministic(self):
+        a = des_rounds(2, seed=1)
+        b = des_rounds(2, seed=1)
+        assert (a.random_simulation_signature()
+                == b.random_simulation_signature())
+
+    def test_seed_changes_function(self):
+        a = des_rounds(1, seed=1)
+        b = des_rounds(1, seed=2)
+        assert (a.random_simulation_signature()
+                != b.random_simulation_signature())
+
+    def test_feistel_structure_sizes(self):
+        aig = des_rounds(2)
+        assert aig.n_pis == 64 + 2 * 48
+        assert aig.n_pos == 64
+
+    def test_sbox_rows_are_permutations(self):
+        """The surrogate boxes keep DES's balancedness: each row is a
+        permutation of 0..15."""
+        for box in _surrogate_sboxes(2010):
+            for row in range(4):
+                values = sorted(
+                    box[((row & 2) << 4) | (col << 1) | (row & 1)]
+                    for col in range(16))
+                assert values == list(range(16))
+
+    def test_one_round_swaps_halves(self):
+        """After one round the new left half equals the old right."""
+        aig = des_rounds(1)
+        rng = random.Random(4)
+        block = [rng.random() < 0.5 for _ in range(64)]
+        key = [rng.random() < 0.5 for _ in range(48)]
+        out = aig.evaluate(block + key)
+        assert out[:32] == block[32:]
+
+
+class TestRandomLogic:
+    def test_deterministic_and_sized(self):
+        a = random_control_logic(16, 100, 10, seed=5)
+        b = random_control_logic(16, 100, 10, seed=5)
+        assert a.n_pos == 10
+        assert (a.random_simulation_signature()
+                == b.random_simulation_signature())
+
+    def test_t481_properties(self):
+        aig = t481_style()
+        assert aig.n_pis == 16
+        assert aig.n_pos == 1
+        # non-constant function
+        signature = aig.random_simulation_signature()
+        assert signature[0] != 0
+
+
+class TestSuite:
+    def test_twelve_benchmarks(self):
+        suite = benchmark_suite()
+        assert len(suite) == 12
+        names = [s.name for s in suite]
+        assert names[0] == "C2670" and names[-1] == "C1355"
+
+    def test_paper_rows_complete(self):
+        for spec in benchmark_suite():
+            assert set(spec.paper) == {
+                "cntfet-generalized", "cntfet-conventional", "cmos"}
+            for row in spec.paper.values():
+                assert row.gates > 0 and row.edp > 0
+
+    def test_build_by_name(self):
+        aig = build_benchmark("t481")
+        assert aig.n_pis == 16
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ExperimentError):
+            build_benchmark("C9999")

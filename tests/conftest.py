@@ -1,0 +1,46 @@
+"""Shared fixtures: libraries and configurations are session-scoped
+because building and characterizing them is the expensive part of the
+suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.parameters import cmos_32nm, cntfet_32nm
+from repro.experiments.config import ExperimentConfig
+from repro.gates.ambipolar_library import generalized_cntfet_library
+from repro.gates.conventional import cmos_library, conventional_cntfet_library
+
+
+@pytest.fixture(scope="session")
+def cmos_tech():
+    return cmos_32nm()
+
+
+@pytest.fixture(scope="session")
+def cntfet_tech():
+    return cntfet_32nm()
+
+
+@pytest.fixture(scope="session")
+def glib():
+    """The 46-cell generalized ambipolar CNTFET library."""
+    return generalized_cntfet_library()
+
+
+@pytest.fixture(scope="session")
+def clib():
+    """The conventional (MOSFET-like) CNTFET library."""
+    return conventional_cntfet_library()
+
+
+@pytest.fixture(scope="session")
+def mlib():
+    """The CMOS reference library."""
+    return cmos_library()
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """A pattern budget small enough for unit tests."""
+    return ExperimentConfig(n_patterns=2048, state_patterns=2048)

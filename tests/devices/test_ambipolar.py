@@ -1,0 +1,62 @@
+"""The ambipolar device abstraction of Fig. 1."""
+
+import pytest
+
+from repro.devices.ambipolar import (
+    AmbipolarCNTFET,
+    Polarity,
+    polarity_from_gate_level,
+)
+from repro.devices.model import drain_current
+from repro.devices.parameters import CNTFET_32NM
+from repro.errors import DeviceModelError
+
+VDD = CNTFET_32NM.vdd
+DEVICE = AmbipolarCNTFET(CNTFET_32NM.nmos)
+
+
+class TestPolarityConfiguration:
+    def test_fig1_convention(self):
+        """Polarity gate at 0 -> n-type; at 1 -> p-type (Fig. 1b/c)."""
+        assert polarity_from_gate_level(0) is Polarity.N
+        assert polarity_from_gate_level(1) is Polarity.P
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(DeviceModelError):
+            polarity_from_gate_level(2)
+
+    def test_configured_parameters(self):
+        assert DEVICE.configured(Polarity.N).polarity == "n"
+        assert DEVICE.configured(Polarity.P).polarity == "p"
+
+    def test_must_build_from_n_base(self):
+        with pytest.raises(DeviceModelError):
+            AmbipolarCNTFET(CNTFET_32NM.pmos)
+
+
+class TestBehaviouralModel:
+    def test_n_corner_matches_unipolar(self):
+        """With the polarity gate at 0 V the pair behaves as the n FET."""
+        i_pair = DEVICE.drain_current(VDD, 0.0, VDD, 0.0, VDD)
+        i_n = drain_current(CNTFET_32NM.nmos, VDD, VDD)
+        assert i_pair == pytest.approx(i_n, rel=1e-12)
+
+    def test_p_corner_matches_unipolar(self):
+        """With the polarity gate at VDD the pair behaves as the p FET."""
+        i_pair = DEVICE.drain_current(0.0, VDD, 0.0, VDD, VDD)
+        i_p = drain_current(CNTFET_32NM.pmos, 0.0 - VDD, 0.0 - VDD)
+        assert i_pair == pytest.approx(i_p, rel=1e-12)
+
+    def test_n_configured_off_state(self):
+        """n-configured device with gate low conducts only leakage."""
+        i = DEVICE.drain_current(0.0, 0.0, VDD, 0.0, VDD)
+        assert abs(i) < 1e-9
+
+    def test_blend_is_bounded_by_corners(self):
+        i_n = DEVICE.drain_current(VDD, 0.0, VDD, 0.0, VDD)
+        i_mid = DEVICE.drain_current(VDD, VDD / 2, VDD, 0.0, VDD)
+        assert abs(i_mid) <= abs(i_n) + 1e-15
+
+    def test_invalid_vdd_rejected(self):
+        with pytest.raises(DeviceModelError):
+            DEVICE.drain_current(0.0, 0.0, 0.9, 0.0, 0.0)

@@ -1,0 +1,87 @@
+"""Calibration lock-in: the parameter sets hit the paper's anchors.
+
+These tests pin the quantities the paper quotes in Section 4; if a
+parameter edit moves any of them, the reproduction claims in
+EXPERIMENTS.md stop being valid, so the bands here are deliberately
+tight.
+"""
+
+import pytest
+
+from repro.devices.calibrate import (
+    effective_resistance,
+    fanout_load_capacitance,
+    fo_delay,
+    inverter_input_capacitance,
+    technology_report,
+)
+from repro.devices.model import off_current, on_current
+from repro.devices.parameters import CMOS_32NM, CNTFET_32NM
+from repro.units import AF, NA, PS
+
+
+class TestCapacitanceAnchors:
+    def test_cmos_inverter_cin_is_52_af(self):
+        assert inverter_input_capacitance(CMOS_32NM) == pytest.approx(
+            52 * AF, rel=1e-9)
+
+    def test_cntfet_inverter_cin_is_36_af(self):
+        assert inverter_input_capacitance(CNTFET_32NM) == pytest.approx(
+            36 * AF, rel=1e-9)
+
+    def test_input_capacitance_gap_31_percent(self):
+        """Paper: '36 aF ... 52 aF for CMOS inverters (31% difference)'."""
+        gap = 1 - (inverter_input_capacitance(CNTFET_32NM)
+                   / inverter_input_capacitance(CMOS_32NM))
+        assert gap == pytest.approx(0.31, abs=0.01)
+
+    def test_fanout3_load_includes_drain_caps(self):
+        load = fanout_load_capacitance(CMOS_32NM, fanout=3)
+        assert load == pytest.approx((3 * 52 + 2 * 26) * AF, rel=1e-9)
+
+
+class TestLeakageAnchors:
+    def test_cmos_off_current_about_3na(self):
+        assert off_current(CMOS_32NM.nmos, 0.9) == pytest.approx(
+            3.0 * NA, rel=0.05)
+
+    def test_cntfet_off_current_about_0p3na(self):
+        assert off_current(CNTFET_32NM.nmos, 0.9) == pytest.approx(
+            0.3 * NA, rel=0.05)
+
+    def test_one_order_of_magnitude_gap(self):
+        ratio = (off_current(CMOS_32NM.nmos, 0.9)
+                 / off_current(CNTFET_32NM.nmos, 0.9))
+        assert 8 <= ratio <= 13
+
+    def test_gate_leakage_two_orders_apart(self):
+        """High-k CNT stack: Ig two orders below the CMOS oxide."""
+        assert CMOS_32NM.nmos.ig_on / CNTFET_32NM.nmos.ig_on == pytest.approx(
+            100, rel=0.1)
+
+
+class TestDelayAnchors:
+    def test_fo3_ratio_is_five(self):
+        """Deng et al. [10]: intrinsic CNTFET delay 5x below MOSFET."""
+        ratio = fo_delay(CMOS_32NM) / fo_delay(CNTFET_32NM)
+        assert ratio == pytest.approx(5.0, rel=0.03)
+
+    def test_cmos_fo3_near_20ps(self):
+        assert fo_delay(CMOS_32NM) == pytest.approx(20 * PS, rel=0.05)
+
+    def test_cntfet_stronger_drive(self):
+        assert (effective_resistance(CNTFET_32NM)
+                < effective_resistance(CMOS_32NM) / 2)
+
+    def test_on_currents_in_realistic_band(self):
+        assert 1e-6 < on_current(CMOS_32NM.nmos, 0.9) < 50e-6
+        assert 1e-6 < on_current(CNTFET_32NM.nmos, 0.9) < 50e-6
+
+
+class TestReport:
+    def test_report_fields_consistent(self):
+        report = technology_report(CMOS_32NM)
+        assert report.name == "cmos-32nm"
+        assert report.cin_inverter_af == pytest.approx(52.0)
+        assert report.ion_ioff_ratio > 100
+        assert "cmos-32nm" in str(report)

@@ -1,0 +1,136 @@
+"""Unit and property tests for the EKV-style compact model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.model import (
+    drain_current,
+    gate_leakage_current,
+    off_current,
+    on_current,
+    output_conductance,
+    transconductance,
+)
+from repro.devices.parameters import CMOS_32NM, CNTFET_32NM
+
+NMOS = CMOS_32NM.nmos
+PMOS = CMOS_32NM.pmos
+VDD = CMOS_32NM.vdd
+
+voltages = st.floats(min_value=-1.2, max_value=1.2,
+                     allow_nan=False, allow_infinity=False)
+
+
+class TestBasicBehaviour:
+    def test_zero_bias_zero_current(self):
+        assert drain_current(NMOS, 0.5, 0.0) == pytest.approx(0.0, abs=1e-18)
+
+    def test_on_current_positive(self):
+        assert drain_current(NMOS, VDD, VDD) > 1e-6
+
+    def test_off_current_small_but_nonzero(self):
+        ioff = drain_current(NMOS, 0.0, VDD)
+        assert 1e-10 < ioff < 1e-7
+
+    def test_subthreshold_slope_matches_n_factor(self):
+        """Deep in subthreshold, current drops ~10x per n*Vt*ln(10) of
+        gate underdrive (measured below the EKV transition region)."""
+        vt = 0.025852
+        decade = NMOS.n_factor * vt * math.log(10.0)
+        i1 = drain_current(NMOS, -2 * decade, VDD)
+        i2 = drain_current(NMOS, -3 * decade, VDD)
+        assert i1 / i2 == pytest.approx(10.0, rel=0.05)
+
+    def test_saturation_weakly_increasing_with_vds(self):
+        i1 = drain_current(NMOS, VDD, 0.6)
+        i2 = drain_current(NMOS, VDD, 0.9)
+        assert i2 > i1
+        # but well short of doubling: saturation
+        assert i2 / i1 < 1.3
+
+    def test_pmos_mirrors_nmos(self):
+        i_n = drain_current(NMOS, 0.9, 0.9)
+        i_p = drain_current(PMOS, -0.9, -0.9)
+        assert i_p == pytest.approx(-i_n, rel=1e-12)
+
+    def test_reverse_vds_antisymmetry(self):
+        """Swapping drain and source flips the sign: I(vgs, -v) relates
+        to the mirrored device orientation."""
+        forward = drain_current(NMOS, 0.45, 0.3)
+        backward = drain_current(NMOS, 0.45 - 0.3, -0.3)
+        assert backward == pytest.approx(-forward, rel=1e-9)
+
+
+class TestDerivatives:
+    def test_transconductance_positive_in_conduction(self):
+        assert transconductance(NMOS, 0.6, 0.9) > 0
+
+    def test_output_conductance_positive(self):
+        assert output_conductance(NMOS, 0.6, 0.5) > 0
+
+    @given(vgs=voltages, vds=voltages)
+    @settings(max_examples=60, deadline=None)
+    def test_gm_matches_finite_difference(self, vgs, vds):
+        h = 1e-4
+        numeric = (drain_current(NMOS, vgs + h, vds)
+                   - drain_current(NMOS, vgs - h, vds)) / (2 * h)
+        assert transconductance(NMOS, vgs, vds) == pytest.approx(
+            numeric, rel=1e-3, abs=1e-12)
+
+    @given(vgs=voltages, vds=voltages)
+    @settings(max_examples=60, deadline=None)
+    def test_current_is_continuous(self, vgs, vds):
+        """No jumps around the operating point (model is smooth)."""
+        h = 1e-7
+        i0 = drain_current(NMOS, vgs, vds)
+        i1 = drain_current(NMOS, vgs + h, vds + h)
+        assert abs(i1 - i0) < 1e-3 * (abs(i0) + 1e-9) + 1e-9
+
+
+class TestMonotonicity:
+    @given(vds=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_current_monotone_in_vgs(self, vds):
+        currents = [drain_current(NMOS, v / 10.0, vds) for v in range(0, 11)]
+        assert all(b >= a for a, b in zip(currents, currents[1:]))
+
+    @given(vgs=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_current_monotone_in_vds(self, vgs):
+        currents = [drain_current(NMOS, vgs, v / 10.0) for v in range(0, 11)]
+        assert all(b >= a - 1e-15 for a, b in zip(currents, currents[1:]))
+
+
+class TestConvenienceCurrents:
+    def test_off_current_equals_explicit_bias(self):
+        assert off_current(NMOS, VDD) == pytest.approx(
+            abs(drain_current(NMOS, 0.0, VDD)))
+
+    def test_off_current_pmos_equals_nmos(self):
+        """The paper's Section 3.2 symmetry assumption holds exactly."""
+        assert off_current(PMOS, VDD) == pytest.approx(
+            off_current(NMOS, VDD), rel=1e-12)
+
+    def test_on_current_much_larger_than_off(self):
+        assert on_current(NMOS, VDD) / off_current(NMOS, VDD) > 100
+
+    def test_cntfet_lower_leakage_than_cmos(self):
+        assert (off_current(CNTFET_32NM.nmos, 0.9)
+                < off_current(CMOS_32NM.nmos, 0.9) / 5)
+
+
+class TestGateLeakage:
+    def test_full_bias_equals_ig_on(self):
+        assert gate_leakage_current(NMOS, NMOS.vdd_ref) == pytest.approx(
+            NMOS.ig_on)
+
+    def test_sign_follows_vox(self):
+        assert gate_leakage_current(NMOS, -0.9) < 0
+
+    def test_steep_reduction_at_low_bias(self):
+        assert gate_leakage_current(NMOS, 0.45) < 0.2 * NMOS.ig_on
+
+    def test_zero_at_zero(self):
+        assert gate_leakage_current(NMOS, 0.0) == 0.0

@@ -1,0 +1,97 @@
+"""Parameter dataclass validation and technology construction."""
+
+import pytest
+
+from repro.devices.parameters import (
+    CMOS_32NM,
+    CNTFET_32NM,
+    DeviceParams,
+    TechnologyParams,
+    cmos_32nm,
+    cntfet_32nm,
+)
+from repro.errors import DeviceModelError
+from repro.units import AF
+
+
+def _params(**overrides):
+    base = dict(
+        name="t-n", polarity="n", vth=0.3, n_factor=1.5, i_spec=1e-7,
+        lambda_ch=0.1, dibl=0.05, c_gate=20 * AF, c_pol=0.0,
+        c_sd=20 * AF, ig_on=1e-10, vdd_ref=0.9,
+    )
+    base.update(overrides)
+    return DeviceParams(**base)
+
+
+class TestDeviceParams:
+    def test_valid_construction(self):
+        assert _params().polarity == "n"
+
+    @pytest.mark.parametrize("field,value", [
+        ("polarity", "x"),
+        ("vth", -0.1),
+        ("vth", 0.0),
+        ("n_factor", 0.9),
+        ("i_spec", 0.0),
+        ("c_gate", -1e-18),
+        ("ig_on", -1e-12),
+    ])
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(DeviceModelError):
+            _params(**{field: value})
+
+    def test_as_polarity_flips_only_polarity(self):
+        n = _params()
+        p = n.as_polarity("p")
+        assert p.polarity == "p"
+        assert p.vth == n.vth
+        assert p.i_spec == n.i_spec
+        assert p.name == "t-p"
+
+    def test_as_polarity_identity(self):
+        n = _params()
+        assert n.as_polarity("n") is n
+
+
+class TestTechnologyParams:
+    def test_device_lookup(self):
+        tech = cmos_32nm()
+        assert tech.device("n").polarity == "n"
+        assert tech.device("p").polarity == "p"
+        with pytest.raises(DeviceModelError):
+            tech.device("x")
+
+    def test_mismatched_polarities_rejected(self):
+        n = _params()
+        with pytest.raises(DeviceModelError):
+            TechnologyParams(name="bad", vdd=0.9, nmos=n, pmos=n,
+                             ambipolar=False, area_per_device=1.0)
+
+    def test_zero_vdd_rejected(self):
+        n = _params()
+        with pytest.raises(DeviceModelError):
+            TechnologyParams(name="bad", vdd=0.0, nmos=n,
+                             pmos=n.as_polarity("p"),
+                             ambipolar=False, area_per_device=1.0)
+
+    def test_with_vdd(self):
+        low = cmos_32nm().with_vdd(0.7)
+        assert low.vdd == 0.7
+        assert low.nmos == cmos_32nm().nmos
+
+    def test_singletons_match_factories(self):
+        assert CMOS_32NM == cmos_32nm()
+        assert CNTFET_32NM == cntfet_32nm()
+
+    def test_paper_capacitance_assumption(self):
+        """Unit gate, drain and source capacitances are identical
+        (Section 4)."""
+        for tech in (CMOS_32NM, CNTFET_32NM):
+            assert tech.nmos.c_gate == tech.nmos.c_sd
+
+    def test_ambipolar_flags(self):
+        assert CNTFET_32NM.ambipolar
+        assert not CMOS_32NM.ambipolar
+        assert CNTFET_32NM.nmos.c_pol > 0
+        assert CMOS_32NM.nmos.c_pol == 0.0

@@ -1,0 +1,149 @@
+"""Cell machinery: stages, complement inverters, capacitances."""
+
+import pytest
+
+from repro.devices.parameters import CMOS_32NM, CNTFET_32NM
+from repro.errors import TopologyError
+from repro.gates.cells import Cell, Stage, nfet, signal, tg
+from repro.gates.topology import parallel, series
+from repro.units import AF
+
+
+def _inverter():
+    return Cell("INV", ("a",), (Stage("y", nfet("a")),), "a'")
+
+
+def _nand2():
+    return Cell("NAND2", ("a", "b"),
+                (Stage("y", series(nfet("a"), nfet("b"))),), "(ab)'")
+
+
+def _xor2_tg():
+    return Cell("XOR2", ("a", "b"),
+                (Stage("y", tg("a", "b", invert=True)),), "a^b")
+
+
+class TestEvaluation:
+    def test_inverter(self):
+        cell = _inverter()
+        assert cell.evaluate([False]) is True
+        assert cell.evaluate([True]) is False
+        assert cell.truth_table == 0b01
+
+    def test_nand2_truth_table(self):
+        assert _nand2().truth_table == 0b0111
+
+    def test_tg_xor(self):
+        assert _xor2_tg().truth_table == 0b0110
+
+    def test_multi_stage_buffer(self):
+        buf = Cell("BUF", ("a",),
+                   (Stage("i0", nfet("a")), Stage("y", nfet("i0"))), "a")
+        assert buf.truth_table == 0b10
+
+    def test_wrong_value_count_raises(self):
+        with pytest.raises(TopologyError):
+            _nand2().evaluate([True])
+
+    def test_stage_input_values_exposes_internals(self):
+        buf = Cell("BUF", ("a",),
+                   (Stage("i0", nfet("a")), Stage("y", nfet("i0"))), "a")
+        values = buf.stage_input_values([True])
+        assert values["i0"] is False
+        assert values["y"] is True
+
+
+class TestValidation:
+    def test_duplicate_pins_rejected(self):
+        with pytest.raises(TopologyError):
+            Cell("X", ("a", "a"), (Stage("y", nfet("a")),))
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(TopologyError):
+            Cell("X", ("a",), (Stage("y", nfet("q")),))
+
+    def test_stage_name_collision_rejected(self):
+        with pytest.raises(TopologyError):
+            Cell("X", ("a",),
+                 (Stage("a", nfet("a")),))
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(TopologyError):
+            Cell("X", ("a",), ())
+
+    def test_signal_parser(self):
+        assert signal("a").negated is False
+        assert signal("a'").negated is True
+        assert signal("a'").name == "a"
+
+
+class TestComplementInverters:
+    def test_plain_cell_has_none(self):
+        assert _nand2().complemented_signals() == []
+
+    def test_tg_cell_needs_both_phases(self):
+        assert _xor2_tg().complemented_signals() == ["a", "b"]
+
+    def test_all_stages_order(self):
+        stages = [s.name for s in _xor2_tg().all_stages()]
+        assert stages == ["a#bar", "b#bar", "y"]
+
+    def test_negated_literal_needs_inverter(self):
+        mux = Cell("MUXI2", ("s", "a", "b"),
+                   (Stage("y", parallel(series(nfet("s"), nfet("a")),
+                                        series(nfet("s'"), nfet("b")))),),
+                   "(sa+s'b)'")
+        assert mux.complemented_signals() == ["s"]
+        assert mux.n_devices == 10  # 4+4 network + 2 inverter
+
+    def test_device_counts(self):
+        assert _inverter().n_devices == 2
+        assert _nand2().n_devices == 4
+        # TG pair in both networks (4) + two complement inverters (4)
+        assert _xor2_tg().n_devices == 8
+
+
+class TestCapacitances:
+    def test_inverter_cin_matches_technology(self):
+        cell = _inverter()
+        cmos = cell.pin_capacitance("a", CMOS_32NM.nmos.c_gate,
+                                    CMOS_32NM.nmos.c_pol)
+        cnt = cell.pin_capacitance("a", CNTFET_32NM.nmos.c_gate,
+                                   CNTFET_32NM.nmos.c_pol)
+        assert cmos == pytest.approx(52 * AF)
+        assert cnt == pytest.approx(36 * AF)
+
+    def test_tg_pin_capacitances(self):
+        """TG 'a' drives polarity gates (+ half-width inverter), 'b'
+        conventional gates."""
+        cell = _xor2_tg()
+        c_gate, c_pol = CNTFET_32NM.nmos.c_gate, CNTFET_32NM.nmos.c_pol
+        cap_a = cell.pin_capacitance("a", c_gate, c_pol)
+        cap_b = cell.pin_capacitance("b", c_gate, c_pol)
+        assert cap_a == pytest.approx(2 * c_pol + c_gate)
+        assert cap_b == pytest.approx(2 * c_gate + c_gate)
+
+    def test_unknown_pin_raises(self):
+        with pytest.raises(TopologyError):
+            _inverter().pin_capacitance("z", 1e-18, 0.0)
+
+    def test_average_input_capacitance(self):
+        cell = _nand2()
+        avg = cell.average_input_capacitance(26 * AF, 0.0)
+        assert avg == pytest.approx(52 * AF)
+
+
+class TestStructureMetrics:
+    def test_drive_depth(self):
+        assert _inverter().drive_depth() == 1
+        assert _nand2().drive_depth() == 2
+        assert _xor2_tg().drive_depth() == 1
+
+    def test_output_intrinsic_devices(self):
+        assert _inverter().output_intrinsic_devices() == 2
+        # NAND2: one series chain end + two parallel pull-up devices
+        assert _nand2().output_intrinsic_devices() == 3
+
+    def test_uses_transmission_gates(self):
+        assert _xor2_tg().uses_transmission_gates()
+        assert not _nand2().uses_transmission_gates()

@@ -1,0 +1,64 @@
+"""genlib writer/parser round-trip."""
+
+import itertools
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.gates.genlib import evaluate_expression, parse_genlib, write_genlib
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("fixture", ["glib", "clib", "mlib"])
+    def test_every_cell_survives(self, fixture, request):
+        library = request.getfixturevalue(fixture)
+        gates = parse_genlib(write_genlib(library))
+        assert set(gates) == set(library.names)
+
+    def test_expressions_match_cell_functions(self, glib):
+        gates = parse_genlib(write_genlib(glib))
+        for cell in glib:
+            gate = gates[cell.name]
+            assert gate.pins == list(cell.inputs)
+            for values in itertools.product([False, True],
+                                            repeat=cell.n_inputs):
+                env = dict(zip(cell.inputs, values))
+                assert (evaluate_expression(gate.expression, env)
+                        == cell.evaluate(list(values))), (
+                    f"{cell.name} mismatch at {values}")
+
+    def test_areas_and_caps_round_trip(self, mlib):
+        gates = parse_genlib(write_genlib(mlib))
+        for cell in mlib:
+            gate = gates[cell.name]
+            assert gate.area == pytest.approx(mlib.area(cell.name), abs=0.01)
+            for pin in cell.inputs:
+                expected = mlib.pin_capacitance(cell.name, pin) / 1e-18
+                assert gate.pin_caps[pin] == pytest.approx(expected, abs=0.01)
+
+
+class TestParserErrors:
+    def test_pin_before_gate(self):
+        with pytest.raises(LibraryError):
+            parse_genlib("  PIN a UNKNOWN 1 1 1 1 1 1")
+
+    def test_garbage_line(self):
+        with pytest.raises(LibraryError):
+            parse_genlib("WHAT is this")
+
+    def test_unknown_identifier_in_expression(self):
+        with pytest.raises(LibraryError):
+            evaluate_expression("a*q", {"a": True})
+
+    def test_unbalanced_parentheses(self):
+        with pytest.raises(LibraryError):
+            evaluate_expression("(a", {"a": True})
+
+
+class TestExpressionEvaluation:
+    def test_operators(self):
+        env = {"a": True, "b": False}
+        assert evaluate_expression("a*!b", env)
+        assert evaluate_expression("!a+b", env) is False
+        assert evaluate_expression("CONST1", {})
+        assert evaluate_expression("CONST0", {}) is False

@@ -1,0 +1,110 @@
+"""The three libraries: rosters, functions, derived characteristics."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.gates.ambipolar_library import (
+    GENERALIZED_FUNCTIONS,
+    generalized_cntfet_library,
+)
+from repro.gates.conventional import CONVENTIONAL_FUNCTIONS
+from repro.synth.truth import from_function
+from repro.units import AF
+
+
+class TestRosters:
+    def test_generalized_library_has_46_cells(self, glib):
+        """Section 4: 'the whole library of 46 logic gates designed
+        in [3]'."""
+        assert len(glib) == 46
+
+    def test_conventional_libraries_have_20_cells(self, clib, mlib):
+        assert len(clib) == 20
+        assert len(mlib) == 20
+
+    def test_conventional_cells_present_in_generalized(self, glib, mlib):
+        for name in mlib.names:
+            assert name in glib
+
+    def test_26_generalized_cells(self, glib):
+        generalized = [c for c in glib if c.generalized]
+        assert len(generalized) == 26 + 2  # +2: the TG XOR2/XNOR2
+
+    def test_requires_ambipolar_technology(self, cmos_tech):
+        with pytest.raises(LibraryError):
+            generalized_cntfet_library(cmos_tech)
+
+
+class TestFunctions:
+    @pytest.mark.parametrize("name", sorted(CONVENTIONAL_FUNCTIONS))
+    def test_conventional_functions_exact(self, mlib, name):
+        cell = mlib.cell(name)
+        expected = from_function(CONVENTIONAL_FUNCTIONS[name], cell.n_inputs)
+        assert cell.truth_table == expected
+
+    @pytest.mark.parametrize("name", sorted(GENERALIZED_FUNCTIONS))
+    def test_generalized_functions_exact(self, glib, name):
+        cell = glib.cell(name)
+        expected = from_function(GENERALIZED_FUNCTIONS[name], cell.n_inputs)
+        assert cell.truth_table == expected
+
+    def test_tg_xor2_same_function_fewer_devices(self, glib, mlib):
+        """Fig. 3: the ambipolar XOR2 implements the same function with
+        8 devices instead of the CMOS 12."""
+        assert glib.cell("XOR2").truth_table == mlib.cell("XOR2").truth_table
+        assert glib.cell("XOR2").n_devices == 8
+        assert mlib.cell("XOR2").n_devices == 12
+
+    def test_generalized_cells_use_tgs(self, glib):
+        tg_cells = [c.name for c in glib if c.uses_transmission_gates()]
+        assert "GNAND2B" in tg_cells
+        assert "XOR3" in tg_cells
+        assert "NAND2" not in tg_cells
+
+
+class TestDerivedCharacteristics:
+    def test_inverter_lookup(self, glib, mlib):
+        assert glib.inverter().name == "INV"
+        assert mlib.inverter().name == "INV"
+
+    def test_areas_positive_and_monotone(self, glib):
+        assert glib.area("INV") < glib.area("NAND2") < glib.area("NAND4")
+
+    def test_delay_monotone_in_load(self, glib):
+        t = glib.timing("NAND2")
+        assert t.delay(100 * AF) > t.delay(10 * AF) > 0
+
+    def test_unknown_cell_raises(self, glib):
+        with pytest.raises(LibraryError):
+            glib.cell("NOPE")
+        with pytest.raises(LibraryError):
+            glib.area("NOPE")
+
+    def test_pin_capacitances_complete(self, glib):
+        for cell in glib:
+            caps = glib.pin_capacitances(cell.name)
+            assert set(caps) == set(cell.inputs)
+            assert all(c > 0 for c in caps.values())
+
+    def test_cntfet_cheaper_pins_than_cmos(self, clib, mlib):
+        """Every conventional cell pin is cheaper in CNTFET."""
+        for cell in clib:
+            for pin in cell.inputs:
+                assert (clib.pin_capacitance(cell.name, pin)
+                        < mlib.pin_capacitance(cell.name, pin))
+
+    def test_match_index_entries_realize_functions(self, mlib):
+        """Spot-check: each (cell, perm) in the index reproduces the
+        indexed truth table."""
+        from repro.synth.truth import permute
+        index = mlib.match_index()
+        checked = 0
+        for arity, bucket in index.items():
+            for table, (cell_name, perm) in list(bucket.items())[:20]:
+                cell = mlib.cell(cell_name)
+                assert permute(cell.truth_table, perm, arity) == table
+                checked += 1
+        assert checked > 10
+
+    def test_timing_caching(self, glib):
+        assert glib.timing("NAND2") is glib.timing("NAND2")

@@ -1,0 +1,152 @@
+"""Switch-network trees: conduction, duality, metrics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TopologyError
+from repro.gates.cells import nfet, pfet, tg
+from repro.gates.topology import (
+    Fet,
+    Parallel,
+    Series,
+    Signal,
+    complement_requirements,
+    conduction,
+    device_count,
+    dual,
+    iter_leaves,
+    network_support,
+    output_adjacency,
+    parallel,
+    series,
+    series_depth,
+)
+
+VARS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def networks(draw, depth=3):
+    """Random series/parallel trees over four signals."""
+    if depth == 0 or draw(st.booleans()):
+        kind = draw(st.sampled_from(["n", "p", "tg"]))
+        if kind == "tg":
+            a, b = draw(st.sampled_from(
+                [(x, y) for x in VARS for y in VARS if x != y]))
+            return tg(a, b, invert=draw(st.booleans()))
+        name = draw(st.sampled_from(VARS))
+        return nfet(name) if kind == "n" else pfet(name)
+    children = draw(st.lists(networks(depth=depth - 1), min_size=2,
+                             max_size=3))
+    combine = series if draw(st.booleans()) else parallel
+    return combine(*children)
+
+
+@st.composite
+def assignments(draw):
+    return {v: draw(st.booleans()) for v in VARS}
+
+
+class TestLeaves:
+    def test_nfet_conducts_on_high(self):
+        assert conduction(nfet("a"), {"a": True})
+        assert not conduction(nfet("a"), {"a": False})
+
+    def test_pfet_conducts_on_low(self):
+        assert conduction(pfet("a"), {"a": False})
+        assert not conduction(pfet("a"), {"a": True})
+
+    def test_negated_control(self):
+        assert conduction(nfet("a'"), {"a": False})
+
+    def test_tg_conducts_on_xor(self):
+        gate = tg("a", "b")
+        assert conduction(gate, {"a": True, "b": False})
+        assert not conduction(gate, {"a": True, "b": True})
+
+    def test_tg_inverted(self):
+        gate = tg("a", "b", invert=True)
+        assert conduction(gate, {"a": True, "b": True})
+
+    def test_missing_signal_raises(self):
+        with pytest.raises(TopologyError):
+            conduction(nfet("a"), {})
+
+    def test_bad_polarity_rejected(self):
+        with pytest.raises(TopologyError):
+            Fet(Signal("a"), "x")
+
+
+class TestComposition:
+    def test_series_is_and(self):
+        net = series(nfet("a"), nfet("b"))
+        assert conduction(net, {"a": True, "b": True})
+        assert not conduction(net, {"a": True, "b": False})
+
+    def test_parallel_is_or(self):
+        net = parallel(nfet("a"), nfet("b"))
+        assert conduction(net, {"a": False, "b": True})
+        assert not conduction(net, {"a": False, "b": False})
+
+    def test_constructors_flatten(self):
+        net = series(nfet("a"), series(nfet("b"), nfet("c")))
+        assert isinstance(net, Series)
+        assert len(net.children) == 3
+
+    def test_single_child_passthrough(self):
+        assert series(nfet("a")) == nfet("a")
+
+    def test_too_few_children_rejected(self):
+        with pytest.raises(TopologyError):
+            Series((nfet("a"),))
+        with pytest.raises(TopologyError):
+            Parallel((nfet("a"),))
+
+
+class TestDuality:
+    @given(net=networks(), values=assignments())
+    @settings(max_examples=200, deadline=None)
+    def test_dual_complements_conduction(self, net, values):
+        """The heart of static gate design: PU = dual(PD) conducts
+        exactly when PD does not."""
+        assert conduction(dual(net), values) == (not conduction(net, values))
+
+    @given(net=networks())
+    @settings(max_examples=100, deadline=None)
+    def test_dual_is_involution(self, net):
+        assert dual(dual(net)) == net
+
+    @given(net=networks())
+    @settings(max_examples=100, deadline=None)
+    def test_dual_preserves_counts(self, net):
+        assert device_count(dual(net)) == device_count(net)
+        assert network_support(dual(net)) == network_support(net)
+
+
+class TestMetrics:
+    def test_device_count_tg_is_two(self):
+        assert device_count(tg("a", "b")) == 2
+        assert device_count(series(tg("a", "b"), nfet("c"))) == 3
+
+    def test_series_depth(self):
+        net = series(nfet("a"), parallel(series(nfet("b"), nfet("c")),
+                                         nfet("d")))
+        assert series_depth(net) == 3
+
+    def test_output_adjacency(self):
+        net = parallel(series(nfet("a"), nfet("b")), nfet("c"))
+        assert output_adjacency(net) == 2  # first of the chain + the leaf
+
+    def test_support(self):
+        net = series(tg("a", "b"), nfet("c"))
+        assert network_support(net) == {"a", "b", "c"}
+
+    def test_complement_requirements(self):
+        assert complement_requirements(series(nfet("a"), nfet("b"))) == set()
+        assert complement_requirements(nfet("a'")) == {"a"}
+        assert complement_requirements(tg("a", "b")) == {"a", "b"}
+
+    def test_iter_leaves_order(self):
+        net = series(nfet("a"), parallel(nfet("b"), nfet("c")))
+        names = [leaf.control.name for leaf in iter_leaves(net)]
+        assert names == ["a", "b", "c"]

@@ -1,0 +1,59 @@
+"""Activity factors: the paper's Section 3 examples."""
+
+import pytest
+
+from repro.power.activity import (
+    activity_factor,
+    output_one_probability,
+    switching_probability,
+)
+
+
+class TestPaperExamples:
+    def test_nand2_is_25_percent(self, mlib):
+        """'For 2-input NOR and NAND gates ... an activity factor of
+        25%.'"""
+        assert activity_factor(mlib.cell("NAND2")) == pytest.approx(0.25)
+
+    def test_nor2_is_25_percent(self, mlib):
+        assert activity_factor(mlib.cell("NOR2")) == pytest.approx(0.25)
+
+    def test_xor2_is_50_percent(self, mlib):
+        """'for 2-input XOR gates, the activity factor is 50%.'"""
+        assert activity_factor(mlib.cell("XOR2")) == pytest.approx(0.50)
+
+    def test_embedded_xor_does_not_blow_up_activity(self, glib):
+        """Section 4: embedding XOR in complex generalized gates does
+        not increase the overall activity factor."""
+        gnand = activity_factor(glib.cell("GNAND2A"))
+        nand = activity_factor(glib.cell("NAND2"))
+        assert gnand <= 2 * nand
+        mean_generalized = sum(
+            activity_factor(c) for c in glib if c.generalized) / 28
+        mean_conventional = sum(
+            activity_factor(c) for c in glib if not c.generalized) / 18
+        assert mean_generalized == pytest.approx(mean_conventional, abs=0.12)
+
+
+class TestDefinitions:
+    def test_activity_is_minority_fraction(self, mlib):
+        cell = mlib.cell("NAND3")
+        p1 = output_one_probability(cell)
+        assert p1 == pytest.approx(7 / 8)
+        assert activity_factor(cell) == pytest.approx(1 / 8)
+
+    def test_switching_probability(self, mlib):
+        cell = mlib.cell("NAND2")
+        assert switching_probability(cell) == pytest.approx(
+            2 * 0.75 * 0.25)
+
+    def test_inverter_is_maximal(self, mlib):
+        assert activity_factor(mlib.cell("INV")) == pytest.approx(0.5)
+        assert switching_probability(mlib.cell("INV")) == pytest.approx(0.5)
+
+    def test_bounds(self, glib):
+        for cell in glib:
+            a = activity_factor(cell)
+            assert 0.0 <= a <= 0.5
+            s = switching_probability(cell)
+            assert 0.0 <= s <= 0.5

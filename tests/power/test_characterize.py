@@ -1,0 +1,92 @@
+"""Library characterization (Fig. 5 flow) and the Section 4 comparison."""
+
+import pytest
+
+from repro.power.characterize import characterize_cell, characterize_library
+from repro.power.compare import compare_libraries
+from repro.power.model import PowerParameters
+from repro.power.pattern_sim import PatternSimulator
+
+
+@pytest.fixture(scope="module")
+def cnt_report(glib):
+    return characterize_library(glib)
+
+
+@pytest.fixture(scope="module")
+def cmos_report(mlib):
+    return characterize_library(mlib)
+
+
+class TestCellCharacterization:
+    def test_inverter_static_power_is_ioff_vdd(self, mlib):
+        """For the inverter, PS must equal the single-device
+        off-current times VDD (Eq. 4) for every vector."""
+        params = PowerParameters()
+        sim = PatternSimulator(mlib.tech)
+        report = characterize_cell(mlib.cell("INV"), mlib, sim, params)
+        from repro.devices.model import off_current
+        expected = off_current(mlib.tech.nmos, 0.9) * 0.9
+        assert report.power.static == pytest.approx(expected, rel=1e-6)
+
+    def test_dynamic_power_formula(self, mlib):
+        params = PowerParameters()
+        sim = PatternSimulator(mlib.tech)
+        report = characterize_cell(mlib.cell("NAND2"), mlib, sim, params)
+        expected = (report.activity * report.load_capacitance
+                    * params.frequency * params.vdd**2)
+        assert report.power.dynamic == pytest.approx(expected)
+        assert report.power.short_circuit == pytest.approx(0.15 * expected)
+
+    def test_distinct_patterns_counted(self, mlib):
+        params = PowerParameters()
+        sim = PatternSimulator(mlib.tech)
+        report = characterize_cell(mlib.cell("NOR3"), mlib, sim, params)
+        # NOR3 vectors reduce to: p(d,d,d), s+p mixes, s(d,d,d) ...
+        assert 2 <= report.distinct_patterns <= 8
+
+
+class TestLibraryReports:
+    def test_all_cells_characterized(self, cnt_report, glib):
+        assert set(cnt_report.cells) == set(glib.names)
+
+    def test_pattern_reuse_across_cells(self, cnt_report):
+        """The whole 46-cell library needs only a few dozen SPICE
+        solves — the point of the classification method."""
+        assert cnt_report.pattern_solves == cnt_report.distinct_patterns
+        assert cnt_report.distinct_patterns < 46
+
+    def test_gate_leak_fractions_match_paper(self, cnt_report, cmos_report):
+        """PG ~ 10% of PS for CMOS, < 1% for CNTFET (Section 4)."""
+        assert cmos_report.gate_leak_fraction_of_static() == pytest.approx(
+            0.10, abs=0.04)
+        assert cnt_report.gate_leak_fraction_of_static() < 0.01
+
+    def test_subset(self, cmos_report):
+        sub = cmos_report.subset(["INV", "NAND2"])
+        assert set(sub.cells) == {"INV", "NAND2"}
+
+
+class TestComparison:
+    def test_section4_claims(self, cnt_report, cmos_report):
+        cmp = compare_libraries(cnt_report, cmos_report)
+        assert len(cmp.common_cells) == 20
+        # 27% dynamic saving in the paper; we land in the same band.
+        assert 0.20 <= cmp.dynamic_saving <= 0.40
+        # one order of magnitude static gap
+        assert 7 <= cmp.static_ratio <= 14
+        # 28% total saving in the paper
+        assert 0.22 <= cmp.total_saving <= 0.42
+        # equal average activity factors
+        assert cmp.candidate_activity == pytest.approx(
+            cmp.reference_activity, abs=1e-9)
+
+    def test_summary_lines_render(self, cnt_report, cmos_report):
+        lines = compare_libraries(cnt_report, cmos_report).summary_lines()
+        assert any("dynamic" in line for line in lines)
+
+    def test_static_two_orders_below_dynamic(self, cnt_report):
+        """Section 4: static power is about two orders of magnitude
+        below dynamic power for the CNTFET families."""
+        mean = cnt_report.mean_power()
+        assert mean.static < mean.dynamic / 30

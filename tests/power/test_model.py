@@ -1,0 +1,83 @@
+"""Equations 1-5 and the EDP definition."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.power.model import (
+    PowerBreakdown,
+    PowerParameters,
+    SHORT_CIRCUIT_FRACTION,
+    dynamic_power,
+    energy_delay_product,
+    gate_leakage_power,
+    short_circuit_power,
+    static_power,
+)
+
+PARAMS = PowerParameters()  # the paper's 0.9 V / 1 GHz / fanout 3
+
+
+class TestEquations:
+    def test_eq2_dynamic(self):
+        """PD = alpha C f VDD^2."""
+        assert dynamic_power(0.25, 200e-18, PARAMS) == pytest.approx(
+            0.25 * 200e-18 * 1e9 * 0.81)
+
+    def test_eq3_short_circuit_is_15_percent(self):
+        assert SHORT_CIRCUIT_FRACTION == 0.15
+        assert short_circuit_power(10e-6) == pytest.approx(1.5e-6)
+
+    def test_eq4_static(self):
+        assert static_power(3e-9, PARAMS) == pytest.approx(2.7e-9)
+
+    def test_eq5_gate_leak(self):
+        assert gate_leakage_power(0.15e-9, PARAMS) == pytest.approx(0.135e-9)
+
+    def test_eq1_total(self):
+        b = PowerBreakdown(10.0, 1.5, 0.5, 0.05)
+        assert b.total == pytest.approx(12.05)
+
+
+class TestEdpDefinition:
+    def test_matches_paper_c2670_cmos(self):
+        """Table 1, C2670/CMOS: 25.42 uW at 320 ps -> 8.13e-24 J*s."""
+        edp = energy_delay_product(25.42e-6, 320e-12, PARAMS)
+        assert edp / 1e-24 == pytest.approx(8.13, abs=0.01)
+
+    def test_matches_paper_c2670_generalized(self):
+        """Table 1, C2670/generalized: 12.70 uW at 52 ps -> 0.66e-24."""
+        edp = energy_delay_product(12.70e-6, 52e-12, PARAMS)
+        assert edp / 1e-24 == pytest.approx(0.66, abs=0.01)
+
+    def test_matches_paper_c6288_cmos(self):
+        """Table 1's largest entry: 143.53 uW at 1268 ps -> 181.96e-24."""
+        edp = energy_delay_product(143.53e-6, 1268e-12, PARAMS)
+        assert edp / 1e-24 == pytest.approx(181.96, abs=0.5)
+
+
+class TestBreakdownAlgebra:
+    def test_addition(self):
+        a = PowerBreakdown(1.0, 0.15, 0.1, 0.01)
+        b = PowerBreakdown(2.0, 0.30, 0.2, 0.02)
+        total = a + b
+        assert total.dynamic == pytest.approx(3.0)
+        assert total.gate_leak == pytest.approx(0.03)
+
+    def test_scaling(self):
+        a = PowerBreakdown(2.0, 0.3, 0.2, 0.02).scaled(0.5)
+        assert a.dynamic == pytest.approx(1.0)
+        assert a.static == pytest.approx(0.1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"vdd": 0.0}, {"frequency": -1.0}, {"fanout": 0},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ExperimentError):
+            PowerParameters(**kwargs)
+
+    def test_paper_defaults(self):
+        assert PARAMS.vdd == 0.9
+        assert PARAMS.frequency == 1e9
+        assert PARAMS.fanout == 3

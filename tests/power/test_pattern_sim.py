@@ -1,0 +1,80 @@
+"""Circuit-level pattern quantification and its cache."""
+
+import pytest
+
+from repro.devices.model import off_current
+from repro.devices.parameters import CMOS_32NM, CNTFET_32NM
+from repro.power.pattern_sim import PatternSimulator
+from repro.power.patterns import LeakagePattern
+
+
+def _pattern(key_tree):
+    return LeakagePattern(key_tree)
+
+
+D = ("d",)
+
+
+class TestSingleDevice:
+    def test_matches_model_off_current(self):
+        sim = PatternSimulator(CMOS_32NM)
+        i = sim.off_current(_pattern(D))
+        assert i == pytest.approx(off_current(CMOS_32NM.nmos, 0.9),
+                                  rel=1e-6)
+
+
+class TestStackEffects:
+    def test_parallel_adds_linearly(self):
+        sim = PatternSimulator(CMOS_32NM)
+        single = sim.off_current(_pattern(D))
+        triple = sim.off_current(_pattern(("p", D, D, D)))
+        assert triple == pytest.approx(3 * single, rel=1e-6)
+
+    def test_series_suppresses(self):
+        """The stack effect: 2 series devices leak less than half of
+        one device (Fig. 4's '< Ileak')."""
+        sim = PatternSimulator(CMOS_32NM)
+        single = sim.off_current(_pattern(D))
+        double = sim.off_current(_pattern(("s", D, D)))
+        triple = sim.off_current(_pattern(("s", D, D, D)))
+        assert double < 0.5 * single
+        assert triple < double
+
+    def test_fig4_ratio_exceeds_three(self):
+        """Fig. 4: [0 0 0] vs [1 1 1] on NOR3 differ by more than 3x."""
+        sim = PatternSimulator(CMOS_32NM)
+        ratio = (sim.off_current(_pattern(("p", D, D, D)))
+                 / sim.off_current(_pattern(("s", D, D, D))))
+        assert ratio > 3.0
+
+    def test_mixed_tree(self):
+        sim = PatternSimulator(CMOS_32NM)
+        mixed = sim.off_current(_pattern(("s", D, ("p", D, D))))
+        single = sim.off_current(_pattern(D))
+        assert 0 < mixed < single
+
+
+class TestTechnologies:
+    def test_cntfet_order_of_magnitude_lower(self):
+        cmos = PatternSimulator(CMOS_32NM)
+        cnt = PatternSimulator(CNTFET_32NM)
+        for tree in (D, ("s", D, D), ("p", D, D, D)):
+            ratio = (cmos.off_current(_pattern(tree))
+                     / cnt.off_current(_pattern(tree)))
+            assert ratio > 5
+
+
+class TestCache:
+    def test_each_pattern_solved_once(self):
+        sim = PatternSimulator(CMOS_32NM)
+        for _ in range(5):
+            sim.off_current(_pattern(D))
+            sim.off_current(_pattern(("s", D, D)))
+        assert sim.solves == 2
+        assert sim.cache_size == 2
+        assert sim.pattern_keys == {"d", "s(d,d)"}
+
+    def test_currents_carry_device_count(self):
+        sim = PatternSimulator(CMOS_32NM)
+        currents = sim.currents(_pattern(("p", D, ("s", D, D))))
+        assert currents.n_devices == 3

@@ -1,0 +1,78 @@
+"""Circuit power estimation (the Table 1 cell methodology)."""
+
+import pytest
+
+from repro.circuits.adders import ripple_adder_circuit, parity_tree_circuit
+from repro.power.model import PowerParameters
+from repro.sim.estimator import estimate_circuit_power
+from repro.synth.mapper import map_aig
+
+
+@pytest.fixture(scope="module")
+def adder_report(glib):
+    netlist = map_aig(ripple_adder_circuit(4), glib)
+    return estimate_circuit_power(netlist, n_patterns=8192, seed=11)
+
+
+class TestComposition:
+    def test_eq1_holds(self, adder_report):
+        r = adder_report
+        assert r.p_total == pytest.approx(
+            r.p_dynamic + r.p_short_circuit + r.p_static + r.p_gate_leak)
+
+    def test_psc_is_15_percent_of_pd(self, adder_report):
+        assert adder_report.p_short_circuit == pytest.approx(
+            0.15 * adder_report.p_dynamic)
+
+    def test_all_components_positive(self, adder_report):
+        assert adder_report.p_dynamic > 0
+        assert adder_report.p_static > 0
+        assert adder_report.p_gate_leak > 0
+        assert adder_report.delay > 0
+
+    def test_static_well_below_dynamic(self, adder_report):
+        """Section 4: PS is orders of magnitude below PD for CNTFETs."""
+        assert adder_report.p_static < adder_report.p_dynamic / 20
+
+    def test_edp_definition(self, adder_report):
+        params = PowerParameters()
+        assert adder_report.edp(params) == pytest.approx(
+            adder_report.p_total / 1e9 * adder_report.delay)
+
+
+class TestBehaviour:
+    def test_deterministic(self, glib):
+        netlist = map_aig(ripple_adder_circuit(3), glib)
+        a = estimate_circuit_power(netlist, n_patterns=2048, seed=5)
+        b = estimate_circuit_power(netlist, n_patterns=2048, seed=5)
+        assert a.p_dynamic == b.p_dynamic
+        assert a.p_static == b.p_static
+
+    def test_pattern_convergence(self, glib):
+        """Power estimates stabilize with pattern count."""
+        netlist = map_aig(ripple_adder_circuit(4), glib)
+        small = estimate_circuit_power(netlist, n_patterns=16384, seed=1)
+        large = estimate_circuit_power(netlist, n_patterns=65536, seed=2)
+        assert small.p_dynamic == pytest.approx(large.p_dynamic, rel=0.05)
+        assert small.p_static == pytest.approx(large.p_static, rel=0.05)
+
+    def test_cmos_consumes_more(self, glib, mlib):
+        aig = parity_tree_circuit(8)
+        cnt = estimate_circuit_power(map_aig(aig, glib),
+                                     n_patterns=4096, seed=3)
+        cmos = estimate_circuit_power(map_aig(aig, mlib),
+                                      n_patterns=4096, seed=3)
+        assert cmos.p_total > cnt.p_total
+        assert cmos.p_static > 3 * cnt.p_static
+        assert cmos.delay > 3 * cnt.delay
+
+    def test_xor_circuit_prefers_generalized(self, glib, clib):
+        """A parity tree maps into far fewer gates with TG XOR cells."""
+        aig = parity_tree_circuit(16)
+        generalized = map_aig(aig, glib)
+        conventional = map_aig(aig, clib)
+        assert generalized.total_devices() < conventional.total_devices()
+
+    def test_gate_count_reported(self, adder_report):
+        assert adder_report.gate_count > 5
+        assert adder_report.library == "cntfet-generalized"

@@ -1,0 +1,153 @@
+"""DC operating-point solver: linear exactness, nonlinear robustness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.parameters import CMOS_32NM
+from repro.errors import NetlistError
+from repro.spice import Circuit, GROUND, dc_sweep, operating_point
+
+VDD = CMOS_32NM.vdd
+
+
+def _divider(r1, r2, v=1.0):
+    ckt = Circuit("divider")
+    ckt.add_vsource("v1", "top", GROUND, v)
+    ckt.add_resistor("r1", "top", "mid", r1)
+    ckt.add_resistor("r2", "mid", GROUND, r2)
+    return ckt
+
+
+class TestLinearNetworks:
+    def test_divider_exact(self):
+        sol = operating_point(_divider(1000.0, 3000.0))
+        assert sol.voltage("mid") == pytest.approx(0.75, abs=1e-9)
+
+    def test_source_current_sign(self):
+        """Branch current flows + to - inside the source: negative when
+        the source delivers power."""
+        sol = operating_point(_divider(1000.0, 1000.0, v=2.0))
+        assert sol.source_current("v1") == pytest.approx(-1e-3, rel=1e-9)
+
+    def test_current_source_into_resistor(self):
+        ckt = Circuit("isrc")
+        ckt.add_isource("i1", GROUND, "out", 1e-3)
+        ckt.add_resistor("r1", "out", GROUND, 2000.0)
+        sol = operating_point(ckt)
+        assert sol.voltage("out") == pytest.approx(2.0, rel=1e-9)
+
+    def test_two_sources_superpose(self):
+        ckt = Circuit("two")
+        ckt.add_vsource("va", "a", GROUND, 1.0)
+        ckt.add_vsource("vb", "b", GROUND, 2.0)
+        ckt.add_resistor("ra", "a", "mid", 1000.0)
+        ckt.add_resistor("rb", "b", "mid", 1000.0)
+        ckt.add_resistor("rg", "mid", GROUND, 1000.0)
+        sol = operating_point(ckt)
+        assert sol.voltage("mid") == pytest.approx(1.0, rel=1e-9)
+
+    def test_ground_aliases(self):
+        ckt = Circuit("alias")
+        ckt.add_vsource("v1", "top", "gnd", 1.0)
+        ckt.add_resistor("r1", "top", "0", 100.0)
+        sol = operating_point(ckt)
+        assert sol.voltage("gnd") == 0.0
+        assert sol.source_current("v1") == pytest.approx(-0.01, rel=1e-9)
+
+    @given(st.lists(st.floats(min_value=10.0, max_value=1e6), min_size=2,
+                    max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_resistor_ladder_matches_closed_form(self, resistances):
+        """Series ladder: node voltages follow the resistive divide."""
+        ckt = Circuit("ladder")
+        ckt.add_vsource("v1", "n0", GROUND, 1.0)
+        for k, r in enumerate(resistances):
+            bottom = GROUND if k == len(resistances) - 1 else f"n{k + 1}"
+            ckt.add_resistor(f"r{k}", f"n{k}", bottom, r)
+        sol = operating_point(ckt)
+        total = sum(resistances)
+        below = total
+        for k, r in enumerate(resistances[:-1]):
+            below -= r
+            assert sol.voltage(f"n{k + 1}") == pytest.approx(
+                below / total, rel=1e-7, abs=1e-9)
+
+
+class TestTransistorCircuits:
+    def _inverter(self, vin):
+        ckt = Circuit("inv")
+        ckt.add_vsource("vdd", "vdd", GROUND, VDD)
+        ckt.add_vsource("vin", "in", GROUND, vin)
+        ckt.add_mosfet("mp", "out", "in", "vdd", CMOS_32NM.pmos)
+        ckt.add_mosfet("mn", "out", "in", GROUND, CMOS_32NM.nmos)
+        return ckt
+
+    def test_inverter_rails(self):
+        assert operating_point(self._inverter(0.0)).voltage("out") == \
+            pytest.approx(VDD, abs=2e-3)
+        assert operating_point(self._inverter(VDD)).voltage("out") == \
+            pytest.approx(0.0, abs=2e-3)
+
+    def test_vtc_monotone_decreasing(self):
+        ckt = self._inverter(0.0)
+        sols = dc_sweep(ckt, "vin", np.linspace(0.0, VDD, 19))
+        outs = [s.voltage("out") for s in sols]
+        assert all(b <= a + 1e-6 for a, b in zip(outs, outs[1:]))
+        # sweep restores the original source value
+        assert ckt.element("vin").voltage() == 0.0
+
+    def test_stack_effect(self):
+        """Series off-transistors leak far less than a single device."""
+        def leak(n_series):
+            ckt = Circuit("stack")
+            ckt.add_vsource("vdd", "vdd", GROUND, VDD)
+            previous = "vdd"
+            for k in range(n_series):
+                nxt = GROUND if k == n_series - 1 else f"x{k}"
+                ckt.add_mosfet(f"m{k}", previous, GROUND, nxt,
+                               CMOS_32NM.nmos)
+                previous = nxt
+            return -operating_point(ckt).source_current("vdd")
+
+        single, double, triple = leak(1), leak(2), leak(3)
+        assert single > 2 * double > 0
+        assert double > triple > 0
+
+    def test_transmission_gate_passes_rail(self):
+        ckt = Circuit("tg")
+        ckt.add_vsource("vdd", "vdd", GROUND, VDD)
+        ckt.add_mosfet("mn", "vdd", "vdd", "out", CMOS_32NM.nmos)
+        ckt.add_mosfet("mp", "vdd", GROUND, "out", CMOS_32NM.pmos)
+        ckt.add_resistor("rl", "out", GROUND, 1e9)
+        sol = operating_point(ckt)
+        assert sol.voltage("out") == pytest.approx(VDD, abs=5e-3)
+
+
+class TestErrorsAndEdgeCases:
+    def test_unknown_node_query(self):
+        sol = operating_point(_divider(100.0, 100.0))
+        with pytest.raises(NetlistError):
+            sol.voltage("nope")
+        with pytest.raises(NetlistError):
+            sol.source_current("nope")
+
+    def test_duplicate_element_rejected(self):
+        ckt = Circuit("dup")
+        ckt.add_resistor("r1", "a", GROUND, 100.0)
+        with pytest.raises(NetlistError):
+            ckt.add_resistor("r1", "a", GROUND, 200.0)
+
+    def test_nonpositive_resistance_rejected(self):
+        ckt = Circuit("bad")
+        with pytest.raises(NetlistError):
+            ckt.add_resistor("r1", "a", GROUND, 0.0)
+
+    def test_sweep_requires_voltage_source(self):
+        ckt = _divider(100.0, 100.0)
+        with pytest.raises(NetlistError):
+            dc_sweep(ckt, "r1", [0.1, 0.2])
+
+    def test_empty_circuit(self):
+        sol = operating_point(Circuit("empty"))
+        assert sol.node_voltages == {}

@@ -1,0 +1,56 @@
+"""Netlist construction and queries."""
+
+import pytest
+
+from repro.devices.ambipolar import AmbipolarCNTFET
+from repro.devices.parameters import CMOS_32NM, CNTFET_32NM
+from repro.errors import NetlistError
+from repro.spice.netlist import Circuit, GROUND, canonical_node
+
+
+class TestConstruction:
+    def test_all_element_kinds(self):
+        ckt = Circuit("all")
+        ckt.add_vsource("v1", "a", GROUND, 1.0)
+        ckt.add_isource("i1", "a", "b", 1e-6)
+        ckt.add_resistor("r1", "b", "c", 100.0)
+        ckt.add_capacitor("c1", "c", GROUND, 1e-15)
+        ckt.add_mosfet("m1", "c", "a", GROUND, CMOS_32NM.nmos)
+        ckt.add_ambipolar("ma", "c", "a", "b", GROUND,
+                          AmbipolarCNTFET(CNTFET_32NM.nmos), 0.9)
+        assert len(ckt.elements) == 6
+        assert ckt.element("m1").params.polarity == "n"
+
+    def test_node_names_exclude_ground(self):
+        ckt = Circuit("n")
+        ckt.add_resistor("r1", "a", "gnd", 1.0)
+        ckt.add_resistor("r2", "a", "b", 1.0)
+        assert set(ckt.node_names()) == {"a", "b"}
+
+    def test_unknown_element_lookup(self):
+        with pytest.raises(NetlistError):
+            Circuit("x").element("nope")
+
+    def test_time_dependent_source(self):
+        ckt = Circuit("t")
+        source = ckt.add_vsource("v1", "a", GROUND, lambda t: 2.0 * t)
+        assert source.voltage(0.5) == 1.0
+
+    def test_voltage_sources_listing(self):
+        ckt = Circuit("vs")
+        ckt.add_vsource("v1", "a", GROUND, 1.0)
+        ckt.add_vsource("v2", "b", GROUND, 2.0)
+        assert [s.name for s in ckt.voltage_sources()] == ["v1", "v2"]
+
+    def test_capacitor_validation(self):
+        with pytest.raises(NetlistError):
+            Circuit("c").add_capacitor("c1", "a", GROUND, -1e-15)
+
+
+class TestCanonicalNode:
+    @pytest.mark.parametrize("alias", ["0", "gnd", "GND", "vss", "VSS"])
+    def test_ground_aliases(self, alias):
+        assert canonical_node(alias) == GROUND
+
+    def test_regular_names_untouched(self):
+        assert canonical_node("out") == "out"

@@ -1,0 +1,120 @@
+"""Trapezoidal transient integrator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.devices.parameters import CMOS_32NM
+from repro.errors import SimulationError
+from repro.spice import (
+    Circuit,
+    GROUND,
+    crossing_time,
+    measure_swing,
+    piecewise_linear,
+    pulse,
+    transient,
+)
+
+VDD = CMOS_32NM.vdd
+
+
+class TestRCNetworks:
+    def test_rc_charging_matches_analytic(self):
+        r, c = 10e3, 1e-15  # tau = 10 ps
+        ckt = Circuit("rc")
+        ckt.add_vsource("vs", "in", GROUND, 1.0)
+        ckt.add_resistor("r1", "in", "out", r)
+        ckt.add_capacitor("c1", "out", GROUND, c)
+        result = transient(ckt, stop_time=50e-12, step=0.05e-12,
+                           initial={"in": 1.0, "out": 0.0})
+        tau = r * c
+        for t_check in (5e-12, 10e-12, 30e-12):
+            idx = int(round(t_check / 0.05e-12))
+            expected = 1.0 - math.exp(-result.times[idx] / tau)
+            assert result.voltage("out")[idx] == pytest.approx(
+                expected, abs=0.01)
+
+    def test_rc_discharge(self):
+        ckt = Circuit("rc2")
+        ckt.add_vsource("vs", "in", GROUND, 0.0)
+        ckt.add_resistor("r1", "in", "out", 1e3)
+        ckt.add_capacitor("c1", "out", GROUND, 1e-15)
+        result = transient(ckt, stop_time=20e-12, step=0.02e-12,
+                           initial={"out": 1.0})
+        assert result.final_voltage("out") < 0.01
+
+    def test_capacitor_blocks_dc(self):
+        """With no initial kick the capacitor holds its DC solution."""
+        ckt = Circuit("dc-hold")
+        ckt.add_vsource("vs", "in", GROUND, 0.5)
+        ckt.add_resistor("r1", "in", "out", 1e3)
+        ckt.add_capacitor("c1", "out", GROUND, 1e-15)
+        result = transient(ckt, stop_time=5e-12, step=0.05e-12)
+        assert np.allclose(result.voltage("out"), 0.5, atol=1e-6)
+
+
+class TestInverterTransient:
+    def _inverter(self, source):
+        ckt = Circuit("inv")
+        ckt.add_vsource("vdd", "vdd", GROUND, VDD)
+        ckt.add_vsource("vin", "in", GROUND, source)
+        ckt.add_mosfet("mp", "out", "in", "vdd", CMOS_32NM.pmos)
+        ckt.add_mosfet("mn", "out", "in", GROUND, CMOS_32NM.nmos)
+        ckt.add_capacitor("cl", "out", GROUND, 208e-18)
+        return ckt
+
+    def test_propagation_delay_near_analytic_fo3(self):
+        """Transient tpHL within ~25% of the analytic 20 ps FO3 figure."""
+        ckt = self._inverter(pulse(0.0, VDD, 10e-12, 2e-12, 150e-12))
+        result = transient(ckt, stop_time=120e-12, step=0.25e-12)
+        t_in = crossing_time(result.times, result.voltage("in"), VDD / 2)
+        t_out = crossing_time(result.times, result.voltage("out"), VDD / 2,
+                              rising=False)
+        assert (t_out - t_in) == pytest.approx(20e-12, rel=0.25)
+
+    def test_full_swing(self):
+        ckt = self._inverter(pulse(0.0, VDD, 10e-12, 2e-12, 60e-12))
+        result = transient(ckt, stop_time=150e-12, step=0.5e-12)
+        assert measure_swing(result.voltage("out")) == pytest.approx(
+            VDD, abs=0.02)
+
+
+class TestSourcesAndMeasures:
+    def test_pulse_shape(self):
+        wave = pulse(0.0, 1.0, delay=1.0, rise=1.0, width=2.0)
+        assert wave(0.5) == 0.0
+        assert wave(1.5) == pytest.approx(0.5)
+        assert wave(3.0) == 1.0
+        assert wave(4.5) == pytest.approx(0.5)
+        assert wave(10.0) == 0.0
+
+    def test_pulse_periodic(self):
+        wave = pulse(0.0, 1.0, delay=0.0, rise=0.1, width=0.4, period=1.0)
+        assert wave(0.2) == 1.0
+        assert wave(1.2) == 1.0
+        assert wave(2.7) == 0.0
+
+    def test_piecewise_linear(self):
+        wave = piecewise_linear([(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)])
+        assert wave(0.5) == pytest.approx(0.5)
+        assert wave(1.5) == pytest.approx(0.75)
+        assert wave(5.0) == pytest.approx(0.5)
+
+    def test_crossing_time_interpolates(self):
+        times = np.array([0.0, 1.0, 2.0])
+        values = np.array([0.0, 0.0, 1.0])
+        assert crossing_time(times, values, 0.25) == pytest.approx(1.25)
+
+    def test_crossing_time_not_found(self):
+        with pytest.raises(SimulationError):
+            crossing_time(np.array([0.0, 1.0]), np.array([0.0, 0.1]), 0.5)
+
+    def test_invalid_transient_arguments(self):
+        ckt = Circuit("x")
+        ckt.add_vsource("v", "a", GROUND, 1.0)
+        with pytest.raises(SimulationError):
+            transient(ckt, stop_time=0.0, step=1e-12)
+        with pytest.raises(SimulationError):
+            transient(ckt, stop_time=1e-12, step=0.0)

@@ -1,0 +1,177 @@
+"""AIG construction, strashing, simulation, compaction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.synth.aig import (
+    Aig,
+    AigError,
+    FALSE,
+    TRUE,
+    lit_node,
+    lit_not,
+    lit_phase,
+)
+
+
+class TestLiterals:
+    def test_encoding(self):
+        assert lit_node(7) == 3
+        assert lit_phase(7) == 1
+        assert lit_not(6) == 7
+
+
+class TestConstruction:
+    def test_constant_folding(self):
+        aig = Aig()
+        a = aig.add_pi("a")
+        assert aig.and_(a, FALSE) == FALSE
+        assert aig.and_(a, TRUE) == a
+        assert aig.and_(a, a) == a
+        assert aig.and_(a, lit_not(a)) == FALSE
+
+    def test_structural_hashing(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        x = aig.and_(a, b)
+        y = aig.and_(b, a)
+        assert x == y
+        assert aig.n_nodes == 1
+
+    def test_xor_structure(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        x = aig.xor_(a, b)
+        aig.add_po(x)
+        assert aig.evaluate([True, False]) == [True]
+        assert aig.evaluate([True, True]) == [False]
+
+    def test_mux(self):
+        aig = Aig()
+        s, a, b = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        aig.add_po(aig.mux_(s, a, b))
+        assert aig.evaluate([True, True, False]) == [True]
+        assert aig.evaluate([False, True, False]) == [False]
+
+    def test_and_or_many(self):
+        aig = Aig()
+        pis = [aig.add_pi() for _ in range(5)]
+        aig.add_po(aig.and_many(pis), "and")
+        aig.add_po(aig.or_many(pis), "or")
+        assert aig.evaluate([True] * 5) == [True, True]
+        assert aig.evaluate([True, True, False, True, True]) == [False, True]
+        assert aig.evaluate([False] * 5) == [False, False]
+
+    def test_empty_and_many_is_true(self):
+        aig = Aig()
+        assert aig.and_many([]) == TRUE
+
+    def test_bad_literal_rejected(self):
+        aig = Aig()
+        with pytest.raises(AigError):
+            aig.and_(0, 99)
+        with pytest.raises(AigError):
+            aig.add_po(99)
+
+    def test_names(self):
+        aig = Aig()
+        aig.add_pi("x")
+        aig.add_po(TRUE, "one")
+        assert aig.pi_names == ["x"]
+        assert aig.po_names == ["one"]
+
+
+class TestSimulation:
+    def test_simulate_matches_evaluate(self):
+        aig = Aig()
+        a, b, c = (aig.add_pi() for _ in range(3))
+        aig.add_po(aig.or_(aig.and_(a, b), aig.xor_(b, c)))
+        for m in range(8):
+            bits = [bool((m >> i) & 1) for i in range(3)]
+            words = [1 if v else 0 for v in bits]
+            assert aig.simulate(words, 1)[0] == (
+                1 if aig.evaluate(bits)[0] else 0)
+
+    def test_wide_simulation(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.add_po(aig.and_(a, b))
+        # patterns: a=0101..., b=0011...
+        out = aig.simulate([0b0101, 0b0011], 4)[0]
+        assert out == 0b0001
+
+    def test_wrong_pi_count(self):
+        aig = Aig()
+        aig.add_pi()
+        with pytest.raises(AigError):
+            aig.simulate([1, 2], 2)
+
+    def test_signature_deterministic(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.add_po(aig.xor_(a, b))
+        assert (aig.random_simulation_signature()
+                == aig.random_simulation_signature())
+
+
+class TestCompaction:
+    def test_dangling_removed(self):
+        aig = Aig()
+        a, b, c = (aig.add_pi() for _ in range(3))
+        used = aig.and_(a, b)
+        aig.and_(b, c)  # dangling
+        aig.add_po(used)
+        compacted = aig.compact()
+        assert compacted.n_nodes == 1
+        assert compacted.n_pis == 3
+
+    def test_function_preserved(self):
+        aig = Aig()
+        a, b, c = (aig.add_pi() for _ in range(3))
+        aig.add_po(aig.mux_(a, aig.xor_(b, c), aig.and_(b, c)), "f")
+        compacted = aig.compact()
+        assert (compacted.random_simulation_signature()
+                == aig.random_simulation_signature())
+
+    def test_constant_po(self):
+        aig = Aig()
+        aig.add_pi()
+        aig.add_po(TRUE, "one")
+        compacted = aig.compact()
+        assert compacted.evaluate([False]) == [True]
+
+
+@st.composite
+def random_aigs(draw):
+    """Random 4-PI AIGs built from a seeded op list."""
+    aig = Aig()
+    literals = [aig.add_pi(f"x{i}") for i in range(4)]
+    n_ops = draw(st.integers(min_value=1, max_value=25))
+    for _ in range(n_ops):
+        op = draw(st.sampled_from(["and", "or", "xor"]))
+        a = draw(st.sampled_from(literals))
+        b = draw(st.sampled_from(literals))
+        if draw(st.booleans()):
+            a = lit_not(a)
+        result = getattr(aig, f"{op}_")(a, b)
+        literals.append(result)
+    aig.add_po(literals[-1], "f")
+    return aig
+
+
+class TestLevels:
+    @given(aig=random_aigs())
+    @settings(max_examples=50, deadline=None)
+    def test_levels_monotone(self, aig):
+        levels = aig.levels()
+        for node in aig.and_nodes():
+            f0, f1 = aig.fanins(node)
+            assert levels[node] == 1 + max(levels[lit_node(f0)],
+                                           levels[lit_node(f1)])
+
+    @given(aig=random_aigs())
+    @settings(max_examples=50, deadline=None)
+    def test_reference_counts_match_fanouts(self, aig):
+        refs = aig.reference_counts()
+        total_edges = 2 * aig.n_nodes + aig.n_pos
+        assert sum(refs) == total_edges

@@ -1,0 +1,139 @@
+"""Cuts, balancing, rewriting, refactoring: functional preservation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.synth.aig import Aig, lit_node, lit_not, lit_phase
+from repro.synth.balance import balance
+from repro.synth.cuts import enumerate_cuts
+from repro.synth.rewrite import refactor, rewrite
+from repro.synth.scripts import compress, resyn2rs
+from repro.synth.truth import evaluate
+
+
+@st.composite
+def random_aigs(draw, n_pis=4, max_ops=30):
+    aig = Aig()
+    literals = [aig.add_pi(f"x{i}") for i in range(n_pis)]
+    for _ in range(draw(st.integers(min_value=2, max_value=max_ops))):
+        op = draw(st.sampled_from(["and", "or", "xor", "mux"]))
+        picks = [draw(st.sampled_from(literals)) for _ in range(3)]
+        if draw(st.booleans()):
+            picks[0] = lit_not(picks[0])
+        if op == "mux":
+            literals.append(aig.mux_(*picks))
+        else:
+            literals.append(getattr(aig, f"{op}_")(picks[0], picks[1]))
+    aig.add_po(literals[-1], "f")
+    aig.add_po(literals[len(literals) // 2], "g")
+    return aig
+
+
+class TestCuts:
+    @given(aig=random_aigs())
+    @settings(max_examples=40, deadline=None)
+    def test_cut_tables_match_cone_function(self, aig):
+        """Every enumerated cut's table equals brute-force evaluation
+        of the cone over the cut leaves."""
+        cuts = enumerate_cuts(aig, cut_size=4, cut_limit=6)
+        checked = 0
+        for node in aig.and_nodes():
+            for cut in cuts[node][:3]:
+                for assignment in range(1 << cut.size):
+                    leaf_values = {
+                        leaf: bool((assignment >> i) & 1)
+                        for i, leaf in enumerate(cut.leaves)}
+                    value = _evaluate_cone(aig, node, leaf_values)
+                    bits = [(assignment >> i) & 1
+                            for i in range(cut.size)]
+                    assert bool(evaluate(cut.table, bits)) == value
+                checked += 1
+        # Some random AIGs fold entirely to constants; only require
+        # checks when AND nodes actually exist.
+        assert checked > 0 or aig.n_nodes == 0
+
+    def test_trivial_cut_always_first(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        x = aig.and_(a, b)
+        aig.add_po(x)
+        cuts = enumerate_cuts(aig)
+        node = lit_node(x)
+        assert cuts[node][0].is_trivial_for(node)
+
+    def test_cut_limit_respected(self):
+        aig = Aig()
+        pis = [aig.add_pi() for _ in range(6)]
+        x = aig.and_many(pis)
+        aig.add_po(x)
+        cuts = enumerate_cuts(aig, cut_size=4, cut_limit=3)
+        for node in aig.and_nodes():
+            assert len(cuts[node]) <= 4  # trivial + limit
+
+
+def _evaluate_cone(aig, node, leaf_values):
+    """Evaluate a node given boolean values at the cut leaves."""
+    memo = {}
+
+    def walk(n):
+        if n in memo:
+            return memo[n]
+        if n in leaf_values:
+            return leaf_values[n]
+        f0, f1 = aig.fanins(n)
+        v0 = walk(lit_node(f0)) ^ bool(lit_phase(f0))
+        v1 = walk(lit_node(f1)) ^ bool(lit_phase(f1))
+        memo[n] = v0 and v1
+        return memo[n]
+
+    return walk(node)
+
+
+class TestPassesPreserveFunction:
+    @pytest.mark.parametrize("synthesis_pass",
+                             [balance, rewrite, refactor, compress],
+                             ids=["balance", "rewrite", "refactor",
+                                  "compress"])
+    @given(aig=random_aigs())
+    @settings(max_examples=25, deadline=None)
+    def test_signature_invariant(self, synthesis_pass, aig):
+        before = aig.random_simulation_signature()
+        after = synthesis_pass(aig).random_simulation_signature()
+        assert before == after
+
+    @given(aig=random_aigs(n_pis=5, max_ops=40))
+    @settings(max_examples=10, deadline=None)
+    def test_resyn2rs_with_internal_verification(self, aig):
+        """resyn2rs(verify=True) raises if any pass changes function."""
+        result = resyn2rs(aig, verify=True)
+        assert result.n_pis == aig.n_pis
+
+
+class TestQualityOfResults:
+    def test_balance_reduces_chain_depth(self):
+        aig = Aig()
+        pis = [aig.add_pi() for _ in range(8)]
+        chain = pis[0]
+        for pi in pis[1:]:
+            chain = aig.and_(chain, pi)
+        aig.add_po(chain)
+        assert aig.depth() == 7
+        assert balance(aig).depth() == 3
+
+    def test_rewrite_removes_redundancy(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        # (a & b) | (a & b) built without sharing opportunity for strash
+        x = aig.and_(a, b)
+        y = aig.or_(x, aig.and_(b, a))
+        aig.add_po(y)
+        result = rewrite(aig)
+        assert result.n_nodes <= aig.n_nodes
+
+    def test_no_blowup_on_multiplier(self):
+        from repro.circuits.multiplier import array_multiplier
+        aig = array_multiplier(6)
+        optimized = resyn2rs(aig)
+        assert optimized.n_nodes <= 1.2 * aig.n_nodes
+        assert (optimized.random_simulation_signature()
+                == aig.random_simulation_signature())

@@ -1,0 +1,88 @@
+"""ISOP extraction and algebraic factoring."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.synth.sop import (
+    Cube,
+    cubes_to_table,
+    evaluate_expr,
+    expr_literal_count,
+    factor,
+    isop,
+)
+from repro.synth.truth import evaluate, full_mask
+
+tables = st.tuples(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0),
+).map(lambda t: (t[0], t[1] % (1 << (1 << t[0]))))
+
+
+class TestCube:
+    def test_phase_lookup(self):
+        cube = Cube(0b101, 0b001)  # a * !c
+        assert cube.phase(0) == 1
+        assert cube.phase(1) is None
+        assert cube.phase(2) == 0
+
+    def test_table(self):
+        cube = Cube(0b11, 0b10)  # !a * b
+        assert cube.table(2) == 0b0100
+
+    def test_literals(self):
+        cube = Cube(0b101, 0b100)
+        assert cube.literals() == [(0, 0), (2, 1)]
+        assert cube.n_literals() == 2
+
+
+class TestIsop:
+    def test_simple_functions(self):
+        assert isop(0, 3) == []
+        assert len(isop(full_mask(3), 3)) == 1
+        and2 = isop(0b1000, 2)
+        assert len(and2) == 1
+        assert and2[0].n_literals() == 2
+
+    def test_xor_needs_two_cubes(self):
+        cubes = isop(0b0110, 2)
+        assert len(cubes) == 2
+
+    @given(spec=tables)
+    @settings(max_examples=300, deadline=None)
+    def test_cover_is_exact(self, spec):
+        """ISOP must reproduce the function exactly for any table."""
+        n, table = spec
+        cubes = isop(table, n)
+        assert cubes_to_table(cubes, n) == table
+
+    @given(spec=tables)
+    @settings(max_examples=150, deadline=None)
+    def test_cover_is_irredundant(self, spec):
+        """Removing any cube must lose at least one minterm."""
+        n, table = spec
+        cubes = isop(table, n)
+        for skip in range(len(cubes)):
+            reduced = cubes[:skip] + cubes[skip + 1:]
+            assert cubes_to_table(reduced, n) != table or not cubes
+
+
+class TestFactor:
+    @given(spec=tables)
+    @settings(max_examples=200, deadline=None)
+    def test_factored_form_is_equivalent(self, spec):
+        n, table = spec
+        expr = factor(isop(table, n))
+        for minterm in range(1 << n):
+            bits = [(minterm >> i) & 1 for i in range(n)]
+            assert evaluate_expr(expr, bits) == bool(evaluate(table, bits))
+
+    def test_factoring_shares_literals(self):
+        # f = a*b + a*c: factored as a*(b + c) -> 3 literals, not 4
+        cubes = [Cube(0b011, 0b011), Cube(0b101, 0b101)]
+        expr = factor(cubes)
+        assert expr_literal_count(expr) == 3
+
+    def test_constants(self):
+        assert factor([]) == ("const", 0)
+        assert evaluate_expr(factor([Cube(0, 0)]), []) is True

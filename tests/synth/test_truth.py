@@ -1,0 +1,112 @@
+"""Truth-table helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SynthesisError
+from repro.synth import truth
+
+tables4 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+class TestBasics:
+    def test_variable_masks(self):
+        assert truth.variable_mask(0, 2) == 0b1010
+        assert truth.variable_mask(1, 2) == 0b1100
+
+    def test_negate(self):
+        assert truth.negate(0b1010, 2) == 0b0101
+
+    def test_evaluate(self):
+        xor = 0b0110
+        assert truth.evaluate(xor, [1, 0]) == 1
+        assert truth.evaluate(xor, [1, 1]) == 0
+
+    def test_from_function(self):
+        assert truth.from_function(lambda a, b: a and b, 2) == 0b1000
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SynthesisError):
+            truth.table_size(9)
+        with pytest.raises(SynthesisError):
+            truth.variable_mask(3, 2)
+
+
+class TestStructure:
+    def test_support(self):
+        t = truth.variable_mask(0, 3)  # depends only on var 0
+        assert truth.support(t, 3) == [0]
+
+    def test_shrink_to_support(self):
+        t = truth.variable_mask(2, 3)
+        small, sup = truth.shrink_to_support(t, 3)
+        assert sup == [2]
+        assert small == 0b10
+
+    def test_cofactors(self):
+        t = 0b1000  # a AND b
+        neg, pos = truth.cofactors(t, 0, 2)
+        assert neg == 0
+        assert pos == 0b1100  # equals b
+
+    @given(t=tables4)
+    @settings(max_examples=100, deadline=None)
+    def test_shrink_preserves_function(self, t):
+        small, sup = truth.shrink_to_support(t, 4)
+        lifted = truth.expand(small, sup, 4)
+        assert lifted == t
+
+
+class TestPermutation:
+    def test_permute_swap(self):
+        and_ab = 0b1000
+        assert truth.permute(and_ab, [1, 0], 2) == and_ab  # symmetric
+        implies = 0b1011  # !a + b... depends asymmetrically
+        swapped = truth.permute(implies, [1, 0], 2)
+        assert swapped == 0b1101
+
+    def test_bad_permutation(self):
+        with pytest.raises(SynthesisError):
+            truth.permute(0b1000, [0, 0], 2)
+
+    @given(t=tables4, seed=st.integers(0, 23))
+    @settings(max_examples=80, deadline=None)
+    def test_permute_invertible(self, t, seed):
+        import itertools
+        perm = list(itertools.permutations(range(4)))[seed]
+        inverse = [0] * 4
+        for i, p in enumerate(perm):
+            inverse[p] = i
+        assert truth.permute(truth.permute(t, perm, 4), inverse, 4) == t
+
+    @given(t=tables4)
+    @settings(max_examples=60, deadline=None)
+    def test_p_canonical_is_invariant(self, t):
+        canon, _ = truth.p_canonical(t, 4)
+        permuted = truth.permute(t, [2, 0, 3, 1], 4)
+        canon2, _ = truth.p_canonical(permuted, 4)
+        assert canon == canon2
+
+
+class TestFlipVariable:
+    def test_flip_semantics(self):
+        t = 0b1000  # minterm 3 (a=1,b=1)
+        flipped = truth.flip_variable(t, 0, 2)
+        assert flipped == 0b0100  # now at a=0,b=1
+
+    @given(t=tables4, var=st.integers(0, 3))
+    @settings(max_examples=80, deadline=None)
+    def test_flip_is_involution(self, t, var):
+        assert truth.flip_variable(
+            truth.flip_variable(t, var, 4), var, 4) == t
+
+    @given(t=tables4, var=st.integers(0, 3))
+    @settings(max_examples=80, deadline=None)
+    def test_flip_matches_evaluation(self, t, var):
+        flipped = truth.flip_variable(t, var, 4)
+        for minterm in range(16):
+            bits = [(minterm >> i) & 1 for i in range(4)]
+            flipped_bits = list(bits)
+            flipped_bits[var] ^= 1
+            assert (truth.evaluate(flipped, bits)
+                    == truth.evaluate(t, flipped_bits))

@@ -1,0 +1,110 @@
+"""Equivalence checking utilities."""
+
+import pytest
+
+from repro.circuits.adders import ripple_adder_circuit
+from repro.circuits.multiplier import array_multiplier
+from repro.errors import SynthesisError
+from repro.synth.aig import Aig, lit_not
+from repro.synth.mapper import map_aig
+from repro.synth.scripts import resyn2rs
+from repro.synth.verify import equivalent_aigs, miter, netlist_matches_aig
+
+
+def _xor_pair():
+    left = Aig("l")
+    a, b = left.add_pi("a"), left.add_pi("b")
+    left.add_po(left.xor_(a, b), "y")
+    right = Aig("r")
+    a, b = right.add_pi("a"), right.add_pi("b")
+    # equivalent structure: (a|b) & !(a&b)
+    right.add_po(right.and_(right.or_(a, b),
+                            lit_not(right.and_(a, b))), "y")
+    return left, right
+
+
+class TestEquivalentAigs:
+    def test_equivalent_structures(self):
+        left, right = _xor_pair()
+        assert equivalent_aigs(left, right)
+
+    def test_detects_differences(self):
+        left, right = _xor_pair()
+        wrong = Aig("w")
+        a, b = wrong.add_pi("a"), wrong.add_pi("b")
+        wrong.add_po(wrong.or_(a, b), "y")
+        assert not equivalent_aigs(left, wrong)
+
+    def test_synthesis_equivalence_on_real_circuit(self):
+        aig = ripple_adder_circuit(5)
+        assert equivalent_aigs(aig, resyn2rs(aig))
+
+    def test_random_fallback_on_wide_circuit(self):
+        aig = array_multiplier(8)  # 16 inputs > exhaustive limit
+        optimized = resyn2rs(aig)
+        assert equivalent_aigs(aig, optimized, n_random=512)
+
+    def test_interface_mismatch_rejected(self):
+        left, _ = _xor_pair()
+        other = Aig("o")
+        other.add_pi("a")
+        other.add_po(2, "y")
+        with pytest.raises(SynthesisError):
+            equivalent_aigs(left, other)
+
+
+class TestMiter:
+    def test_equivalent_miter_is_constant_zero(self):
+        left, right = _xor_pair()
+        m = miter(left, right)
+        for minterm in range(4):
+            bits = [bool(minterm & 1), bool(minterm & 2)]
+            assert m.evaluate(bits) == [False]
+
+    def test_different_miter_fires(self):
+        left, _ = _xor_pair()
+        wrong = Aig("w")
+        a, b = wrong.add_pi("a"), wrong.add_pi("b")
+        wrong.add_po(wrong.and_(a, b), "y")
+        m = miter(left, wrong)
+        fired = any(m.evaluate([bool(k & 1), bool(k & 2)])[0]
+                    for k in range(4))
+        assert fired
+
+
+class TestNetlistMatchesAig:
+    @pytest.mark.parametrize("fixture", ["glib", "clib", "mlib"])
+    def test_mapped_adder_exhaustive(self, fixture, request):
+        library = request.getfixturevalue(fixture)
+        aig = ripple_adder_circuit(4)  # 9 inputs -> exhaustive
+        netlist = map_aig(aig, library)
+        assert netlist_matches_aig(netlist, aig)
+
+    def test_wide_circuit_random(self, glib):
+        aig = array_multiplier(8)
+        netlist = map_aig(aig, glib)
+        assert netlist_matches_aig(netlist, aig, n_patterns=512)
+
+    def test_detects_broken_netlist(self, glib):
+        aig = ripple_adder_circuit(3)
+        netlist = map_aig(aig, glib)
+        # sabotage one gate's cell
+        from repro.synth.netlist import MappedGate
+        sabotaged = [g for g in netlist.gates]
+        for index, gate in enumerate(sabotaged):
+            if gate.cell == "XNOR2":
+                sabotaged[index] = MappedGate(gate.name, "XOR2",
+                                              gate.inputs, gate.output)
+                break
+        else:
+            pytest.skip("no XNOR2 gate to sabotage")
+        netlist.gates = sabotaged
+        assert not netlist_matches_aig(netlist, aig)
+
+    def test_name_mismatch_rejected(self, glib):
+        aig = ripple_adder_circuit(3)
+        netlist = map_aig(aig, glib)
+        other = ripple_adder_circuit(3)
+        other._pi_names[0] = "zz"
+        with pytest.raises(SynthesisError):
+            netlist_matches_aig(netlist, other)

@@ -1,0 +1,56 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_flags(self):
+        args = build_parser().parse_args(
+            ["table1", "--fast", "--benchmarks", "t481,C1355"])
+        assert args.fast
+        assert args.benchmarks == "t481,C1355"
+
+
+class TestCommands:
+    def test_techs(self, capsys):
+        assert main(["techs"]) == 0
+        out = capsys.readouterr().out
+        assert "cmos-32nm" in out and "cntfet-32nm" in out
+
+    def test_cell_report(self, capsys):
+        assert main(["cell", "GNAND2A"]) == 0
+        out = capsys.readouterr().out
+        assert "GNAND2A" in out and "Ioff" in out
+
+    def test_cell_in_cmos_library(self, capsys):
+        assert main(["cell", "NAND2", "--library", "cmos"]) == 0
+        assert "NAND2" in capsys.readouterr().out
+
+    def test_genlib_to_stdout(self, capsys):
+        assert main(["genlib", "cmos"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("GATE") == 20
+
+    def test_genlib_to_file(self, tmp_path, capsys):
+        target = tmp_path / "lib.genlib"
+        assert main(["genlib", "generalized", "-o", str(target)]) == 0
+        assert "46 cells" in capsys.readouterr().out
+        assert target.read_text().count("GATE") == 46
+
+    def test_table1_fast_subset(self, capsys):
+        assert main(["table1", "--fast", "--benchmarks", "t481",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "t481" in out
+        assert "Improvement vs CMOS" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out and "Fig. 4" in out and "Fig. 5" in out

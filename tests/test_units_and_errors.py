@@ -1,0 +1,64 @@
+"""Unit helpers and the exception hierarchy."""
+
+import pytest
+
+from repro import errors, units
+
+
+class TestUnits:
+    def test_thermal_voltage_at_room_temperature(self):
+        assert units.thermal_voltage() == pytest.approx(0.025852, rel=1e-3)
+
+    def test_conversions(self):
+        assert units.to_attofarads(36e-18) == pytest.approx(36.0)
+        assert units.to_picoseconds(4e-12) == pytest.approx(4.0)
+        assert units.to_microwatts(23.05e-6) == pytest.approx(23.05)
+        assert units.to_nanoamperes(3e-9) == pytest.approx(3.0)
+
+    def test_edp_units_match_table1(self):
+        """The paper reports EDP in 1e-24 J*s."""
+        assert units.to_edp_units(8.13e-24) == pytest.approx(8.13)
+
+    @pytest.mark.parametrize("value,expected", [
+        (3.2e-9, "3.200 nA"),
+        (52e-18, "52.000 aA"),
+        (1.5e3, "1.500 kA"),
+        (0.25, "250.000 mA"),
+    ])
+    def test_engineering_format(self, value, expected):
+        assert units.engineering(value, "A") == expected
+
+    def test_engineering_zero(self):
+        assert units.engineering(0.0) == "0.000"
+
+    def test_si_constants(self):
+        assert units.AF == 1e-18
+        assert units.PS == 1e-12
+        assert units.GHZ == 1e9
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.DeviceModelError,
+        errors.NetlistError,
+        errors.ConvergenceError,
+        errors.TopologyError,
+        errors.LibraryError,
+        errors.SynthesisError,
+        errors.MappingError,
+        errors.SimulationError,
+        errors.ExperimentError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_mapping_error_is_synthesis_error(self):
+        assert issubclass(errors.MappingError, errors.SynthesisError)
+
+    def test_convergence_error_carries_residual(self):
+        error = errors.ConvergenceError("failed", residual=1e-3)
+        assert error.residual == 1e-3
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.LibraryError("nope")
