@@ -8,9 +8,16 @@ noise, not the relative results (see
 ``tests/sim/test_estimator.py::TestBehaviour::test_pattern_convergence``).
 """
 
+import os
+
 import pytest
 
+from repro.cache import ENV_CACHE_DISABLE
 from repro.experiments.config import ExperimentConfig
+
+# Benchmarks measure cold-path cost; a warm persistent cache would
+# make the characterization stages vacuous.
+os.environ[ENV_CACHE_DISABLE] = "1"
 from repro.gates.ambipolar_library import generalized_cntfet_library
 from repro.gates.conventional import cmos_library, conventional_cntfet_library
 

@@ -1,0 +1,164 @@
+"""Persistent on-disk characterization cache.
+
+SPICE-derived characterization data (pattern DC solutions, per-library
+leakage tables) is identical for identical technology parameters, so it
+is cached on disk keyed by a *stable content hash* of the inputs:
+change any field of :class:`~repro.devices.parameters.TechnologyParams`
+(or a cell definition, for leakage tables) and the key changes, which
+is the whole invalidation story — stale entries are simply never read
+again and are garbage-collected by :meth:`DiskCache.clear`.
+
+Layout and configuration:
+
+* entries live under ``<root>/<namespace>/<key>.json``;
+* the root is ``$REPRO_CACHE_DIR`` if set, else
+  ``~/.cache/repro-ambipolar``;
+* ``REPRO_CACHE_DISABLE=1`` turns all persistence off (every ``get``
+  misses, every ``put`` is a no-op) — useful for hermetic tests;
+* writes are atomic (temp file + ``os.replace``) and merge-on-write,
+  so concurrent processes can only lose a redundant update, never
+  corrupt an entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Environment variable naming the cache root directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+#: Environment variable disabling persistence entirely when set to a
+#: non-empty value other than "0".
+ENV_CACHE_DISABLE = "REPRO_CACHE_DISABLE"
+
+_DEFAULT_ROOT = Path.home() / ".cache" / "repro-ambipolar"
+
+
+def _normalize(value: Any) -> Any:
+    """Reduce a value to a JSON-stable structure for hashing."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: _normalize(getattr(value, field.name))
+                for field in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _normalize(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_normalize(v) for v in value]
+    if isinstance(value, float):
+        # repr round-trips doubles exactly; hashing the text avoids any
+        # JSON float-formatting ambiguity.
+        return repr(value)
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def stable_hash(value: Any) -> str:
+    """Deterministic content hash of dataclasses / plain structures.
+
+    Two values hash equal iff their normalized JSON forms are equal, so
+    e.g. two separately-constructed but identical ``TechnologyParams``
+    share cache entries while any field change produces a fresh key.
+    """
+    payload = json.dumps(_normalize(value), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+def cache_enabled() -> bool:
+    """True unless ``REPRO_CACHE_DISABLE`` is set (and not \"0\")."""
+    flag = os.environ.get(ENV_CACHE_DISABLE, "")
+    return flag in ("", "0")
+
+
+def cache_root() -> Path:
+    """The configured cache root directory (may not exist yet)."""
+    configured = os.environ.get(ENV_CACHE_DIR)
+    return Path(configured) if configured else _DEFAULT_ROOT
+
+
+class DiskCache:
+    """A tiny namespaced JSON key-value store on disk."""
+
+    def __init__(self, root: Optional[Path] = None,
+                 enabled: Optional[bool] = None):
+        self.root = Path(root) if root is not None else cache_root()
+        self.enabled = cache_enabled() if enabled is None else enabled
+
+    def _path(self, namespace: str, key: str) -> Path:
+        return self.root / namespace / f"{key}.json"
+
+    def get(self, namespace: str, key: str) -> Optional[Any]:
+        """Load an entry, or None when absent/disabled/corrupt."""
+        if not self.enabled:
+            return None
+        path = self._path(namespace, key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, namespace: str, key: str, value: Any) -> None:
+        """Atomically store an entry (no-op when disabled)."""
+        if not self.enabled:
+            return
+        path = self._path(namespace, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{path.stem}.", suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(value, handle, separators=(",", ":"))
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full filesystem degrades to no persistence.
+            pass
+
+    def merge(self, namespace: str, key: str,
+              updates: Dict[str, Any]) -> Dict[str, Any]:
+        """Read-modify-write a dict entry; returns the merged dict.
+
+        Concurrent writers each re-read before writing, so the worst
+        outcome of a race is one writer redoing the other's (identical,
+        content-addressed) work.
+        """
+        current = self.get(namespace, key)
+        merged = dict(current) if isinstance(current, dict) else {}
+        merged.update(updates)
+        self.put(namespace, key, merged)
+        return merged
+
+    def clear(self, namespace: Optional[str] = None) -> int:
+        """Delete cached entries; returns the number of files removed."""
+        base = self.root / namespace if namespace else self.root
+        removed = 0
+        if not base.exists():
+            return removed
+        for path in sorted(base.rglob("*.json")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def default_cache() -> DiskCache:
+    """A cache bound to the current environment configuration.
+
+    Constructed fresh on every call so tests can redirect or disable the
+    cache by setting the environment variables at any point.
+    """
+    return DiskCache()

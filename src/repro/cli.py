@@ -30,7 +30,7 @@ def _cmd_table1(args) -> int:
         config = ExperimentConfig(n_patterns=16_384, state_patterns=16_384)
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
     result = reproduce_table1(config, benchmarks=benchmarks,
-                              verbose=not args.quiet)
+                              verbose=not args.quiet, jobs=args.jobs)
     print(result.render())
     return 0
 
@@ -38,7 +38,7 @@ def _cmd_table1(args) -> int:
 def _cmd_library(args) -> int:
     from repro.experiments.library_power import reproduce_library_study
 
-    study = reproduce_library_study()
+    study = reproduce_library_study(jobs=args.jobs)
     print(study.render())
     return 0
 
@@ -119,10 +119,16 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--benchmarks", default=None,
                         help="comma-separated benchmark subset")
     table1.add_argument("--quiet", action="store_true")
+    table1.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the circuit x library "
+                             "grid (0 = all CPUs); results are "
+                             "bit-identical to the serial run")
     table1.set_defaults(func=_cmd_table1)
 
     library = sub.add_parser("library",
                              help="Section 4 gate-level study")
+    library.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (0 = all CPUs)")
     library.set_defaults(func=_cmd_library)
 
     figures = sub.add_parser("figures", help="Fig. 2/4/5 demonstrations")

@@ -17,10 +17,12 @@ DESIGN.md calls out:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
 
 from repro.devices.parameters import TechnologyParams, cntfet_32nm
 from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
+from repro.experiments.parallel import parallel_map
 from repro.gates.ambipolar_library import generalized_cntfet_library
 from repro.gates.conventional import cmos_library
 from repro.power.characterize import characterize_library
@@ -39,27 +41,30 @@ class SupplyPoint:
     edp: float              # J*s, mean PT and FO3 delay
 
 
-def supply_sweep(vdd_values: List[float] = None) -> List[SupplyPoint]:
-    """EDP vs supply for the generalized CNTFET library."""
+def _supply_point(vdd: float) -> SupplyPoint:
+    """One point of the supply sweep (picklable worker)."""
     from repro.devices.calibrate import fo_delay
 
+    tech = cntfet_32nm().with_vdd(vdd)
+    library = generalized_cntfet_library(tech)
+    params = PowerParameters(vdd=vdd)
+    report = characterize_library(library, params)
+    mean_total = report.mean_power().total
+    delay = fo_delay(tech)
+    return SupplyPoint(
+        vdd=vdd,
+        mean_power=mean_total,
+        fo3_delay=delay,
+        edp=energy_delay_product(mean_total, delay, params),
+    )
+
+
+def supply_sweep(vdd_values: List[float] = None,
+                 jobs: Optional[int] = 1) -> List[SupplyPoint]:
+    """EDP vs supply for the generalized CNTFET library."""
     if vdd_values is None:
         vdd_values = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1]
-    points: List[SupplyPoint] = []
-    for vdd in vdd_values:
-        tech = cntfet_32nm().with_vdd(vdd)
-        library = generalized_cntfet_library(tech)
-        params = PowerParameters(vdd=vdd)
-        report = characterize_library(library, params)
-        mean_total = report.mean_power().total
-        delay = fo_delay(tech)
-        points.append(SupplyPoint(
-            vdd=vdd,
-            mean_power=mean_total,
-            fo3_delay=delay,
-            edp=energy_delay_product(mean_total, delay, params),
-        ))
-    return points
+    return parallel_map(_supply_point, vdd_values, jobs=jobs)
 
 
 @dataclass(frozen=True)
@@ -71,8 +76,38 @@ class PolarityCapPoint:
     dynamic_saving: float
 
 
+@lru_cache(maxsize=None)
+def _parity_subject():
+    """The sweep's shared subject graph, built once per process so the
+    per-instance compact/cut caches hit across sweep points."""
+    from repro.circuits.adders import parity_tree_circuit
+
+    return parity_tree_circuit(32)
+
+
+def _polarity_point(task: Tuple[float, float, float]) -> PolarityCapPoint:
+    """One back-gate-capacitance point (picklable worker)."""
+    from repro.sim.estimator import estimate_circuit_power
+    from repro.synth.mapper import map_aig
+
+    c_pol_af, cmos_p_total, cmos_p_dynamic = task
+    aig = _parity_subject()
+    base = cntfet_32nm()
+    nmos = replace(base.nmos, c_pol=c_pol_af * AF)
+    tech = replace(base, nmos=nmos, pmos=nmos.as_polarity("p"))
+    library = generalized_cntfet_library(tech)
+    netlist = map_aig(aig, library)
+    report = estimate_circuit_power(netlist, n_patterns=8192)
+    return PolarityCapPoint(
+        c_pol_af=c_pol_af,
+        total_saving=1.0 - report.p_total / cmos_p_total,
+        dynamic_saving=1.0 - report.p_dynamic / cmos_p_dynamic,
+    )
+
+
 def polarity_cap_sensitivity(
-        c_pol_values_af: List[float] = None) -> List[PolarityCapPoint]:
+        c_pol_values_af: List[float] = None,
+        jobs: Optional[int] = 1) -> List[PolarityCapPoint]:
     """Mapped-circuit power savings vs the polarity-gate capacitance.
 
     Transmission-gate inputs load one polarity gate each.  At the
@@ -83,29 +118,17 @@ def polarity_cap_sensitivity(
     pins) is mapped on the generalized library built from each back-gate
     assumption and compared against the CMOS mapping.
     """
-    from repro.circuits.adders import parity_tree_circuit
     from repro.sim.estimator import estimate_circuit_power
     from repro.synth.mapper import map_aig
 
     if c_pol_values_af is None:
         c_pol_values_af = [0.0, 3.0, 6.0, 12.0, 18.0]
-    aig = parity_tree_circuit(32)
+    aig = _parity_subject()
     cmos_netlist = map_aig(aig, cmos_library())
     cmos_report = estimate_circuit_power(cmos_netlist, n_patterns=8192)
-    points: List[PolarityCapPoint] = []
-    for c_pol_af in c_pol_values_af:
-        base = cntfet_32nm()
-        nmos = replace(base.nmos, c_pol=c_pol_af * AF)
-        tech = replace(base, nmos=nmos, pmos=nmos.as_polarity("p"))
-        library = generalized_cntfet_library(tech)
-        netlist = map_aig(aig, library)
-        report = estimate_circuit_power(netlist, n_patterns=8192)
-        points.append(PolarityCapPoint(
-            c_pol_af=c_pol_af,
-            total_saving=1.0 - report.p_total / cmos_report.p_total,
-            dynamic_saving=1.0 - report.p_dynamic / cmos_report.p_dynamic,
-        ))
-    return points
+    tasks = [(c_pol_af, cmos_report.p_total, cmos_report.p_dynamic)
+             for c_pol_af in c_pol_values_af]
+    return parallel_map(_polarity_point, tasks, jobs=jobs)
 
 
 @dataclass(frozen=True)
@@ -121,24 +144,27 @@ class FanoutPoint:
         return 1.0 - self.cntfet_mean_power / self.cmos_mean_power
 
 
-def fanout_sweep(fanouts: List[int] = None) -> List[FanoutPoint]:
+def _fanout_point(fanout: int) -> FanoutPoint:
+    """One fanout point (picklable worker)."""
+    glib = generalized_cntfet_library()
+    mlib = cmos_library()
+    params = PowerParameters(fanout=fanout)
+    cnt = characterize_library(glib, params)
+    cmos = characterize_library(mlib, params)
+    common = [n for n in cnt.cells if n in cmos.cells]
+    return FanoutPoint(
+        fanout=fanout,
+        cntfet_mean_power=cnt.subset(common).mean_power().total,
+        cmos_mean_power=cmos.subset(common).mean_power().total,
+    )
+
+
+def fanout_sweep(fanouts: List[int] = None,
+                 jobs: Optional[int] = 1) -> List[FanoutPoint]:
     """Library power saving vs the assumed characterization fanout."""
     if fanouts is None:
         fanouts = [1, 2, 3, 4, 6]
-    glib = generalized_cntfet_library()
-    mlib = cmos_library()
-    points: List[FanoutPoint] = []
-    for fanout in fanouts:
-        params = PowerParameters(fanout=fanout)
-        cnt = characterize_library(glib, params)
-        cmos = characterize_library(mlib, params)
-        common = [n for n in cnt.cells if n in cmos.cells]
-        points.append(FanoutPoint(
-            fanout=fanout,
-            cntfet_mean_power=cnt.subset(common).mean_power().total,
-            cmos_mean_power=cmos.subset(common).mean_power().total,
-        ))
-    return points
+    return parallel_map(_fanout_point, fanouts, jobs=jobs)
 
 
 @dataclass(frozen=True)

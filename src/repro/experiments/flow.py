@@ -8,8 +8,9 @@ power is estimated with random patterns on the mapped netlists.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
 from repro.gates.ambipolar_library import generalized_cntfet_library
@@ -68,13 +69,28 @@ class CircuitFlowResult:
         return self.edp_js / 1e-24
 
 
+#: resyn2rs results per subject graph, so mapping one circuit onto
+#: several libraries synthesizes once.  Keyed weakly on the AIG with
+#: its mutation stamp: a mutated graph re-synthesizes.
+_SYNTH_CACHE: "weakref.WeakKeyDictionary[Aig, Tuple[int, Aig]]"
+_SYNTH_CACHE = weakref.WeakKeyDictionary()
+
+
+def synthesize_subject(aig: Aig,
+                       config: ExperimentConfig = PAPER_CONFIG) -> Aig:
+    """The library-independent synthesis step, cached per circuit."""
+    if not config.synthesize:
+        return aig
+    return aig.cached_derivation(_SYNTH_CACHE, resyn2rs)
+
+
 def run_circuit_flow(aig: Aig, library: Library,
                      config: ExperimentConfig = PAPER_CONFIG,
                      presynthesized: bool = False) -> CircuitFlowResult:
     """Run the full pipeline for one circuit on one library."""
     subject = aig
     if config.synthesize and not presynthesized:
-        subject = resyn2rs(aig)
+        subject = synthesize_subject(aig, config)
     options = MappingOptions(
         cut_size=config.mapper_cut_size,
         cut_limit=config.mapper_cut_limit,

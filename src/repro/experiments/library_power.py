@@ -10,14 +10,16 @@ off-current pattern count of the classification method.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.devices.calibrate import technology_report
 from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
+from repro.experiments.parallel import parallel_map
 from repro.experiments.reporting import render_table
 from repro.gates.ambipolar_library import generalized_cntfet_library
 from repro.gates.conventional import cmos_library
 from repro.power.characterize import LibraryPowerReport, characterize_library
+from repro.power.model import PowerParameters
 from repro.power.compare import LibraryComparison, compare_libraries
 from repro.units import to_attofarads
 
@@ -65,14 +67,31 @@ class LibraryStudyResult:
         return "\n".join(lines)
 
 
+def _characterize_study_library(task: Tuple[str, PowerParameters]
+                                ) -> LibraryPowerReport:
+    """Characterize one of the study's libraries (picklable worker)."""
+    key, params = task
+    library = (generalized_cntfet_library() if key == "cntfet"
+               else cmos_library())
+    return characterize_library(library, params)
+
+
 def reproduce_library_study(
-        config: ExperimentConfig = PAPER_CONFIG) -> LibraryStudyResult:
+        config: ExperimentConfig = PAPER_CONFIG,
+        jobs: Optional[int] = 1) -> LibraryStudyResult:
     """Run the full Section 4 gate-level characterization."""
     params = config.power_parameters
     cntfet_lib = generalized_cntfet_library()
     cmos_lib = cmos_library()
-    cntfet_report = characterize_library(cntfet_lib, params)
-    cmos_report = characterize_library(cmos_lib, params)
+    if jobs == 1:
+        # Serial: characterize the same instances queried below rather
+        # than rebuilding them inside the worker function.
+        cntfet_report = characterize_library(cntfet_lib, params)
+        cmos_report = characterize_library(cmos_lib, params)
+    else:
+        cntfet_report, cmos_report = parallel_map(
+            _characterize_study_library,
+            [("cntfet", params), ("cmos", params)], jobs=jobs)
     comparison = compare_libraries(cntfet_report, cmos_report)
 
     cnt_inv = cntfet_lib.inverter()

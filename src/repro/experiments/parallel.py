@@ -1,0 +1,54 @@
+"""Process-parallel experiment execution.
+
+The experiment grid (circuit x library cells, sweep points) is
+embarrassingly parallel: every task is a pure function of picklable
+inputs with a deterministic seed, so fanning it out over a
+``ProcessPoolExecutor`` must produce bit-identical results to the
+serial loop — the only thing that changes is wall-clock time.  This
+module centralizes that fan-out so every harness exposes the same
+``jobs`` knob with the same semantics:
+
+* ``jobs=1`` (default): plain serial ``map`` in the calling process;
+* ``jobs=N``: a pool of N worker processes;
+* ``jobs=0`` or ``None``: one worker per CPU.
+
+Workers warm their own in-process caches (synthesized benchmarks,
+libraries, match tables); the persistent characterization cache
+(:mod:`repro.cache`) is shared through the filesystem, so workers also
+skip any SPICE solve another process already did.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` request to a concrete worker count."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def parallel_map(func: Callable[[_T], _R], items: Iterable[_T],
+                 jobs: Optional[int] = 1,
+                 chunksize: int = 1) -> List[_R]:
+    """Map ``func`` over ``items``, optionally across processes.
+
+    Results come back in input order regardless of completion order,
+    so callers are deterministic for any worker count.  ``chunksize``
+    groups adjacent tasks onto one worker — order related tasks
+    consecutively (e.g. the three libraries of one circuit) and chunk
+    by that group size to let per-process caches amortize shared work.
+    """
+    work: Sequence[_T] = list(items)
+    n_workers = min(resolve_jobs(jobs), max(1, len(work)))
+    if n_workers <= 1:
+        return [func(item) for item in work]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(func, work, chunksize=max(1, chunksize)))

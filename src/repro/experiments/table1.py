@@ -11,7 +11,8 @@ formats them, plus the paper's own numbers for side-by-side reporting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
 
 from repro.circuits.suite import (
     BenchmarkSpec,
@@ -26,10 +27,12 @@ from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
 from repro.experiments.flow import (
     CircuitFlowResult,
     run_circuit_flow,
+    synthesize_subject,
     three_libraries,
 )
+from repro.experiments.parallel import parallel_map
 from repro.experiments.reporting import format_ratio, format_saving, render_table
-from repro.synth.scripts import resyn2rs
+from repro.synth.aig import Aig
 
 LIBRARY_ORDER = [GENERALIZED, CONVENTIONAL, CMOS]
 
@@ -110,37 +113,92 @@ class Table1Result:
         return "\n\n".join(blocks)
 
 
+@lru_cache(maxsize=None)
+def _synthesized_benchmark(name: str, synthesize: bool) -> Aig:
+    """Build and synthesize one benchmark, memoized per process.
+
+    Worker processes touching the three libraries of one circuit pay
+    for ``resyn2rs`` once; the synthesis is deterministic, so every
+    process derives the same subject graph.
+    """
+    spec = {s.name: s for s in benchmark_suite()}[name]
+    aig = spec.build()
+    if not synthesize:
+        return aig
+    config = ExperimentConfig(synthesize=True)
+    return synthesize_subject(aig, config)
+
+
+@lru_cache(maxsize=None)
+def _worker_libraries() -> Dict[str, object]:
+    """The three characterized libraries, built once per process."""
+    return three_libraries()
+
+
+def _run_table1_cell(task: Tuple[str, str, ExperimentConfig]
+                     ) -> CircuitFlowResult:
+    """One Table 1 cell: picklable task -> picklable result."""
+    name, library_key, config = task
+    subject = _synthesized_benchmark(name, config.synthesize)
+    library = _worker_libraries()[library_key]
+    flow = run_circuit_flow(subject, library, config, presynthesized=True)
+    return CircuitFlowResult(
+        circuit=name, library=library_key,
+        gate_count=flow.gate_count, delay_s=flow.delay_s,
+        pd_w=flow.pd_w, ps_w=flow.ps_w, pg_w=flow.pg_w,
+        pt_w=flow.pt_w, edp_js=flow.edp_js)
+
+
+def _verbose_line(flow: CircuitFlowResult) -> str:
+    return (f"{flow.circuit:6s} {flow.library:20s} "
+            f"gates={flow.gate_count:5d} delay={flow.delay_ps:7.1f}ps "
+            f"PT={flow.pt_uw:8.2f}uW EDP={flow.edp_paper_units:8.2f}")
+
+
 def reproduce_table1(config: ExperimentConfig = PAPER_CONFIG,
                      benchmarks: Optional[List[str]] = None,
-                     verbose: bool = False) -> Table1Result:
+                     verbose: bool = False,
+                     jobs: Optional[int] = 1) -> Table1Result:
     """Run the full Table 1 experiment.
 
     Args:
         config: operating point and pattern budget.
         benchmarks: optional subset of Table 1 names (default: all 12).
-        verbose: print one line per (circuit, library) as results land.
+        verbose: print one line per (circuit, library) — streamed as
+            each result lands when running serially, after the grid
+            completes when running with worker processes.
+        jobs: worker processes for the (circuit x library) grid; 1 runs
+            serially in-process, 0/None uses every CPU.  Results are
+            bit-identical for any value — tasks carry deterministic
+            seeds and come back in grid order.
     """
-    libraries = three_libraries()
-    result = Table1Result(config=config)
-    for spec in benchmark_suite():
-        if benchmarks is not None and spec.name not in benchmarks:
-            continue
-        aig = spec.build()
-        subject = resyn2rs(aig) if config.synthesize else aig
-        row: Dict[str, CircuitFlowResult] = {}
-        for key in LIBRARY_ORDER:
-            flow = run_circuit_flow(subject, libraries[key], config,
-                                    presynthesized=True)
-            flow = CircuitFlowResult(
-                circuit=spec.name, library=key,
-                gate_count=flow.gate_count, delay_s=flow.delay_s,
-                pd_w=flow.pd_w, ps_w=flow.ps_w, pg_w=flow.pg_w,
-                pt_w=flow.pt_w, edp_js=flow.edp_js)
-            row[key] = flow
+    selected = [spec for spec in benchmark_suite()
+                if benchmarks is None or spec.name in benchmarks]
+    tasks = [(spec.name, key, config)
+             for spec in selected for key in LIBRARY_ORDER]
+    if jobs == 1:
+        # Serial: stream progress while computing.
+        flows = []
+        for task in tasks:
+            flow = _run_table1_cell(task)
+            flows.append(flow)
             if verbose:
-                print(f"{spec.name:6s} {key:20s} gates={flow.gate_count:5d} "
-                      f"delay={flow.delay_ps:7.1f}ps PT={flow.pt_uw:8.2f}uW "
-                      f"EDP={flow.edp_paper_units:8.2f}")
+                print(_verbose_line(flow))
+    else:
+        # chunksize=3 keeps one circuit's three libraries on one
+        # worker, so each circuit is synthesized once per process that
+        # touches it.
+        flows = parallel_map(_run_table1_cell, tasks, jobs=jobs,
+                             chunksize=3)
+        if verbose:
+            for flow in flows:
+                print(_verbose_line(flow))
+
+    result = Table1Result(config=config)
+    for spec, start in zip(selected, range(0, len(flows), len(LIBRARY_ORDER))):
+        row: Dict[str, CircuitFlowResult] = {}
+        for offset, key in enumerate(LIBRARY_ORDER):
+            row[key] = flows[start + offset]
         result.results[spec.name] = row
         result.benchmark_order.append(spec.name)
     return result

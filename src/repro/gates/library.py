@@ -46,6 +46,7 @@ class Library:
         self._r_unit = 0.5 * (effective_resistance(tech, "n")
                               + effective_resistance(tech, "p"))
         self._timings: Dict[str, CellTiming] = {}
+        self._pin_caps: Dict[Tuple[str, str], float] = {}
         self._match_index: Optional[Dict[int, Dict[int, Tuple[str, Tuple[int, ...]]]]] = None
 
     # -- container protocol ----------------------------------------------
@@ -84,10 +85,16 @@ class Library:
         return self.cell(name).n_devices * self.tech.area_per_device
 
     def pin_capacitance(self, name: str, pin: str) -> float:
-        """Input capacitance of one pin (F)."""
+        """Input capacitance of one pin (F); cached per (cell, pin)."""
+        key = (name, pin)
+        cached = self._pin_caps.get(key)
+        if cached is not None:
+            return cached
         cell = self.cell(name)
-        return cell.pin_capacitance(pin, self.tech.nmos.c_gate,
-                                    self.tech.nmos.c_pol)
+        value = cell.pin_capacitance(pin, self.tech.nmos.c_gate,
+                                     self.tech.nmos.c_pol)
+        self._pin_caps[key] = value
+        return value
 
     def pin_capacitances(self, name: str) -> Dict[str, float]:
         """Input capacitance of every pin (F)."""

@@ -8,21 +8,40 @@ float to their self-consistent potentials, which is precisely what
 produces the stack effect (series patterns leak far less than parallel
 ones, Fig. 4).
 
-Results are cached per (pattern, technology): the whole 46-cell library
-needs only a few dozen operating points instead of one per
-(cell, input vector) pair — the computational payoff of the paper's
-classification method.
+Results are cached at two levels:
+
+* in memory per (pattern, technology): the whole 46-cell library needs
+  only a few dozen operating points instead of one per (cell, input
+  vector) pair — the computational payoff of the paper's classification
+  method;
+* on disk via :mod:`repro.cache`, keyed by a stable hash of the
+  :class:`~repro.devices.parameters.TechnologyParams`, so repeat runs
+  and worker processes skip every previously-solved operating point.
+  Entries invalidate automatically when any technology parameter
+  changes (the key changes with it).  Set ``REPRO_CACHE_DISABLE=1`` or
+  pass ``disk_cache=None`` explicitly to opt out.
+
+``solves`` counts actual SPICE solutions; ``cache_size`` and
+``pattern_keys`` describe only the patterns *requested from this
+simulator*, regardless of whether the answer came from SPICE or disk —
+so characterization reports stay meaningful on a warm cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional
 
+from repro.cache import DiskCache, default_cache, stable_hash
 from repro.devices.parameters import TechnologyParams
 from repro.power.patterns import DEVICE, LeakagePattern, PatternTree
 from repro.spice.dc import operating_point
 from repro.spice.netlist import Circuit, GROUND
+
+_SENTINEL = object()
+
+#: Disk-cache namespace for pattern DC solutions.
+PATTERN_NAMESPACE = "patterns"
 
 
 @dataclass(frozen=True)
@@ -36,10 +55,25 @@ class PatternCurrents:
 class PatternSimulator:
     """Evaluates and caches pattern leakage for one technology."""
 
-    def __init__(self, tech: TechnologyParams):
+    def __init__(self, tech: TechnologyParams,
+                 disk_cache: object = _SENTINEL):
         self.tech = tech
         self._cache: Dict[str, PatternCurrents] = {}
         self._solves = 0
+        self._disk: Optional[DiskCache] = (
+            default_cache() if disk_cache is _SENTINEL else disk_cache)
+        self._tech_key = stable_hash(tech)
+        self._persistent: Dict[str, PatternCurrents] = {}
+        if self._disk is not None:
+            stored = self._disk.get(PATTERN_NAMESPACE, self._tech_key)
+            if isinstance(stored, dict):
+                for key, value in stored.items():
+                    try:
+                        i_off, n_devices = value
+                        self._persistent[key] = PatternCurrents(
+                            float(i_off), int(n_devices))
+                    except (TypeError, ValueError):
+                        continue
 
     @property
     def solves(self) -> int:
@@ -48,6 +82,7 @@ class PatternSimulator:
 
     @property
     def cache_size(self) -> int:
+        """Distinct patterns requested from this simulator."""
         return len(self._cache)
 
     @property
@@ -65,7 +100,14 @@ class PatternSimulator:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        result = self._simulate(pattern)
+        result = self._persistent.get(key)
+        if result is None:
+            result = self._simulate(pattern)
+            self._persistent[key] = result
+            if self._disk is not None:
+                self._disk.merge(
+                    PATTERN_NAMESPACE, self._tech_key,
+                    {key: [result.i_off, result.n_devices]})
         self._cache[key] = result
         return result
 

@@ -13,11 +13,13 @@ For a mapped netlist the estimator combines:
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
+from repro.cache import default_cache, stable_hash
 from repro.gates.library import Library
 from repro.power.model import (
     PowerParameters,
@@ -55,22 +57,49 @@ class CircuitPowerReport:
         return energy_delay_product(self.p_total, self.delay, params)
 
 
+#: Disk-cache namespace for per-library leakage tables.
+_LEAKAGE_NAMESPACE = "leakage"
+
+
+def _library_content_key(library: Library) -> str:
+    """Stable content hash of everything the leakage tables depend on.
+
+    Covers the technology parameters and each cell's full definition
+    (pins, truth table and stage topologies), so any change — a tweaked
+    ``TechnologyParams`` field, a re-sized stack — yields a fresh key
+    and the stale disk entry is never read again.
+    """
+    cells = [(cell.name, list(cell.inputs), cell.truth_table,
+              repr(cell.stages)) for cell in library]
+    return stable_hash([library.name, library.tech, cells])
+
+
 class _LeakageTables:
     """Per-cell leakage lookup tables for one library.
 
     ``i_off[cell][v]`` is the summed pattern current for input vector v;
     ``i_gate[cell][v]`` the gate-tunneling current.  Built once per
-    library via the pattern simulator (Fig. 5 flow) and reused across
-    circuits.
+    library via the pattern simulator (Fig. 5 flow), reused across
+    circuits, and persisted through :mod:`repro.cache` so repeat runs
+    and worker processes skip the SPICE characterization entirely.
     """
 
-    _cache: Dict[str, "_LeakageTables"] = {}
+    _cache: "weakref.WeakKeyDictionary[Library, _LeakageTables]"
+    _cache = weakref.WeakKeyDictionary()
 
-    def __init__(self, library: Library):
-        simulator = PatternSimulator(library.tech)
-        ig_unit = library.tech.nmos.ig_on
+    def __init__(self, library: Library,
+                 stored: Optional[Dict[str, Dict[str, list]]] = None):
         self.i_off: Dict[str, np.ndarray] = {}
         self.i_gate: Dict[str, np.ndarray] = {}
+        if stored is not None:
+            for cell in library:
+                entry = stored[cell.name]
+                self.i_off[cell.name] = np.asarray(entry["i_off"], dtype=float)
+                self.i_gate[cell.name] = np.asarray(entry["i_gate"],
+                                                    dtype=float)
+            return
+        simulator = PatternSimulator(library.tech)
+        ig_unit = library.tech.nmos.ig_on
         for cell in library:
             k = cell.n_inputs
             off = np.zeros(1 << k)
@@ -83,12 +112,47 @@ class _LeakageTables:
             self.i_off[cell.name] = off
             self.i_gate[cell.name] = gate
 
+    def _serialize(self) -> Dict[str, Dict[str, list]]:
+        return {name: {"i_off": self.i_off[name].tolist(),
+                       "i_gate": self.i_gate[name].tolist()}
+                for name in self.i_off}
+
+    @classmethod
+    def _valid_stored(cls, stored, library: Library) -> bool:
+        if not isinstance(stored, dict):
+            return False
+        for cell in library:
+            entry = stored.get(cell.name)
+            if not isinstance(entry, dict):
+                return False
+            size = 1 << cell.n_inputs
+            for field_name in ("i_off", "i_gate"):
+                values = entry.get(field_name)
+                if not isinstance(values, list) or len(values) != size:
+                    return False
+        return True
+
     @classmethod
     def for_library(cls, library: Library) -> "_LeakageTables":
-        key = f"{library.name}|{library.tech.name}|{id(library)}"
-        if key not in cls._cache:
-            cls._cache[key] = cls(library)
-        return cls._cache[key]
+        tables = cls._cache.get(library)
+        if tables is not None:
+            return tables
+        disk = default_cache()
+        key = _library_content_key(library)
+        stored = disk.get(_LEAKAGE_NAMESPACE, key)
+        tables = None
+        if cls._valid_stored(stored, library):
+            try:
+                tables = cls(library, stored)
+            except (TypeError, ValueError):
+                # Corrupt element values degrade to a cache miss, per
+                # the repro.cache contract.
+                tables = None
+        if tables is None:
+            tables = cls(library)
+            disk.put(_LEAKAGE_NAMESPACE, key, tables._serialize())
+        cls._cache[library] = tables
+        return tables
 
 
 def _switched_capacitance(netlist: MappedNetlist) -> Dict[str, float]:

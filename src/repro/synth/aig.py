@@ -61,6 +61,14 @@ class Aig:
         self._pos: List[int] = []
         self._po_names: List[str] = []
         self._strash: Dict[Tuple[int, int], int] = {}
+        #: Monotonic structure stamp, bumped by every mutation; caches
+        #: keyed on (graph identity, version) invalidate automatically.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: changes whenever the graph structure does."""
+        return self._version
 
     # -- construction ------------------------------------------------------
 
@@ -71,6 +79,7 @@ class Aig:
         self._is_pi.append(True)
         self._pis.append(node)
         self._pi_names.append(name if name is not None else f"pi{len(self._pis) - 1}")
+        self._version += 1
         return lit(node)
 
     def add_po(self, literal: int, name: Optional[str] = None) -> int:
@@ -78,12 +87,16 @@ class Aig:
         self._check_literal(literal)
         self._pos.append(literal)
         self._po_names.append(name if name is not None else f"po{len(self._pos) - 1}")
+        self._version += 1
         return len(self._pos) - 1
 
     def and_(self, a: int, b: int) -> int:
         """AND of two literals, with constant folding and strashing."""
-        self._check_literal(a)
-        self._check_literal(b)
+        # Inlined literal check (this is the hottest AIG entry point).
+        limit = len(self._fanins) << 1
+        if not (0 <= a < limit and 0 <= b < limit):
+            self._check_literal(a)
+            self._check_literal(b)
         if a > b:
             a, b = b, a
         if a == FALSE:
@@ -102,6 +115,7 @@ class Aig:
         self._fanins.append(key)
         self._is_pi.append(False)
         self._strash[key] = node
+        self._version += 1
         return lit(node)
 
     def or_(self, a: int, b: int) -> int:
@@ -269,6 +283,39 @@ class Aig:
         return self.simulate(words, n_patterns)
 
     # -- structural cleanup ---------------------------------------------------
+
+    def cached_derivation(self, cache, derive):
+        """Memoize ``derive(self)`` in a WeakKeyDictionary keyed on this
+        graph, stamped with :attr:`version` so any mutation invalidates.
+
+        The shared mechanism behind the synthesized-subject, compacted-
+        copy and cut-enumeration caches — one invalidation invariant
+        instead of several hand-rolled stamps.
+        """
+        stamp = self._version
+        entry = cache.get(self)
+        if entry is not None and entry[0] == stamp:
+            value = entry[1]
+            return self if value is None else value
+        value = derive(self)
+        # Converged derivations return their input; storing the graph
+        # as its own cache value would strongly reference the weak key
+        # and make the entry immortal, so store a self-sentinel.
+        cache[self] = (stamp, None if value is self else value)
+        return value
+
+    def same_structure(self, other: "Aig") -> bool:
+        """True if two graphs are structurally identical (same node
+        table, PIs, POs and names) — i.e. interchangeable for every
+        structural algorithm.  Lets optimization passes return their
+        input unchanged when they converge, preserving caches keyed on
+        the graph object."""
+        return (self._fanins == other._fanins
+                and self._is_pi == other._is_pi
+                and self._pis == other._pis
+                and self._pos == other._pos
+                and self._pi_names == other._pi_names
+                and self._po_names == other._po_names)
 
     def compact(self) -> "Aig":
         """Copy with dangling nodes removed (DFS from the POs)."""

@@ -69,4 +69,9 @@ def balance(aig: Aig) -> Aig:
         mapping[node] = heap[0][2] if heap else 1  # empty => constant 1
     for po, name in zip(aig.pos, aig.po_names):
         new.add_po(mapping[lit_node(po)] ^ lit_phase(po), name)
-    return new.compact()
+    result = new.compact()
+    # Converged pass: hand back the input object so cut enumerations
+    # cached on it stay valid for the next pass.
+    if result.same_structure(aig):
+        return aig
+    return result

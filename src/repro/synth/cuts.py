@@ -5,23 +5,45 @@ cover it).  Cut functions are computed incrementally during merging by
 lifting the child tables onto the merged leaf set, so no cone traversal
 is needed.  The trivial cut {node} is always kept (it seeds merges at
 fanout boundaries); matching passes skip it.
+
+Performance notes: table lifting goes through the memoized mask-shift
+``expand`` kernel; cut dominance uses 64-bit leaf signatures so almost
+every subset test is a single AND; whole enumerations are cached per
+AIG instance (keyed on the graph's mutation stamp, ``Aig.version``, so
+any structural change re-enumerates), which lets the mapper reuse one
+enumeration across all libraries and converged synthesis passes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import weakref
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro.synth.aig import Aig, lit_node, lit_phase
-from repro.synth.truth import expand, full_mask
+from repro.synth.aig import Aig
+from repro.synth.truth import _expand_cached, full_mask
 
 
-@dataclass(frozen=True)
+def _leaf_signature(leaves: Tuple[int, ...]) -> int:
+    """64-bit Bloom-style signature of a leaf set (for subset tests)."""
+    signature = 0
+    for leaf in leaves:
+        signature |= 1 << (leaf & 63)
+    return signature
+
+
+@dataclass(frozen=True, slots=True)
 class Cut:
     """A cut: sorted leaf nodes plus the root function over them."""
 
     leaves: Tuple[int, ...]
     table: int
+    #: Bloom signature of ``leaves``; ``a ⊆ b`` implies
+    #: ``sig(a) & ~sig(b) == 0``, so a failed AND disproves subset.
+    signature: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "signature", _leaf_signature(self.leaves))
 
     @property
     def size(self) -> int:
@@ -37,18 +59,20 @@ def _merge_leaves(a: Tuple[int, ...], b: Tuple[int, ...],
     """Sorted union of two leaf tuples, or () if it exceeds ``max_size``."""
     merged: List[int] = []
     i = j = 0
-    while i < len(a) and j < len(b):
+    len_a, len_b = len(a), len(b)
+    while i < len_a and j < len_b:
         if len(merged) > max_size:
             return ()
-        if a[i] == b[j]:
-            merged.append(a[i])
+        ai, bj = a[i], b[j]
+        if ai == bj:
+            merged.append(ai)
             i += 1
             j += 1
-        elif a[i] < b[j]:
-            merged.append(a[i])
+        elif ai < bj:
+            merged.append(ai)
             i += 1
         else:
-            merged.append(b[j])
+            merged.append(bj)
             j += 1
     merged.extend(a[i:])
     merged.extend(b[j:])
@@ -57,13 +81,12 @@ def _merge_leaves(a: Tuple[int, ...], b: Tuple[int, ...],
     return tuple(merged)
 
 
-def _lift(cut: Cut, merged: Tuple[int, ...], phase: int) -> int:
-    """Express a child cut's function over the merged leaf set."""
-    positions = [merged.index(leaf) for leaf in cut.leaves]
-    table = expand(cut.table, positions, len(merged))
-    if phase:
-        table ^= full_mask(len(merged))
-    return table
+#: Per-AIG enumeration cache.  Keyed weakly on the graph object so
+#: entries die with it; per (cut_size, cut_limit) only the enumeration
+#: of the graph's latest mutation stamp is kept, so alternating
+#: mutation with enumeration cannot accumulate stale tables.
+_CUT_CACHE: "weakref.WeakKeyDictionary[Aig, Dict[Tuple[int, int], Tuple[int, Dict[int, List[Cut]]]]]"
+_CUT_CACHE = weakref.WeakKeyDictionary()
 
 
 def enumerate_cuts(aig: Aig, cut_size: int = 5,
@@ -72,35 +95,85 @@ def enumerate_cuts(aig: Aig, cut_size: int = 5,
 
     Returns a dict from node id to its cut list; the trivial cut is
     always the first entry.  Cuts are ranked smallest-first, which
-    favours cheap matches and keeps merging tractable.
+    favours cheap matches and keeps merging tractable.  Results are
+    cached per AIG instance, so mapping the same graph onto several
+    libraries enumerates only once.
     """
+    per_aig = _CUT_CACHE.setdefault(aig, {})
+    cache_key = (cut_size, cut_limit)
+    entry = per_aig.get(cache_key)
+    if entry is not None and entry[0] == aig.version:
+        return entry[1]
+
     cuts: Dict[int, List[Cut]] = {}
     for pi in aig.pis:
         cuts[pi] = [Cut((pi,), 0b10)]
+    empty: List[Cut] = []
     for node in aig.and_nodes():
         f0, f1 = aig.fanins(node)
-        n0, n1 = lit_node(f0), lit_node(f1)
-        p0, p1 = lit_phase(f0), lit_phase(f1)
-        candidates: Dict[Tuple[int, ...], Cut] = {}
-        for cut0 in cuts.get(n0, []):
-            for cut1 in cuts.get(n1, []):
-                merged = _merge_leaves(cut0.leaves, cut1.leaves, cut_size)
-                if not merged:
+        n0, n1 = f0 >> 1, f1 >> 1
+        p0, p1 = f0 & 1, f1 & 1
+        # Candidate functions are kept as plain (merged -> table) pairs;
+        # Cut objects (with their signature hashing) are built only for
+        # the handful of cuts that survive ranking.
+        candidates: Dict[Tuple[int, ...], int] = {}
+        for cut0 in cuts.get(n0, empty):
+            sig0 = cut0.signature
+            leaves0 = cut0.leaves
+            table0 = cut0.table
+            for cut1 in cuts.get(n1, empty):
+                # The signature union undercounts the true leaf union
+                # (64-bit aliasing), so exceeding cut_size proves the
+                # merge infeasible before any list work happens.
+                if (sig0 | cut1.signature).bit_count() > cut_size:
                     continue
-                if merged in candidates:
+                leaves1 = cut1.leaves
+                if leaves0 == leaves1:
+                    merged = leaves0
+                else:
+                    merged = _merge_leaves(leaves0, leaves1, cut_size)
+                if not merged or merged in candidates:
                     continue
-                t0 = _lift(cut0, merged, p0)
-                t1 = _lift(cut1, merged, p1)
-                candidates[merged] = Cut(merged, t0 & t1)
-        ranked = sorted(candidates.values(), key=lambda c: (c.size, c.leaves))
+                n_merged = len(merged)
+                mask = full_mask(n_merged)
+                position_of = None
+                if leaves0 == merged:
+                    t0 = table0
+                else:
+                    position_of = {leaf: i for i, leaf in enumerate(merged)}
+                    t0 = _expand_cached(
+                        table0,
+                        tuple(map(position_of.__getitem__, leaves0)),
+                        n_merged)
+                if p0:
+                    t0 ^= mask
+                if leaves1 == merged:
+                    t1 = cut1.table
+                else:
+                    if position_of is None:
+                        position_of = {leaf: i
+                                       for i, leaf in enumerate(merged)}
+                    t1 = _expand_cached(
+                        cut1.table,
+                        tuple(map(position_of.__getitem__, leaves1)),
+                        n_merged)
+                if p1:
+                    t1 ^= mask
+                candidates[merged] = t0 & t1
+        ranked = sorted(candidates.items(),
+                        key=lambda item: (len(item[0]), item[0]))
         # Drop cuts dominated by a smaller cut with a subset of leaves.
         kept: List[Cut] = []
-        for cut in ranked:
-            leaf_set = set(cut.leaves)
-            if any(set(other.leaves) <= leaf_set for other in kept):
+        for merged, table in ranked:
+            signature = _leaf_signature(merged)
+            leaf_set = set(merged)
+            if any(other.signature & ~signature == 0
+                   and set(other.leaves) <= leaf_set
+                   for other in kept):
                 continue
-            kept.append(cut)
+            kept.append(Cut(merged, table))
             if len(kept) >= cut_limit:
                 break
         cuts[node] = [Cut((node,), 0b10)] + kept
+    per_aig[cache_key] = (aig.version, cuts)
     return cuts

@@ -16,6 +16,7 @@ required times implied by the delay-optimal cover — the classic
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -28,7 +29,6 @@ from repro.synth.truth import (
     all_permutations,
     flip_variable,
     full_mask,
-    negate,
 )
 
 
@@ -43,7 +43,7 @@ class MappingOptions:
     estimated_load: Optional[float] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MatchEntry:
     """One library realization of a cut function."""
 
@@ -54,7 +54,7 @@ class MatchEntry:
     n_negated: int
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeMatch:
     """Chosen implementation of one (node, phase) signal."""
 
@@ -65,6 +65,12 @@ class NodeMatch:
     entry: Optional[MatchEntry] = None
 
 
+#: Match tables per library instance (built once, reused by every
+#: mapping run against that library).
+_MATCH_TABLE_CACHE: "weakref.WeakKeyDictionary[Library, Dict[int, Dict[int, Dict[int, MatchEntry]]]]"
+_MATCH_TABLE_CACHE = weakref.WeakKeyDictionary()
+
+
 def build_match_table(library: Library, max_arity: int
                       ) -> Dict[int, Dict[int, MatchEntry]]:
     """Precompute ``{arity: {truth_table: best MatchEntry}}``.
@@ -72,7 +78,13 @@ def build_match_table(library: Library, max_arity: int
     Each cell is entered under every input permutation and every input
     polarity assignment (enumerated Gray-code style with cheap variable
     flips).  Ties keep the entry with smaller (area, negated inputs).
+    The table is cached per library instance, so repeated mappings
+    (e.g. 12 circuits onto the same library) pay for it once.
     """
+    per_library = _MATCH_TABLE_CACHE.setdefault(library, {})
+    cached = per_library.get(max_arity)
+    if cached is not None:
+        return cached
     inverter_area = library.area(library.inverter().name)
     table: Dict[int, Dict[int, MatchEntry]] = {}
     for cell in library:
@@ -100,6 +112,7 @@ def build_match_table(library: Library, max_arity: int
                 flip = ((step + 1) & -(step + 1)).bit_length() - 1
                 current = flip_variable(current, flip, arity)
                 phases ^= 1 << flip
+    per_library[max_arity] = table
     return table
 
 
@@ -124,58 +137,75 @@ class _Mapper:
         self.inv_area = library.area(self.inv_name)
         self.refs = aig.reference_counts()
         self.best: Dict[Tuple[int, int], NodeMatch] = {}
+        # Hot-loop precomputation: per-node load estimates and inverter
+        # delays, plus (intrinsic, slope) per cell so candidate ranking
+        # avoids method dispatch entirely.
+        self._loads = [min(max(1, refs), 4) * self._avg_pin_cap
+                       for refs in self.refs]
+        self._cell_timing = {cell.name: library.timing(cell.name)
+                             for cell in library}
+        inv_timing = self._cell_timing[self.inv_name]
+        self._inv_delays = [inv_timing.intrinsic + inv_timing.slope * load
+                            for load in self._loads]
+        # Cut-to-cell matches are round-invariant: resolve each cut's
+        # library entry (and its delay at this node's load) once per
+        # phase, so the DP rounds only walk precomputed lists.
+        self._matches: Dict[Tuple[int, int],
+                            List[Tuple[Cut, MatchEntry, float]]] = {}
+        for node in aig.and_nodes():
+            load = self._loads[node]
+            for phase in (0, 1):
+                matched: List[Tuple[Cut, MatchEntry, float]] = []
+                # The trivial cut {node} is always first; skip it.
+                for cut in self.cuts[node][1:]:
+                    arity = len(cut.leaves)
+                    table = (cut.table if phase == 0
+                             else cut.table ^ full_mask(arity))
+                    bucket = self.match_table.get(arity)
+                    if not bucket:
+                        continue
+                    entry = bucket.get(table)
+                    if entry is None:
+                        continue
+                    cell_timing = self._cell_timing[entry.cell]
+                    delay = cell_timing.intrinsic + cell_timing.slope * load
+                    matched.append((cut, entry, delay))
+                self._matches[(node, phase)] = matched
 
     def _load_estimate(self, node: int) -> float:
         """Estimated output load of a node: its fanout count in pins."""
-        fanout = min(max(1, self.refs[node]), 4)
-        return fanout * self._avg_pin_cap
+        return self._loads[node]
 
     def _inv_delay(self, node: int) -> float:
         """Estimated delay of an inverter driving this node's load."""
-        return self.library.timing(self.inv_name).delay(
-            self._load_estimate(node))
+        return self._inv_delays[node]
 
     # -- candidate generation ------------------------------------------------
 
-    def _cell_candidates(self, node: int, phase: int):
-        """Yield (arrival, area_flow, NodeMatch) for matched cuts."""
-        for cut in self.cuts[node]:
-            if cut.is_trivial_for(node):
-                continue
-            arity = cut.size
-            table = cut.table if phase == 0 else negate(cut.table, arity)
-            bucket = self.match_table.get(arity)
-            if not bucket:
-                continue
-            entry = bucket.get(table)
-            if entry is None:
-                continue
-            delay = self.library.timing(entry.cell).delay(
-                self._load_estimate(node))
+    def _select(self, node: int, phase: int, required: Optional[float],
+                area_mode: bool) -> Optional[NodeMatch]:
+        """Pick the best matched-cut candidate for (node, phase)."""
+        signal_best = self.best
+        refs = self.refs
+        best = None
+        best_key = None
+        for cut, entry, delay in self._matches[(node, phase)]:
             arrival = 0.0
             area_flow = entry.area
             feasible = True
+            phases = entry.phases
             for index, leaf in enumerate(cut.leaves):
-                leaf_phase = (entry.phases >> index) & 1
-                leaf_match = self.best.get((leaf, leaf_phase))
+                leaf_match = signal_best.get((leaf, (phases >> index) & 1))
                 if leaf_match is None:
                     feasible = False
                     break
-                arrival = max(arrival, leaf_match.arrival)
-                share = max(1, self.refs[leaf])
-                area_flow += leaf_match.area_flow / share
+                if leaf_match.arrival > arrival:
+                    arrival = leaf_match.arrival
+                share = refs[leaf]
+                area_flow += leaf_match.area_flow / (share if share > 1 else 1)
             if not feasible:
                 continue
             arrival += delay
-            yield arrival, area_flow, NodeMatch(
-                "cell", arrival, area_flow, cut, entry)
-
-    def _select(self, node: int, phase: int, required: Optional[float],
-                area_mode: bool) -> Optional[NodeMatch]:
-        """Pick the best candidate for (node, phase)."""
-        best: Optional[NodeMatch] = None
-        best_key = None
-        for arrival, area_flow, match in self._cell_candidates(node, phase):
             if area_mode:
                 if required is not None and arrival > required + 1e-15:
                     continue
@@ -184,8 +214,11 @@ class _Mapper:
                 key = (arrival, area_flow)
             if best_key is None or key < best_key:
                 best_key = key
-                best = match
-        return best
+                best = (arrival, area_flow, cut, entry)
+        if best is None:
+            return None
+        arrival, area_flow, cut, entry = best
+        return NodeMatch("cell", arrival, area_flow, cut, entry)
 
     # -- mapping rounds --------------------------------------------------------
 
@@ -247,6 +280,7 @@ class _Mapper:
             required[root] = min(required.get(root, target), target)
             stack.append(root)
         visited = set()
+        infinity = float("inf")
         while stack:
             key = stack.pop()
             if key in visited:
@@ -257,19 +291,20 @@ class _Mapper:
             slack_time = required[key]
             if match.kind == "inv":
                 child = (node, 1 - phase)
-                child_required = slack_time - self._inv_delay(node)
-                if child_required < required.get(child, float("inf")):
+                child_required = slack_time - self._inv_delays[node]
+                if child_required < required.get(child, infinity):
                     required[child] = child_required
                 if self.aig.is_and(node):
                     stack.append(child)
             elif match.kind == "cell":
-                delay = self.library.timing(match.entry.cell).delay(
-                    self._load_estimate(node))
+                cell_timing = self._cell_timing[match.entry.cell]
+                delay = (cell_timing.intrinsic
+                         + cell_timing.slope * self._loads[node])
                 for index, leaf in enumerate(match.cut.leaves):
                     leaf_phase = (match.entry.phases >> index) & 1
                     child = (leaf, leaf_phase)
                     child_required = slack_time - delay
-                    if child_required < required.get(child, float("inf")):
+                    if child_required < required.get(child, infinity):
                         required[child] = child_required
                         if child in visited:
                             visited.discard(child)
@@ -355,6 +390,17 @@ class _Mapper:
         )
 
 
+#: Compacted-graph cache: mapping one subject AIG onto several
+#: libraries reuses a single compacted copy (and with it the cut
+#: enumeration cached on that copy).
+_COMPACT_CACHE: "weakref.WeakKeyDictionary[Aig, Tuple[int, Aig]]"
+_COMPACT_CACHE = weakref.WeakKeyDictionary()
+
+
+def _compact_for_mapping(aig: Aig) -> Aig:
+    return aig.cached_derivation(_COMPACT_CACHE, Aig.compact)
+
+
 def map_aig(aig: Aig, library: Library,
             options: Optional[MappingOptions] = None) -> MappedNetlist:
     """Map an AIG onto a library; returns the mapped netlist.
@@ -365,7 +411,7 @@ def map_aig(aig: Aig, library: Library,
     """
     if options is None:
         options = MappingOptions()
-    aig = aig.compact()
+    aig = _compact_for_mapping(aig)
     mapper = _Mapper(aig, library, options)
     mapper.run_round(required=None, area_mode=False)
     for _ in range(options.area_rounds):

@@ -19,7 +19,7 @@ from typing import Dict, List, Sequence
 
 from repro.synth.aig import Aig, lit_node, lit_phase, lit_not
 from repro.synth.cuts import Cut, enumerate_cuts
-from repro.synth.sop import Expr, factor, isop
+from repro.synth.sop import Expr, factored_table
 from repro.synth.truth import full_mask
 
 
@@ -74,7 +74,7 @@ def _resynthesize(aig: Aig, cut_size: int, cut_limit: int,
                 for phase in (0, 1):
                     target = table if phase == 0 else (
                         table ^ full_mask(n_leaves))
-                    expr = factor(isop(target, n_leaves))
+                    expr = factored_table(target, n_leaves)
                     before = new.n_objects
                     literal = build_expr(new, expr, leaf_literals)
                     if phase:
@@ -91,7 +91,12 @@ def _resynthesize(aig: Aig, cut_size: int, cut_limit: int,
 
     for po, name in zip(aig.pos, aig.po_names):
         new.add_po(mapping[lit_node(po)] ^ lit_phase(po), name)
-    return new.compact()
+    result = new.compact()
+    # Converged pass: hand back the input object so cut enumerations
+    # cached on it stay valid for the next pass.
+    if result.same_structure(aig):
+        return aig
+    return result
 
 
 def rewrite(aig: Aig) -> Aig:

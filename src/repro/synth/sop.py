@@ -10,6 +10,7 @@ mapped-netlist simulator (to evaluate cell functions efficiently).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 from repro.errors import SynthesisError
@@ -112,17 +113,24 @@ def _isop_rec(lower: int, upper: int, n_vars: int, top: int) -> Tuple[List[Cube]
     return cubes, cover
 
 
-def isop(table: int, n_vars: int) -> List[Cube]:
-    """Irredundant sum-of-products cover of a completely-specified function.
-
-    The cover is exact: ``cubes_to_table(isop(t, n), n) == t``.
-    """
+@lru_cache(maxsize=1 << 16)
+def _isop_cached(table: int, n_vars: int) -> Tuple[Cube, ...]:
     if table < 0 or table > full_mask(n_vars):
         raise SynthesisError("truth table out of range")
     cubes, cover = _isop_rec(table, table, n_vars, n_vars - 1)
     if cover != table:
         raise SynthesisError("ISOP internal error: cover mismatch")
-    return cubes
+    return tuple(cubes)
+
+
+def isop(table: int, n_vars: int) -> List[Cube]:
+    """Irredundant sum-of-products cover of a completely-specified function.
+
+    The cover is exact: ``cubes_to_table(isop(t, n), n) == t``.  Covers
+    are memoized on ``(table, n_vars)``; the returned list is a fresh
+    copy, safe for callers to mutate.
+    """
+    return list(_isop_cached(table, n_vars))
 
 
 # -- algebraic factoring ------------------------------------------------------
@@ -159,6 +167,17 @@ def _or_balanced(exprs: List[Expr]) -> Expr:
             paired.append(exprs[-1])
         exprs = paired
     return exprs[0]
+
+
+@lru_cache(maxsize=1 << 16)
+def factored_table(table: int, n_vars: int) -> Expr:
+    """Factored expression of a truth table: ``factor(isop(table))``.
+
+    Memoized end to end — the rewrite passes re-factor the same few
+    thousand cut functions constantly.  The expression tree is built
+    from immutable tuples, so sharing it is safe.
+    """
+    return factor(list(_isop_cached(table, n_vars)))
 
 
 def factor(cubes: List[Cube]) -> Expr:

@@ -2,9 +2,13 @@
 
 A function of ``n`` variables is a mask of ``2**n`` bits: bit ``m`` is
 the output for the input assignment whose variable ``i`` equals bit
-``i`` of ``m`` (variable 0 is the least significant).  This module keeps
-every operation allocation-free on Python ints, which is plenty fast for
-the cut sizes (k <= 6) used by the rewriting passes and the mapper.
+``i`` of ``m`` (variable 0 is the least significant).  Every operation
+is expressed as O(k) mask-shift arithmetic over precomputed variable
+masks (no per-minterm Python loops), and the hot entry points —
+``expand``, ``permute`` and ``p_canonical`` — are memoized with
+``lru_cache``, which matters because cut enumeration lifts the same
+few thousand distinct (table, positions) pairs tens of thousands of
+times per circuit.
 """
 
 from __future__ import annotations
@@ -18,17 +22,23 @@ from repro.errors import SynthesisError
 #: Largest variable count supported by these helpers.
 MAX_VARS = 8
 
+#: Precomputed row counts and all-ones masks, indexed by variable count.
+_TABLE_SIZES = tuple(1 << n for n in range(MAX_VARS + 1))
+_FULL_MASKS = tuple((1 << (1 << n)) - 1 for n in range(MAX_VARS + 1))
+
 
 def table_size(n_vars: int) -> int:
     """Number of rows (bits) in an ``n_vars``-input truth table."""
     if not 0 <= n_vars <= MAX_VARS:
         raise SynthesisError(f"variable count {n_vars} out of range")
-    return 1 << n_vars
+    return _TABLE_SIZES[n_vars]
 
 
 def full_mask(n_vars: int) -> int:
     """All-ones mask for ``n_vars`` variables."""
-    return (1 << table_size(n_vars)) - 1
+    if not 0 <= n_vars <= MAX_VARS:
+        raise SynthesisError(f"variable count {n_vars} out of range")
+    return _FULL_MASKS[n_vars]
 
 
 @lru_cache(maxsize=None)
@@ -36,11 +46,16 @@ def variable_mask(var: int, n_vars: int) -> int:
     """Truth table of the projection function x_var over n_vars inputs."""
     if not 0 <= var < n_vars:
         raise SynthesisError(f"variable {var} out of range for {n_vars} vars")
-    bits = 0
-    for minterm in range(table_size(n_vars)):
-        if (minterm >> var) & 1:
-            bits |= 1 << minterm
-    return bits
+    stride = 1 << var
+    # One period of the pattern (2*stride bits: stride zeros, stride
+    # ones), doubled until it spans the whole table.
+    mask = ((1 << stride) - 1) << stride
+    width = 2 * stride
+    size = table_size(n_vars)
+    while width < size:
+        mask |= mask << width
+        width *= 2
+    return mask
 
 
 def negate(table: int, n_vars: int) -> int:
@@ -77,27 +92,17 @@ def cofactors(table: int, var: int, n_vars: int) -> Tuple[int, int]:
     Both cofactors are returned as full ``n_vars``-variable tables (the
     cofactored variable becomes don't-care and is simply duplicated).
     """
-    size = table_size(n_vars)
+    mask = variable_mask(var, n_vars)
     stride = 1 << var
-    negative = 0
-    positive = 0
-    for minterm in range(size):
-        bit = (table >> minterm) & 1
-        if not bit:
-            continue
-        if (minterm >> var) & 1:
-            positive |= 1 << minterm
-            positive |= 1 << (minterm ^ stride)
-        else:
-            negative |= 1 << minterm
-            negative |= 1 << (minterm ^ stride)
-    return negative, positive
+    hi = table & mask
+    lo = table & (mask ^ full_mask(n_vars))
+    return lo | (lo << stride), hi | (hi >> stride)
 
 
 def depends_on(table: int, var: int, n_vars: int) -> bool:
     """True if the function actually depends on ``var``."""
-    negative, positive = cofactors(table, var, n_vars)
-    return negative != positive
+    mask = variable_mask(var, n_vars)
+    return (table & mask) >> (1 << var) != table & (mask ^ full_mask(n_vars))
 
 
 def support(table: int, n_vars: int) -> List[int]:
@@ -115,15 +120,35 @@ def shrink_to_support(table: int, n_vars: int) -> Tuple[int, List[int]]:
     sup = support(table, n_vars)
     if len(sup) == n_vars:
         return table, sup
-    small = 0
-    for small_minterm in range(1 << len(sup)):
-        big_minterm = 0
-        for new_index, old_index in enumerate(sup):
-            if (small_minterm >> new_index) & 1:
-                big_minterm |= 1 << old_index
-        if (table >> big_minterm) & 1:
-            small |= 1 << small_minterm
+    # Drop don't-care variables from the top down; removing variable v
+    # keeps the low cofactor half of every 2**(v+1)-bit block.
+    small = table
+    remaining = n_vars
+    for var in range(n_vars - 1, -1, -1):
+        if var in sup:
+            continue
+        size = 1 << remaining
+        stride = 1 << var
+        lo_block = (1 << stride) - 1
+        shrunk = 0
+        out_shift = 0
+        for pos in range(0, size, 2 * stride):
+            shrunk |= ((small >> pos) & lo_block) << out_shift
+            out_shift += stride
+        small = shrunk
+        remaining -= 1
     return small, sup
+
+
+@lru_cache(maxsize=1 << 16)
+def _permute_cached(table: int, permutation: Tuple[int, ...],
+                    n_vars: int) -> int:
+    if sorted(permutation) != list(range(n_vars)):
+        raise SynthesisError(f"bad permutation {permutation!r}")
+    inverse = [0] * n_vars
+    for new_index, old_index in enumerate(permutation):
+        inverse[old_index] = new_index
+    return _expand_cached(table, tuple(inverse), n_vars)
 
 
 def permute(table: int, permutation: Sequence[int], n_vars: int) -> int:
@@ -131,19 +156,7 @@ def permute(table: int, permutation: Sequence[int], n_vars: int) -> int:
 
     ``permutation`` must be a permutation of ``range(n_vars)``.
     """
-    if sorted(permutation) != list(range(n_vars)):
-        raise SynthesisError(f"bad permutation {permutation!r}")
-    result = 0
-    for minterm in range(table_size(n_vars)):
-        if not (table >> minterm) & 1:
-            continue
-        new_minterm = 0
-        for new_index in range(n_vars):
-            old_index = permutation[new_index]
-            if (minterm >> old_index) & 1:
-                new_minterm |= 1 << new_index
-        result |= 1 << new_minterm
-    return result
+    return _permute_cached(table, tuple(permutation), n_vars)
 
 
 def all_permutations(table: int, n_vars: int) -> Iterable[Tuple[int, Tuple[int, ...]]]:
@@ -152,6 +165,7 @@ def all_permutations(table: int, n_vars: int) -> Iterable[Tuple[int, Tuple[int, 
         yield permute(table, perm, n_vars), perm
 
 
+@lru_cache(maxsize=1 << 16)
 def p_canonical(table: int, n_vars: int) -> Tuple[int, Tuple[int, ...]]:
     """Permutation-canonical form: the minimum table over all orderings.
 
@@ -166,24 +180,31 @@ def p_canonical(table: int, n_vars: int) -> Tuple[int, Tuple[int, ...]]:
     return best if best is not None else table, best_perm
 
 
+@lru_cache(maxsize=1 << 18)
+def _expand_cached(table: int, positions: Tuple[int, ...],
+                   n_vars: int) -> int:
+    ones = full_mask(n_vars)
+    words = [ones if (table >> minterm) & 1 else 0
+             for minterm in range(1 << len(positions))]
+    # Mux tree: round i selects on small variable i through the big
+    # variable's projection mask, halving the word list each round.
+    for big_index in positions:
+        mask = variable_mask(big_index, n_vars)
+        inverse = mask ^ ones
+        words = [(words[pair] & inverse) | (words[pair + 1] & mask)
+                 for pair in range(0, len(words), 2)]
+    return words[0]
+
+
 def expand(table: int, positions: Sequence[int], n_vars: int) -> int:
     """Lift a small table onto ``n_vars`` variables.
 
     ``positions[i]`` gives the target variable index for the small
     table's variable ``i``.  The result is constant in all other
-    variables.
+    variables.  Results are memoized on ``(table, positions, n_vars)``;
+    cut enumeration hits the cache for the vast majority of lifts.
     """
-    result = 0
-    small_vars = len(positions)
-    for minterm in range(table_size(n_vars)):
-        small_minterm = 0
-        for small_index, big_index in enumerate(positions):
-            if (minterm >> big_index) & 1:
-                small_minterm |= 1 << small_index
-        if (table >> small_minterm) & 1:
-            result |= 1 << minterm
-    del small_vars
-    return result
+    return _expand_cached(table, tuple(positions), n_vars)
 
 
 def flip_variable(table: int, var: int, n_vars: int) -> int:
@@ -197,7 +218,7 @@ def flip_variable(table: int, var: int, n_vars: int) -> int:
 
 def popcount(table: int) -> int:
     """Number of ones in the table."""
-    return bin(table).count("1")
+    return table.bit_count()
 
 
 def is_constant(table: int, n_vars: int) -> bool:

@@ -4,9 +4,17 @@ suite."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.cache import ENV_CACHE_DISABLE
 from repro.devices.parameters import cmos_32nm, cntfet_32nm
+
+# The suite must be hermetic: several tests assert exact SPICE solve
+# counts, which a warm persistent cache would zero out.  Tests that
+# exercise the disk cache construct an explicit DiskCache instead.
+os.environ[ENV_CACHE_DISABLE] = "1"
 from repro.experiments.config import ExperimentConfig
 from repro.gates.ambipolar_library import generalized_cntfet_library
 from repro.gates.conventional import cmos_library, conventional_cntfet_library

@@ -1,0 +1,54 @@
+"""The process-parallel experiment runner."""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import parallel_map, resolve_jobs
+from repro.experiments.table1 import reproduce_table1
+
+#: Tiny but non-degenerate budget: parallel/serial equality must hold
+#: bit-for-bit at any pattern count because every task owns its seed.
+TINY = ExperimentConfig(n_patterns=2048, state_patterns=2048)
+SUBSET = ["C1908", "t481"]
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_process_pool_preserves_order(self):
+        assert parallel_map(_square, range(10), jobs=2) == [
+            x * x for x in range(10)]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+
+
+class TestTable1Parallel:
+    def test_parallel_results_bit_identical_to_serial(self):
+        serial = reproduce_table1(TINY, benchmarks=SUBSET)
+        parallel = reproduce_table1(TINY, benchmarks=SUBSET, jobs=2)
+        assert serial.benchmark_order == parallel.benchmark_order
+        for name in serial.benchmark_order:
+            for key, expected in serial.results[name].items():
+                # Frozen dataclasses of floats: equality is bit-exact.
+                assert parallel.results[name][key] == expected
+
+    def test_cli_accepts_jobs_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["table1", "--fast", "--jobs", "4"])
+        assert args.jobs == 4
+        args = build_parser().parse_args(["library", "--jobs", "2"])
+        assert args.jobs == 2

@@ -1,0 +1,159 @@
+"""The persistent characterization cache (repro.cache and its hooks)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cache import DiskCache, stable_hash
+from repro.devices.parameters import cmos_32nm, cntfet_32nm
+from repro.power.pattern_sim import PatternSimulator
+from repro.power.patterns import LeakagePattern
+from repro.power.characterize import characterize_library
+from repro.sim.estimator import _LeakageTables, _library_content_key
+
+D = ("d",)
+
+
+class TestStableHash:
+    def test_deterministic_across_constructions(self):
+        assert stable_hash(cmos_32nm()) == stable_hash(cmos_32nm())
+
+    def test_distinguishes_technologies(self):
+        assert stable_hash(cmos_32nm()) != stable_hash(cntfet_32nm())
+
+    def test_any_field_change_changes_key(self):
+        base = cntfet_32nm()
+        assert stable_hash(base.with_vdd(0.8)) != stable_hash(base)
+        nmos = dataclasses.replace(base.nmos, ig_on=base.nmos.ig_on * 2)
+        tweaked = dataclasses.replace(base, nmos=nmos,
+                                      pmos=nmos.as_polarity("p"))
+        assert stable_hash(tweaked) != stable_hash(base)
+
+    def test_plain_structures(self):
+        assert stable_hash([1, "a", 0.5]) == stable_hash((1, "a", 0.5))
+        assert stable_hash({"b": 1, "a": 2}) == stable_hash({"a": 2, "b": 1})
+        assert stable_hash([1]) != stable_hash([2])
+
+
+class TestDiskCache:
+    def test_roundtrip(self, tmp_path):
+        cache = DiskCache(root=tmp_path, enabled=True)
+        cache.put("ns", "key", {"x": [1.5, 2.5]})
+        assert cache.get("ns", "key") == {"x": [1.5, 2.5]}
+
+    def test_missing_is_none(self, tmp_path):
+        cache = DiskCache(root=tmp_path, enabled=True)
+        assert cache.get("ns", "nope") is None
+
+    def test_corrupt_entry_is_none(self, tmp_path):
+        cache = DiskCache(root=tmp_path, enabled=True)
+        cache.put("ns", "key", {"ok": 1})
+        path = tmp_path / "ns" / "key.json"
+        path.write_text("{not json")
+        assert cache.get("ns", "key") is None
+
+    def test_merge_accumulates(self, tmp_path):
+        cache = DiskCache(root=tmp_path, enabled=True)
+        cache.merge("ns", "key", {"a": 1})
+        merged = cache.merge("ns", "key", {"b": 2})
+        assert merged == {"a": 1, "b": 2}
+        assert cache.get("ns", "key") == {"a": 1, "b": 2}
+
+    def test_disabled_cache_never_stores(self, tmp_path):
+        cache = DiskCache(root=tmp_path, enabled=False)
+        cache.put("ns", "key", {"x": 1})
+        assert cache.get("ns", "key") is None
+        assert not (tmp_path / "ns").exists()
+
+    def test_clear(self, tmp_path):
+        cache = DiskCache(root=tmp_path, enabled=True)
+        cache.put("a", "k1", 1)
+        cache.put("b", "k2", 2)
+        assert cache.clear("a") == 1
+        assert cache.get("a", "k1") is None
+        assert cache.get("b", "k2") == 2
+
+
+class TestPatternSimulatorPersistence:
+    def test_solves_do_not_grow_on_second_characterization(self, glib):
+        simulator = PatternSimulator(glib.tech, disk_cache=None)
+        characterize_library(glib, simulator=simulator)
+        solves_after_first = simulator.solves
+        assert solves_after_first > 0
+        characterize_library(glib, simulator=simulator)
+        assert simulator.solves == solves_after_first
+
+    def test_warm_disk_cache_skips_every_solve(self, tmp_path, cmos_tech):
+        cache = DiskCache(root=tmp_path, enabled=True)
+        cold = PatternSimulator(cmos_tech, disk_cache=cache)
+        patterns = [LeakagePattern(D), LeakagePattern(("s", D, D)),
+                    LeakagePattern(("p", D, ("s", D, D)))]
+        cold_currents = [cold.currents(p) for p in patterns]
+        assert cold.solves == len(patterns)
+
+        warm = PatternSimulator(cmos_tech, disk_cache=cache)
+        warm_currents = [warm.currents(p) for p in patterns]
+        assert warm.solves == 0
+        for a, b in zip(cold_currents, warm_currents):
+            assert a.i_off == b.i_off
+            assert a.n_devices == b.n_devices
+        # Session-level bookkeeping still reflects what was requested.
+        assert warm.cache_size == len(patterns)
+        assert warm.pattern_keys == {p.key for p in patterns}
+
+    def test_technology_change_invalidates(self, tmp_path, cmos_tech):
+        cache = DiskCache(root=tmp_path, enabled=True)
+        first = PatternSimulator(cmos_tech, disk_cache=cache)
+        first.currents(LeakagePattern(D))
+        assert first.solves == 1
+
+        changed = PatternSimulator(cmos_tech.with_vdd(0.8), disk_cache=cache)
+        changed.currents(LeakagePattern(D))
+        assert changed.solves == 1  # cache key differs; must re-solve
+
+        same = PatternSimulator(cmos_tech, disk_cache=cache)
+        same.currents(LeakagePattern(D))
+        assert same.solves == 0
+
+
+class TestLeakageTablesPersistence:
+    def test_content_key_tracks_technology(self, mlib):
+        from repro.gates.conventional import cmos_library
+
+        assert (_library_content_key(mlib)
+                == _library_content_key(cmos_library()))
+        scaled = cmos_library(mlib.tech.with_vdd(0.8))
+        assert (_library_content_key(scaled)
+                != _library_content_key(mlib))
+
+    def test_disk_roundtrip_matches_fresh_build(self, tmp_path, mlib,
+                                                monkeypatch):
+        from repro import cache as cache_module
+        from repro.gates.conventional import cmos_library
+        from repro.sim import estimator
+
+        monkeypatch.setenv(cache_module.ENV_CACHE_DISABLE, "0")
+        monkeypatch.setenv(cache_module.ENV_CACHE_DIR, str(tmp_path))
+        _LeakageTables._cache.clear()
+        built = _LeakageTables.for_library(mlib)
+        key = _library_content_key(mlib)
+        stored = cache_module.default_cache().get(
+            estimator._LEAKAGE_NAMESPACE, key)
+        assert stored is not None
+
+        fresh_library = cmos_library()  # new instance, same content
+        loaded = _LeakageTables.for_library(fresh_library)
+        assert loaded is not built  # separate instance, loaded from disk
+        for name in built.i_off:
+            np.testing.assert_array_equal(built.i_off[name],
+                                          loaded.i_off[name])
+            np.testing.assert_array_equal(built.i_gate[name],
+                                          loaded.i_gate[name])
+        _LeakageTables._cache.clear()
+
+    def test_in_memory_reuse_per_library_instance(self, mlib):
+        first = _LeakageTables.for_library(mlib)
+        assert _LeakageTables.for_library(mlib) is first
