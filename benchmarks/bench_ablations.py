@@ -1,8 +1,6 @@
 """Ablation benches (A1 in DESIGN.md) — design-choice sweeps the paper
 holds fixed."""
 
-import pytest
-
 from repro.experiments.ablations import (
     fanout_sweep,
     pattern_cache_effectiveness,

@@ -205,6 +205,7 @@ def bench_table1(n_patterns: int, benchmarks, jobs: int) -> dict:
     import subprocess
 
     from repro.experiments.config import ExperimentConfig
+    from repro.experiments.parallel import resolve_jobs
     from repro.experiments.table1 import reproduce_table1
 
     config = ExperimentConfig(n_patterns=n_patterns,
@@ -216,17 +217,25 @@ def bench_table1(n_patterns: int, benchmarks, jobs: int) -> dict:
     result = {"n_patterns": n_patterns,
               "benchmarks": benchmarks or "all",
               "serial_s": serial_time}
-    # jobs=None skips the parallel measurement; 0 means all CPUs and 1
-    # would just repeat the serial run (same semantics as the CLI).
+    # jobs=None skips the parallel measurement; 0 means all CPUs.  The
+    # request is clamped to the CPU count (forking 2 workers on a
+    # 1-CPU machine used to *slow down* the measured run) and both the
+    # requested and effective values are recorded, so a report showing
+    # parallel ~= serial timing is explained by jobs_effective=1
+    # rather than looking like a parallelization regression.
+    jobs_effective = None if jobs is None else resolve_jobs(jobs)
     if jobs is not None and jobs != 1:
+        result["jobs_requested"] = jobs
+        result["jobs_effective"] = jobs_effective
+    if jobs_effective is not None and jobs_effective > 1:
         spec = json.dumps({"n_patterns": n_patterns,
-                           "benchmarks": benchmarks, "jobs": jobs})
+                           "benchmarks": benchmarks,
+                           "jobs": jobs_effective})
         env = dict(os.environ, PYTHONPATH="src")
         completed = subprocess.run(
             [sys.executable, "-c", _PARALLEL_SNIPPET, spec],
             capture_output=True, text=True, env=env,
             cwd=Path(__file__).resolve().parent.parent)
-        result["jobs"] = jobs
         if completed.returncode == 0:
             parallel = json.loads(completed.stdout.strip().splitlines()[-1])
             result["parallel_s"] = parallel["elapsed"]
@@ -234,6 +243,11 @@ def bench_table1(n_patterns: int, benchmarks, jobs: int) -> dict:
                 parallel["digest"] == _table1_digest(serial))
         else:
             result["parallel_error"] = completed.stderr[-2000:]
+    elif jobs is not None and jobs != 1:
+        result["parallel_skipped"] = (
+            f"jobs={jobs} clamped to {jobs_effective} "
+            f"(cpu_count={os.cpu_count()}); a 1-worker pool would just "
+            f"repeat the serial measurement")
     return result
 
 
@@ -243,8 +257,9 @@ def main(argv=None) -> int:
                         help="tiny budget for CI smoke runs")
     parser.add_argument("--jobs", type=int, default=None,
                         help="also run Table 1 with this many worker "
-                             "processes (0 = all CPUs, same as the "
-                             "repro CLI; omit to skip the parallel run)")
+                             "processes (0 = all CPUs; clamped to the "
+                             "CPU count, same as the repro CLI; omit "
+                             "to skip the parallel run)")
     parser.add_argument("-o", "--output", default="BENCH_perf.json",
                         help="where to write the JSON report")
     args = parser.parse_args(argv)

@@ -14,7 +14,7 @@ Run:  python examples/table1_reproduction.py [--fast]
 import sys
 import time
 
-from repro.circuits.suite import CMOS, CONVENTIONAL, GENERALIZED
+from repro.circuits.suite import CONVENTIONAL, GENERALIZED
 from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
 from repro.experiments.table1 import reproduce_table1
 

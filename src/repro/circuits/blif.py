@@ -13,12 +13,11 @@ inverters folded into the cube phases.  Mapped netlists are written as
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TextIO, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SynthesisError
 from repro.synth.aig import Aig, FALSE, TRUE, lit_node, lit_not, lit_phase
 from repro.synth.netlist import MappedNetlist
-from repro.synth.sop import isop
 
 
 def write_aig_blif(aig: Aig, name: Optional[str] = None) -> str:

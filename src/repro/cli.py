@@ -9,7 +9,10 @@ driven without writing Python:
 * ``genlib <generalized|conventional|cmos> [-o FILE]`` — export a
   characterized library in genlib format;
 * ``cell <NAME>`` — per-vector leakage report of one library cell;
-* ``techs`` — the calibrated technology summaries.
+* ``techs`` — the calibrated technology summaries;
+* ``sweep run/report/status/spec`` — declarative scenario grids over
+  vdd x frequency x fanout x patterns x library x circuit with a
+  resumable result store (see :mod:`repro.sweep`).
 """
 
 from __future__ import annotations
@@ -59,19 +62,15 @@ def _cmd_figures(args) -> int:
 
 
 def _library_by_key(key: str):
+    from repro.errors import ExperimentError
     from repro.experiments.flow import three_libraries
+    from repro.sweep.spec import canonical_library
 
-    libraries = three_libraries()
-    aliases = {
-        "generalized": "cntfet-generalized",
-        "conventional": "cntfet-conventional",
-        "cmos": "cmos",
-    }
-    name = aliases.get(key, key)
-    if name not in libraries:
-        raise SystemExit(f"unknown library {key!r}; choose from "
-                         f"{sorted(aliases)}")
-    return libraries[name]
+    try:
+        name = canonical_library(key)
+    except ExperimentError as exc:
+        raise SystemExit(str(exc))
+    return three_libraries()[name]
 
 
 def _cmd_genlib(args) -> int:
@@ -105,6 +104,129 @@ def _cmd_techs(args) -> int:
     return 0
 
 
+# -- sweep subcommands --------------------------------------------------------
+
+def _csv_values(text: str, cast):
+    return tuple(cast(part) for part in text.split(",") if part)
+
+
+def _parse_bool_axis(text: str):
+    """``on`` / ``off`` / ``both`` -> synthesize axis tuple."""
+    axis = {"on": (True,), "off": (False,), "both": (True, False)}
+    if text not in axis:
+        raise SystemExit(f"--synthesize must be on, off or both (got {text!r})")
+    return axis[text]
+
+
+def _spec_from_args(args):
+    """Build a SweepSpec from ``--spec FILE`` plus axis-flag overrides."""
+    from repro.sweep.spec import SweepSpec
+
+    data = SweepSpec.from_file(args.spec).to_dict() if args.spec else {}
+    overrides = {
+        "vdd": (args.vdd, lambda text: _csv_values(text, float)),
+        "frequency": (args.frequency, lambda text: _csv_values(text, float)),
+        "fanout": (args.fanout, lambda text: _csv_values(text, int)),
+        "n_patterns": (args.patterns, lambda text: _csv_values(text, int)),
+        "circuits": (args.circuits, lambda text: _csv_values(text, str)),
+        "libraries": (args.libraries, lambda text: _csv_values(text, str)),
+        "synthesize": (args.synthesize, _parse_bool_axis),
+        "seed": (args.seed, int),
+    }
+    for name, (value, parse) in overrides.items():
+        if value is not None:
+            data[name] = parse(value)
+    return SweepSpec.from_dict(data)
+
+
+def _cmd_sweep_run(args) -> int:
+    from repro.sweep.runner import run_sweep
+    from repro.sweep.store import open_store
+
+    spec = _spec_from_args(args)
+    store = open_store(args.store)
+    report = run_sweep(spec, store, jobs=args.jobs,
+                       verbose=not args.quiet)
+    print(report.render())
+    return 0
+
+
+def _cmd_sweep_report(args) -> int:
+    from repro.sweep.report import render_csv, render_table1, render_vdd_series
+    from repro.sweep.store import require_store
+
+    records = require_store(args.store).records()
+    if args.format == "csv":
+        text = render_csv(records)
+    elif args.pivot == "vdd":
+        text = render_vdd_series(records)
+    else:
+        text = render_table1(records)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({len(records)} points)")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_sweep_status(args) -> int:
+    from repro.sweep.store import open_store_for_read, sweep_status
+
+    spec = _spec_from_args(args)
+    status = sweep_status(spec, open_store_for_read(args.store))
+    print(f"sweep {status['spec_hash'][:12]}: "
+          f"total={status['total']} done={status['done']} "
+          f"missing={status['missing']} store={args.store}")
+    for point in status["missing_preview"]:
+        print(f"  missing: {point['circuit']} / {point['library']} "
+              f"vdd={point['vdd']:g} f={point['frequency']:g} "
+              f"fo={point['fanout']} n={point['n_patterns']}")
+    if status["missing"] > len(status["missing_preview"]):
+        print(f"  ... and {status['missing'] - len(status['missing_preview'])}"
+              f" more")
+    # Exit code doubles as a completeness check for CI gating.
+    return 0 if status["missing"] == 0 else 1
+
+
+def _cmd_sweep_spec(args) -> int:
+    spec = _spec_from_args(args)
+    text = spec.to_json()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({spec.size()} points)")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _add_axis_flags(parser, with_spec: bool = True) -> None:
+    """The shared grid-definition flags of the sweep subcommands."""
+    if with_spec:
+        parser.add_argument("--spec", default=None, metavar="FILE",
+                            help="JSON sweep spec; axis flags below "
+                                 "override its entries")
+    parser.add_argument("--vdd", default=None, metavar="V1,V2,...",
+                        help="supply voltages in volts (default 0.9)")
+    parser.add_argument("--frequency", default=None, metavar="F1,F2,...",
+                        help="clock frequencies in Hz (default 1e9)")
+    parser.add_argument("--fanout", default=None, metavar="N1,N2,...",
+                        help="fanout loads (default 3)")
+    parser.add_argument("--patterns", default=None, metavar="N1,N2,...",
+                        help="random-pattern budgets (default 640000)")
+    parser.add_argument("--circuits", default=None, metavar="A,B,...",
+                        help="benchmark subset (default: all 12)")
+    parser.add_argument("--libraries", default=None, metavar="L1,L2,...",
+                        help="libraries or aliases (default: all three)")
+    parser.add_argument("--synthesize", default=None,
+                        choices=["on", "off", "both"],
+                        help="resyn2rs before mapping (default on)")
+    parser.add_argument("--seed", default=None, type=int,
+                        help="pattern RNG seed (default 2010)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -121,8 +243,9 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--quiet", action="store_true")
     table1.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the circuit x library "
-                             "grid (0 = all CPUs); results are "
-                             "bit-identical to the serial run")
+                             "grid (0 = all CPUs; clamped to the CPU "
+                             "count); results are bit-identical to the "
+                             "serial run")
     table1.set_defaults(func=_cmd_table1)
 
     library = sub.add_parser("library",
@@ -147,6 +270,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     techs = sub.add_parser("techs", help="technology summaries")
     techs.set_defaults(func=_cmd_techs)
+
+    sweep = sub.add_parser(
+        "sweep", help="scenario grids with a resumable result store")
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    run = sweep_sub.add_parser(
+        "run", help="execute every not-yet-stored point of a grid")
+    _add_axis_flags(run)
+    run.add_argument("--store", default="sweep-results.jsonl",
+                     metavar="FILE",
+                     help="result store path; .sqlite/.db selects the "
+                          "SQLite backend (default sweep-results.jsonl)")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (0 = all CPUs; clamped to "
+                          "the CPU count); results are bit-identical "
+                          "for any value")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-point progress lines")
+    run.set_defaults(func=_cmd_sweep_run)
+
+    report = sweep_sub.add_parser(
+        "report", help="pivot stored points into tables")
+    report.add_argument("--store", default="sweep-results.jsonl",
+                        metavar="FILE")
+    report.add_argument("--pivot", choices=["table1", "vdd"],
+                        default="table1",
+                        help="table1: per-library tables per operating "
+                             "point; vdd: power-vs-VDD series")
+    report.add_argument("--format", choices=["markdown", "csv"],
+                        default="markdown",
+                        help="csv ignores --pivot and dumps every point")
+    report.add_argument("-o", "--output", default=None, metavar="FILE")
+    report.set_defaults(func=_cmd_sweep_report)
+
+    status = sweep_sub.add_parser(
+        "status", help="grid coverage of a store (exit 1 if incomplete)")
+    _add_axis_flags(status)
+    status.add_argument("--store", default="sweep-results.jsonl",
+                        metavar="FILE")
+    status.set_defaults(func=_cmd_sweep_status)
+
+    spec = sweep_sub.add_parser(
+        "spec", help="emit the JSON spec the axis flags describe")
+    _add_axis_flags(spec)
+    spec.add_argument("-o", "--output", default=None, metavar="FILE")
+    spec.set_defaults(func=_cmd_sweep_spec)
     return parser
 
 

@@ -18,15 +18,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.devices.parameters import TechnologyParams, cntfet_32nm
-from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
+from repro.devices.parameters import cntfet_32nm
 from repro.experiments.parallel import parallel_map
 from repro.gates.ambipolar_library import generalized_cntfet_library
 from repro.gates.conventional import cmos_library
 from repro.power.characterize import characterize_library
-from repro.power.compare import compare_libraries
 from repro.power.model import PowerParameters, energy_delay_product
 from repro.units import AF
 

@@ -9,8 +9,10 @@ explicitly recorded in their results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict
 
+from repro.errors import ExperimentError
 from repro.power.model import PowerParameters
 
 
@@ -39,6 +41,20 @@ class ExperimentConfig:
         """Copy with a different pattern budget (for fast test runs)."""
         return replace(self, n_patterns=n_patterns,
                        state_patterns=min(self.state_patterns, n_patterns))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (sweep stores persist this with every point)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown fields."""
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ExperimentError(
+                f"unknown ExperimentConfig fields: {', '.join(unknown)}")
+        return cls(**data)
 
 
 #: The paper's configuration.

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
 from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
@@ -20,17 +21,53 @@ from repro.power.model import energy_delay_product
 from repro.sim.estimator import CircuitPowerReport, estimate_circuit_power
 from repro.synth.aig import Aig
 from repro.synth.mapper import MappingOptions, map_aig
+from repro.synth.netlist import MappedNetlist
 from repro.synth.scripts import resyn2rs
-from repro.circuits.suite import CMOS, CONVENTIONAL, GENERALIZED
+from repro.circuits.suite import CMOS, CONVENTIONAL, GENERALIZED, benchmark_suite
+from repro.devices.parameters import CMOS_32NM, CNTFET_32NM
 
 
-def three_libraries() -> Dict[str, Library]:
-    """The three libraries of the Table 1 comparison, by key."""
+def three_libraries(vdd: Optional[float] = None) -> Dict[str, Library]:
+    """The three libraries of the Table 1 comparison, by key.
+
+    ``vdd`` rebuilds every library on its technology re-supplied at
+    that voltage (``TechnologyParams.with_vdd``), so cell timing and
+    leakage are characterized at the requested operating point — the
+    supply-sweep path.  ``None`` (and exactly 0.9, the technologies'
+    native supply) is the paper's point.
+    """
+    cntfet = CNTFET_32NM if vdd is None else CNTFET_32NM.with_vdd(vdd)
+    cmos = CMOS_32NM if vdd is None else CMOS_32NM.with_vdd(vdd)
     return {
-        GENERALIZED: generalized_cntfet_library(),
-        CONVENTIONAL: conventional_cntfet_library(),
-        CMOS: cmos_library(),
+        GENERALIZED: generalized_cntfet_library(cntfet),
+        CONVENTIONAL: conventional_cntfet_library(cntfet),
+        CMOS: cmos_library(cmos),
     }
+
+
+@lru_cache(maxsize=None)
+def cached_libraries(vdd: Optional[float] = None) -> Dict[str, Library]:
+    """:func:`three_libraries`, characterized once per process per vdd.
+
+    Worker processes of the Table 1 grid and of sweep runs share this
+    so every task in a process reuses the same library objects (and
+    their warmed match tables)."""
+    return three_libraries(vdd)
+
+
+@lru_cache(maxsize=None)
+def synthesized_benchmark(name: str, synthesize: bool) -> Aig:
+    """Build (and optionally resyn2rs) one benchmark, memoized per process.
+
+    Worker processes touching several (library, operating point) tasks
+    of one circuit pay for construction and synthesis once; both are
+    deterministic, so every process derives the same subject graph.
+    """
+    spec = {s.name: s for s in benchmark_suite()}[name]
+    aig = spec.build()
+    if not synthesize:
+        return aig
+    return synthesize_subject(aig, ExperimentConfig(synthesize=True))
 
 
 @dataclass(frozen=True)
@@ -84,19 +121,35 @@ def synthesize_subject(aig: Aig,
     return aig.cached_derivation(_SYNTH_CACHE, resyn2rs)
 
 
-def run_circuit_flow(aig: Aig, library: Library,
-                     config: ExperimentConfig = PAPER_CONFIG,
-                     presynthesized: bool = False) -> CircuitFlowResult:
-    """Run the full pipeline for one circuit on one library."""
-    subject = aig
-    if config.synthesize and not presynthesized:
-        subject = synthesize_subject(aig, config)
+def map_subject(subject: Aig, library: Library,
+                config: ExperimentConfig = PAPER_CONFIG) -> MappedNetlist:
+    """The technology-mapping step with the config's mapper options."""
     options = MappingOptions(
         cut_size=config.mapper_cut_size,
         cut_limit=config.mapper_cut_limit,
         area_rounds=config.mapper_area_rounds,
     )
-    netlist = map_aig(subject, library, options)
+    return map_aig(subject, library, options)
+
+
+def run_circuit_flow(aig: Aig, library: Library,
+                     config: ExperimentConfig = PAPER_CONFIG,
+                     presynthesized: bool = False,
+                     netlist: Optional[MappedNetlist] = None
+                     ) -> CircuitFlowResult:
+    """Run the full pipeline for one circuit on one library.
+
+    ``netlist`` short-circuits the synthesize+map stages with an
+    already-mapped circuit — mapping is deterministic, so passing the
+    cached netlist of the same (subject, library, mapper options) is
+    bit-identical to remapping.  Sweeps over operating points lean on
+    this: the netlist is fixed while VDD / frequency / fanout vary.
+    """
+    subject = aig
+    if netlist is None:
+        if config.synthesize and not presynthesized:
+            subject = synthesize_subject(aig, config)
+        netlist = map_subject(subject, library, config)
     params = config.power_parameters
     report: CircuitPowerReport = estimate_circuit_power(
         netlist, params,

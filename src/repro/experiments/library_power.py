@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.devices.calibrate import technology_report
 from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
 from repro.experiments.parallel import parallel_map
 from repro.experiments.reporting import render_table

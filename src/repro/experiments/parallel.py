@@ -9,7 +9,9 @@ module centralizes that fan-out so every harness exposes the same
 ``jobs`` knob with the same semantics:
 
 * ``jobs=1`` (default): plain serial ``map`` in the calling process;
-* ``jobs=N``: a pool of N worker processes;
+* ``jobs=N``: a pool of N worker processes, clamped to the CPU count
+  (forking more workers than CPUs only adds scheduling overhead — on
+  a 1-CPU machine ``jobs=2`` used to run *slower* than serial);
 * ``jobs=0`` or ``None``: one worker per CPU.
 
 Workers warm their own in-process caches (synthesized benchmarks,
@@ -21,7 +23,7 @@ skip any SPICE solve another process already did.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 _T = TypeVar("_T")
@@ -29,10 +31,17 @@ _R = TypeVar("_R")
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalize a ``jobs`` request to a concrete worker count."""
+    """Normalize a ``jobs`` request to a concrete worker count.
+
+    The result is clamped to ``os.cpu_count()``: requesting more
+    workers than CPUs cannot make the (CPU-bound, GIL-free) experiment
+    grid faster and measurably slows it down, so the effective value
+    is what harnesses should record in their reports.
+    """
+    cpus = os.cpu_count() or 1
     if jobs is None or jobs == 0:
-        return os.cpu_count() or 1
-    return max(1, jobs)
+        return cpus
+    return max(1, min(jobs, cpus))
 
 
 def parallel_map(func: Callable[[_T], _R], items: Iterable[_T],
@@ -46,9 +55,55 @@ def parallel_map(func: Callable[[_T], _R], items: Iterable[_T],
     consecutively (e.g. the three libraries of one circuit) and chunk
     by that group size to let per-process caches amortize shared work.
     """
+    return parallel_map_stream(func, items, jobs=jobs, chunksize=chunksize)
+
+
+def _run_chunk(func: Callable[[_T], _R], chunk: List[_T]) -> List[_R]:
+    """Worker-side helper: map ``func`` over one chunk of tasks."""
+    return [func(item) for item in chunk]
+
+
+def parallel_map_stream(func: Callable[[_T], _R], items: Iterable[_T],
+                        jobs: Optional[int] = 1,
+                        chunksize: int = 1,
+                        callback: Optional[Callable[[_T, _R], None]] = None
+                        ) -> List[_R]:
+    """:func:`parallel_map` that streams results as they land.
+
+    The returned list is always in input order; ``callback(item,
+    result)`` fires in the calling process as soon as each result
+    exists — serially that is right after each task in order, in a
+    pool it is *completion* order (chunks are submitted individually
+    and drained with ``as_completed``, so a slow head-of-line chunk
+    cannot delay checkpointing of everything finishing behind it).
+    Sweep runs use this to persist every finished point into the
+    result store: an interrupted run keeps all completed work, not
+    just the prefix before the slowest chunk.
+    """
     work: Sequence[_T] = list(items)
     n_workers = min(resolve_jobs(jobs), max(1, len(work)))
     if n_workers <= 1:
-        return [func(item) for item in work]
+        results: List[_R] = []
+        for item in work:
+            result = func(item)
+            results.append(result)
+            if callback is not None:
+                callback(item, result)
+        return results
+    chunksize = max(1, chunksize)
+    chunks = [list(work[start:start + chunksize])
+              for start in range(0, len(work), chunksize)]
+    slots: List[Optional[_R]] = [None] * len(work)
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(func, work, chunksize=max(1, chunksize)))
+        futures = {}
+        for index, chunk in enumerate(chunks):
+            future = pool.submit(_run_chunk, func, chunk)
+            futures[future] = index
+        for future in as_completed(futures):
+            index = futures[future]
+            start = index * chunksize
+            for offset, result in enumerate(future.result()):
+                slots[start + offset] = result
+                if callback is not None:
+                    callback(work[start + offset], result)
+    return slots  # type: ignore[return-value]

@@ -11,28 +11,24 @@ formats them, plus the paper's own numbers for side-by-side reporting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from repro.circuits.suite import (
-    BenchmarkSpec,
     CMOS,
     CONVENTIONAL,
     GENERALIZED,
     PAPER_AVERAGES,
-    PaperRow,
     benchmark_suite,
 )
 from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
 from repro.experiments.flow import (
     CircuitFlowResult,
+    cached_libraries,
     run_circuit_flow,
-    synthesize_subject,
-    three_libraries,
+    synthesized_benchmark,
 )
 from repro.experiments.parallel import parallel_map
 from repro.experiments.reporting import format_ratio, format_saving, render_table
-from repro.synth.aig import Aig
 
 LIBRARY_ORDER = [GENERALIZED, CONVENTIONAL, CMOS]
 
@@ -113,34 +109,12 @@ class Table1Result:
         return "\n\n".join(blocks)
 
 
-@lru_cache(maxsize=None)
-def _synthesized_benchmark(name: str, synthesize: bool) -> Aig:
-    """Build and synthesize one benchmark, memoized per process.
-
-    Worker processes touching the three libraries of one circuit pay
-    for ``resyn2rs`` once; the synthesis is deterministic, so every
-    process derives the same subject graph.
-    """
-    spec = {s.name: s for s in benchmark_suite()}[name]
-    aig = spec.build()
-    if not synthesize:
-        return aig
-    config = ExperimentConfig(synthesize=True)
-    return synthesize_subject(aig, config)
-
-
-@lru_cache(maxsize=None)
-def _worker_libraries() -> Dict[str, object]:
-    """The three characterized libraries, built once per process."""
-    return three_libraries()
-
-
 def _run_table1_cell(task: Tuple[str, str, ExperimentConfig]
                      ) -> CircuitFlowResult:
     """One Table 1 cell: picklable task -> picklable result."""
     name, library_key, config = task
-    subject = _synthesized_benchmark(name, config.synthesize)
-    library = _worker_libraries()[library_key]
+    subject = synthesized_benchmark(name, config.synthesize)
+    library = cached_libraries()[library_key]
     flow = run_circuit_flow(subject, library, config, presynthesized=True)
     return CircuitFlowResult(
         circuit=name, library=library_key,

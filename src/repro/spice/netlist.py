@@ -8,7 +8,7 @@ independent sources, callables of time (used by the transient engine).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Union
 
 from repro.devices.ambipolar import AmbipolarCNTFET
 from repro.devices.parameters import DeviceParams

@@ -14,12 +14,12 @@ integrator inherits the DC solver's robustness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.errors import ConvergenceError, SimulationError
-from repro.spice.dc import _System, _newton, ABSTOL, MAX_STEP, MAX_ITERATIONS
+from repro.spice.dc import _System, _newton
 from repro.spice.netlist import Capacitor, Circuit, GROUND, canonical_node
 
 

@@ -1,0 +1,162 @@
+"""Sharded, resumable execution of a sweep grid.
+
+``run_sweep`` expands the spec, drops every task whose key the store
+already holds, and fans the rest out over worker processes via
+:func:`repro.experiments.parallel.parallel_map_stream`.  Each finished
+point is appended to the store *as it completes* (grid order serially,
+completion order across workers — the store is key-addressed, so
+append order is irrelevant to resume), and a killed run therefore
+checkpoints everything completed so far; the next run picks up exactly
+where it stopped.
+
+Worker-side caching mirrors the Table 1 grid: benchmarks are built and
+synthesized once per process, libraries characterized once per process
+*per supply voltage* (the vdd axis re-characterizes timing and leakage
+through ``TechnologyParams.with_vdd`` — frequency, fanout and pattern
+budget are estimation-time knobs), and the mapped netlist of each
+(circuit, library, vdd, synthesize, mapper options) is cached so a
+sweep over the remaining axes maps once and only re-estimates.
+Mapping is deterministic, so the cached-netlist path is bit-identical
+to the full pipeline (the runner tests assert this against
+``reproduce_table1``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.experiments.flow import (
+    CircuitFlowResult,
+    cached_libraries,
+    map_subject,
+    run_circuit_flow,
+    synthesized_benchmark,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import parallel_map_stream, resolve_jobs
+from repro.sweep.spec import SweepSpec, SweepTask
+from repro.sweep.store import ResultStore, record_for
+
+
+@lru_cache(maxsize=64)
+def _mapped_netlist(circuit: str, library_key: str, vdd: float,
+                    synthesize: bool, cut_size: int, cut_limit: int,
+                    area_rounds: int):
+    """Per-process cache of mapped netlists, keyed by what shapes them.
+
+    ``vdd`` is part of the key because the library is characterized at
+    the point's supply voltage (timing and leakage are vdd-dependent),
+    so mapping legitimately differs across the vdd axis.
+    """
+    subject = synthesized_benchmark(circuit, synthesize)
+    library = cached_libraries(vdd)[library_key]
+    options = ExperimentConfig(
+        synthesize=synthesize, mapper_cut_size=cut_size,
+        mapper_cut_limit=cut_limit, mapper_area_rounds=area_rounds)
+    return map_subject(subject, library, options)
+
+
+def run_sweep_task(task: SweepTask) -> Dict[str, Any]:
+    """Execute one sweep point: picklable task -> store record."""
+    start = time.perf_counter()
+    config = task.config
+    subject = synthesized_benchmark(task.circuit, config.synthesize)
+    library = cached_libraries(config.vdd)[task.library]
+    netlist = _mapped_netlist(
+        task.circuit, task.library, config.vdd, config.synthesize,
+        config.mapper_cut_size, config.mapper_cut_limit,
+        config.mapper_area_rounds)
+    flow = run_circuit_flow(subject, library, config, netlist=netlist)
+    flow = CircuitFlowResult(
+        circuit=task.circuit, library=task.library,
+        gate_count=flow.gate_count, delay_s=flow.delay_s,
+        pd_w=flow.pd_w, ps_w=flow.ps_w, pg_w=flow.pg_w,
+        pt_w=flow.pt_w, edp_js=flow.edp_js)
+    return record_for(task, flow, time.perf_counter() - start)
+
+
+@dataclass
+class SweepRunReport:
+    """What one ``sweep run`` invocation did."""
+
+    spec_hash: str
+    store_path: str
+    total: int
+    cached: int
+    executed: int
+    #: The caller's literal request (0 = all CPUs), before clamping.
+    jobs_requested: int
+    jobs_effective: int
+    elapsed_s: float
+
+    def render(self) -> str:
+        """One greppable summary line (CI asserts on ``executed=``)."""
+        return (f"sweep {self.spec_hash[:12]}: total={self.total} "
+                f"cached={self.cached} executed={self.executed} "
+                f"jobs={self.jobs_effective} "
+                f"elapsed={self.elapsed_s:.1f}s store={self.store_path}")
+
+
+def _verbose_line(task: SweepTask, record: Dict[str, Any]) -> str:
+    result = record["result"]
+    return (f"{task.circuit:6s} {task.library:20s} "
+            f"vdd={task.config.vdd:.2f}V f={task.config.frequency:.2e}Hz "
+            f"fo={task.config.fanout} n={task.config.n_patterns} "
+            f"PT={result['pt_w'] / 1e-6:8.2f}uW "
+            f"({record['elapsed_s']:.2f}s)")
+
+
+def _chunksize(spec: SweepSpec, n_pending: int, n_workers: int) -> int:
+    """Group consecutive tasks of one netlist, bounded for balance."""
+    group = max(1, spec.points_per_netlist)
+    if n_workers <= 1:
+        return group
+    fair = max(1, -(-n_pending // (n_workers * 4)))
+    return max(1, min(group, fair))
+
+
+def run_sweep(spec: SweepSpec, store: ResultStore,
+              jobs: Optional[int] = 1,
+              verbose: bool = False,
+              echo: Callable[[str], None] = print) -> SweepRunReport:
+    """Run every not-yet-stored point of a sweep grid.
+
+    Args:
+        spec: the grid to cover.
+        store: result store; points whose task key it already holds
+            are served from it and never re-executed.
+        jobs: worker processes (1 = serial, 0/None = all CPUs; clamped
+            to the CPU count).
+        verbose: one line per completed point, streamed as it lands.
+        echo: sink for verbose lines (tests capture it).
+    """
+    start = time.perf_counter()
+    tasks = spec.expand()
+    done_keys = store.keys()
+    pending: List[SweepTask] = [task for task in tasks
+                                if task.task_key not in done_keys]
+    jobs_effective = min(resolve_jobs(jobs), max(1, len(pending)))
+
+    def checkpoint(task: SweepTask, record: Dict[str, Any]) -> None:
+        store.append(record)
+        if verbose:
+            echo(_verbose_line(task, record))
+
+    parallel_map_stream(
+        run_sweep_task, pending, jobs=jobs,
+        chunksize=_chunksize(spec, len(pending), jobs_effective),
+        callback=checkpoint)
+
+    return SweepRunReport(
+        spec_hash=spec.spec_hash,
+        store_path=str(store.path),
+        total=len(tasks),
+        cached=len(tasks) - len(pending),
+        executed=len(pending),
+        jobs_requested=0 if jobs is None else jobs,
+        jobs_effective=jobs_effective,
+        elapsed_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,248 @@
+"""Declarative sweep grids.
+
+A :class:`SweepSpec` names the axes of a scenario grid; ``expand()``
+turns it into the full cartesian product of :class:`SweepTask` points
+in a documented, deterministic order.  Every task carries a *stable
+content hash* over everything that determines its result (circuit,
+library, full :class:`~repro.experiments.config.ExperimentConfig`),
+reusing the hashing conventions of :mod:`repro.cache` — that key is
+what the result store indexes by, so two sweeps that share points
+share work.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.cache import stable_hash
+from repro.circuits.suite import CMOS, CONVENTIONAL, GENERALIZED, benchmark_suite
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+
+#: Bump when the meaning of a task key changes (fields added to the
+#: hashed payload, estimation semantics, ...): old store entries are
+#: then simply never matched again.
+TASK_SCHEMA_VERSION = 1
+
+#: Short names accepted anywhere a library key is expected.
+LIBRARY_ALIASES = {
+    "generalized": GENERALIZED,
+    "conventional": CONVENTIONAL,
+    "cmos": CMOS,
+    GENERALIZED: GENERALIZED,
+    CONVENTIONAL: CONVENTIONAL,
+    CMOS: CMOS,
+}
+
+#: Canonical library order (the paper's Table 1 column-block order).
+DEFAULT_LIBRARIES = (GENERALIZED, CONVENTIONAL, CMOS)
+
+
+def canonical_library(name: str) -> str:
+    """Resolve a library name or alias to its canonical key."""
+    try:
+        return LIBRARY_ALIASES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown library {name!r}; choose from "
+            f"{sorted(set(LIBRARY_ALIASES))}") from None
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One point of an expanded sweep: a (circuit, library, config) cell.
+
+    ``task_key`` is a deterministic content hash of everything that
+    determines the result, so identical points — across specs, runs
+    and machines — collide on purpose and are computed once.
+    """
+
+    circuit: str
+    library: str
+    config: ExperimentConfig
+
+    @property
+    def task_key(self) -> str:
+        return stable_hash({
+            "schema": TASK_SCHEMA_VERSION,
+            "circuit": self.circuit,
+            "library": self.library,
+            "config": self.config,
+        })
+
+
+def _axis(values: Union[Sequence, Any], name: str) -> Tuple:
+    """Normalize an axis argument to a non-empty tuple."""
+    if isinstance(values, (str, bytes)) or not isinstance(values, Iterable):
+        values = (values,)
+    out = tuple(values)
+    if not out:
+        raise ExperimentError(f"sweep axis {name!r} must not be empty")
+    return out
+
+
+def _dedupe(values: Tuple) -> Tuple:
+    """Drop repeated axis values, preserving first-seen order."""
+    seen: List = []
+    for value in values:
+        if value not in seen:
+            seen.append(value)
+    return tuple(seen)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid of operating points and subjects.
+
+    Axes (each a tuple; scalars are accepted and wrapped):
+
+    * ``vdd`` — supply voltages, volts;
+    * ``frequency`` — clock frequencies, hertz;
+    * ``fanout`` — load fanouts for the Eq. 2-5 conditions;
+    * ``n_patterns`` — random-pattern budgets for activity estimation;
+    * ``synthesize`` — whether resyn2rs runs before mapping;
+    * ``libraries`` — library keys or aliases;
+    * ``circuits`` — Table 1 benchmark names; empty means all 12.
+
+    Scalars shared by every point: ``seed``, ``state_patterns`` (capped
+    at each point's ``n_patterns``, matching
+    :meth:`ExperimentConfig.scaled`) and the mapper options.  The
+    default spec is exactly the paper's operating point.
+    """
+
+    vdd: Tuple[float, ...] = (0.9,)
+    frequency: Tuple[float, ...] = (1.0e9,)
+    fanout: Tuple[int, ...] = (3,)
+    n_patterns: Tuple[int, ...] = (640_000,)
+    synthesize: Tuple[bool, ...] = (True,)
+    libraries: Tuple[str, ...] = DEFAULT_LIBRARIES
+    circuits: Tuple[str, ...] = ()
+    seed: int = 2010
+    state_patterns: int = 65_536
+    mapper_cut_size: int = 5
+    mapper_cut_limit: int = 8
+    mapper_area_rounds: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("vdd", "frequency", "fanout", "n_patterns",
+                     "synthesize"):
+            object.__setattr__(self, name,
+                               _dedupe(_axis(getattr(self, name), name)))
+        libraries = _dedupe(tuple(
+            canonical_library(lib)
+            for lib in _axis(self.libraries, "libraries")))
+        object.__setattr__(self, "libraries", libraries)
+        circuits = _dedupe(tuple(self.circuits))
+        known = [spec.name for spec in benchmark_suite()]
+        unknown = sorted(set(circuits) - set(known))
+        if unknown:
+            raise ExperimentError(
+                f"unknown circuits: {', '.join(unknown)}; "
+                f"choose from {', '.join(known)}")
+        object.__setattr__(self, "circuits", circuits)
+        for name in ("vdd", "frequency"):
+            if any(value <= 0 for value in getattr(self, name)):
+                raise ExperimentError(f"sweep axis {name!r} must be > 0")
+        for name in ("fanout", "n_patterns"):
+            if any(value < 1 for value in getattr(self, name)):
+                raise ExperimentError(f"sweep axis {name!r} must be >= 1")
+
+    # -- expansion -----------------------------------------------------------
+
+    @property
+    def circuit_order(self) -> Tuple[str, ...]:
+        """The circuits actually swept, in Table 1 suite order."""
+        if self.circuits:
+            return self.circuits
+        return tuple(spec.name for spec in benchmark_suite())
+
+    @property
+    def points_per_netlist(self) -> int:
+        """Operating points sharing one mapped netlist."""
+        return (len(self.vdd) * len(self.frequency) * len(self.fanout)
+                * len(self.n_patterns))
+
+    def size(self) -> int:
+        """Number of tasks ``expand()`` produces."""
+        return (len(self.circuit_order) * len(self.synthesize)
+                * len(self.libraries) * self.points_per_netlist)
+
+    def config_for(self, vdd: float, frequency: float, fanout: int,
+                   n_patterns: int, synthesize: bool) -> ExperimentConfig:
+        """The full experiment config of one grid point."""
+        return ExperimentConfig(
+            vdd=vdd, frequency=frequency, fanout=fanout,
+            n_patterns=n_patterns,
+            state_patterns=min(self.state_patterns, n_patterns),
+            seed=self.seed, synthesize=synthesize,
+            mapper_cut_size=self.mapper_cut_size,
+            mapper_cut_limit=self.mapper_cut_limit,
+            mapper_area_rounds=self.mapper_area_rounds,
+        )
+
+    def expand(self) -> List[SweepTask]:
+        """The full grid, in deterministic order.
+
+        Nesting (outermost first): circuit, synthesize, library, vdd,
+        frequency, fanout, n_patterns — so all operating points of one
+        mapped netlist are consecutive, which is what the runner's
+        per-process netlist cache and chunking lean on.
+        """
+        tasks: List[SweepTask] = []
+        for circuit in self.circuit_order:
+            for synthesize in self.synthesize:
+                for library in self.libraries:
+                    for vdd in self.vdd:
+                        for frequency in self.frequency:
+                            for fanout in self.fanout:
+                                for n_patterns in self.n_patterns:
+                                    tasks.append(SweepTask(
+                                        circuit=circuit, library=library,
+                                        config=self.config_for(
+                                            vdd, frequency, fanout,
+                                            n_patterns, synthesize)))
+        return tasks
+
+    @property
+    def spec_hash(self) -> str:
+        """Content hash of the whole grid definition."""
+        return stable_hash({"schema": TASK_SCHEMA_VERSION, "spec": self})
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (axes as lists)."""
+        out: Dict[str, Any] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            out[spec_field.name] = list(value) if isinstance(value, tuple) \
+                else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepSpec":
+        """Build a spec from a plain dict; rejects unknown keys."""
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ExperimentError(
+                f"unknown SweepSpec fields: {', '.join(unknown)}")
+        return cls(**{key: tuple(value) if isinstance(value, list) else value
+                      for key, value in data.items()})
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+    @classmethod
+    def from_file(cls, path: str) -> "SweepSpec":
+        """Load a spec from a JSON file."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ExperimentError(f"cannot read sweep spec {path}: {exc}")
+        if not isinstance(data, dict):
+            raise ExperimentError(f"sweep spec {path} must be a JSON object")
+        return cls.from_dict(data)

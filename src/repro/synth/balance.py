@@ -11,7 +11,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List
 
-from repro.synth.aig import Aig, lit_node, lit_phase, lit_not
+from repro.synth.aig import Aig, lit_node, lit_phase
 
 
 def _collect_conjuncts(aig: Aig, node: int) -> List[int]:

@@ -17,7 +17,7 @@ required times implied by the delay-optimal cover — the classic
 from __future__ import annotations
 
 import weakref
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import MappingError

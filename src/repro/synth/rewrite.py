@@ -15,10 +15,10 @@ role the two passes play inside ABC's ``resyn2rs`` script.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.synth.aig import Aig, lit_node, lit_phase, lit_not
-from repro.synth.cuts import Cut, enumerate_cuts
+from repro.synth.cuts import enumerate_cuts
 from repro.synth.sop import Expr, factored_table
 from repro.synth.truth import full_mask
 

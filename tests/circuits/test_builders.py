@@ -1,7 +1,5 @@
 """Word-level circuit builder: every block against a Python reference."""
 
-import random
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

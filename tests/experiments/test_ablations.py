@@ -1,7 +1,5 @@
 """Unit tests for the A1 ablation sweeps (small sweep points)."""
 
-import pytest
-
 from repro.experiments.ablations import (
     fanout_sweep,
     pattern_cache_effectiveness,

@@ -4,13 +4,13 @@ library study and figure reproductions."""
 import pytest
 
 from repro.circuits.suite import CMOS, CONVENTIONAL, GENERALIZED
-from repro.experiments.config import ExperimentConfig, FAST_CONFIG, PAPER_CONFIG
+from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
 from repro.experiments.figures import (
     reproduce_fig2_transmission,
     reproduce_fig4_patterns,
     reproduce_fig5_flow,
 )
-from repro.experiments.flow import run_circuit_flow, three_libraries
+from repro.experiments.flow import run_circuit_flow
 from repro.experiments.library_power import reproduce_library_study
 from repro.experiments.reporting import format_ratio, format_saving, render_table
 from repro.experiments.table1 import reproduce_table1

@@ -28,10 +28,42 @@ class TestParallelMap:
         assert parallel_map(_square, [], jobs=4) == []
 
     def test_resolve_jobs(self):
+        import os
+
+        cpus = os.cpu_count() or 1
         assert resolve_jobs(1) == 1
-        assert resolve_jobs(3) == 3
-        assert resolve_jobs(0) >= 1
-        assert resolve_jobs(None) >= 1
+        # Requests are clamped to the CPU count: oversubscribing a
+        # CPU-bound grid only adds scheduling overhead.
+        assert resolve_jobs(3) == min(3, cpus)
+        assert resolve_jobs(10 * cpus) == cpus
+        assert resolve_jobs(0) == cpus
+        assert resolve_jobs(None) == cpus
+
+    def test_stream_callback_in_order(self):
+        seen = []
+        from repro.experiments.parallel import parallel_map_stream
+
+        result = parallel_map_stream(
+            _square, [3, 1, 2], jobs=1,
+            callback=lambda item, value: seen.append((item, value)))
+        assert result == [9, 1, 4]
+        assert seen == [(3, 9), (1, 1), (2, 4)]
+
+    def test_stream_pool_path(self, monkeypatch):
+        """The as_completed pool path: ordered results, every task's
+        callback fired (completion order), any chunking remainder
+        handled.  cpu_count is patched so a 1-CPU CI machine still
+        exercises a real 2-worker pool."""
+        from repro.experiments import parallel as parallel_module
+        from repro.experiments.parallel import parallel_map_stream
+
+        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 2)
+        seen = []
+        result = parallel_map_stream(
+            _square, list(range(7)), jobs=2, chunksize=3,
+            callback=lambda item, value: seen.append((item, value)))
+        assert result == [x * x for x in range(7)]
+        assert sorted(seen) == [(x, x * x) for x in range(7)]
 
 
 class TestTable1Parallel:

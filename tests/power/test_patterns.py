@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import TopologyError
-from repro.gates.cells import nfet, pfet, tg
+from repro.gates.cells import nfet, pfet
 from repro.gates.topology import conduction, dual, parallel, series
 from repro.power.patterns import (
     cell_patterns,

@@ -1,0 +1,142 @@
+"""SweepSpec expansion, keys and (de)serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.suite import CMOS, CONVENTIONAL, GENERALIZED
+from repro.errors import ExperimentError
+from repro.experiments.config import PAPER_CONFIG
+from repro.sweep.spec import SweepSpec, SweepTask
+
+
+class TestExpansion:
+    def test_default_spec_is_the_paper_grid(self):
+        spec = SweepSpec()
+        tasks = spec.expand()
+        assert len(tasks) == 12 * 3 == spec.size()
+        # Every expanded config at the default point IS the paper config.
+        assert all(task.config == PAPER_CONFIG for task in tasks)
+
+    def test_deterministic_order_and_keys(self):
+        spec = SweepSpec(vdd=(0.7, 0.9), circuits=("t481", "C1355"),
+                         libraries=("generalized", "cmos"),
+                         n_patterns=(1024,))
+        first = spec.expand()
+        second = spec.expand()
+        assert [task.task_key for task in first] == \
+               [task.task_key for task in second]
+        # Nesting: circuit outermost, then library, then vdd innermost.
+        assert [(task.circuit, task.library, task.config.vdd)
+                for task in first] == [
+            ("t481", GENERALIZED, 0.7), ("t481", GENERALIZED, 0.9),
+            ("t481", CMOS, 0.7), ("t481", CMOS, 0.9),
+            ("C1355", GENERALIZED, 0.7), ("C1355", GENERALIZED, 0.9),
+            ("C1355", CMOS, 0.7), ("C1355", CMOS, 0.9),
+        ]
+
+    def test_task_keys_are_content_hashes(self):
+        base = SweepSpec(circuits=("t481",), n_patterns=(1024,))
+        moved = SweepSpec(circuits=("t481",), n_patterns=(1024,),
+                          vdd=(0.8,))
+        keys = {task.task_key for task in base.expand()}
+        moved_keys = {task.task_key for task in moved.expand()}
+        assert keys.isdisjoint(moved_keys)
+        # Separately-constructed identical specs share keys exactly.
+        again = SweepSpec(circuits=("t481",), n_patterns=(1024,))
+        assert {task.task_key for task in again.expand()} == keys
+
+    def test_shared_points_share_keys_across_specs(self):
+        small = SweepSpec(circuits=("t481",), vdd=(0.9,),
+                          n_patterns=(1024,))
+        wide = SweepSpec(circuits=("t481",), vdd=(0.7, 0.8, 0.9),
+                         n_patterns=(1024,))
+        small_keys = {task.task_key for task in small.expand()}
+        wide_keys = {task.task_key for task in wide.expand()}
+        assert small_keys < wide_keys
+
+    def test_state_patterns_capped_like_scaled(self):
+        spec = SweepSpec(circuits=("t481",), n_patterns=(2048, 640_000))
+        by_patterns = {task.config.n_patterns: task.config
+                       for task in spec.expand()}
+        assert by_patterns[2048].state_patterns == 2048
+        assert by_patterns[640_000].state_patterns == 65_536
+
+    def test_scalars_and_axes_accepted(self):
+        spec = SweepSpec(vdd=0.8, fanout=4, circuits=("t481",))
+        assert spec.vdd == (0.8,)
+        assert spec.fanout == (4,)
+
+    def test_duplicates_dropped(self):
+        spec = SweepSpec(vdd=(0.9, 0.9), libraries=("cmos", CMOS),
+                         circuits=("t481",))
+        assert spec.vdd == (0.9,)
+        assert spec.libraries == (CMOS,)
+
+
+class TestValidation:
+    def test_unknown_circuit(self):
+        with pytest.raises(ExperimentError, match="unknown circuits"):
+            SweepSpec(circuits=("nonesuch",))
+
+    def test_unknown_library(self):
+        with pytest.raises(ExperimentError, match="unknown library"):
+            SweepSpec(libraries=("ttl",))
+
+    def test_empty_axis(self):
+        with pytest.raises(ExperimentError, match="must not be empty"):
+            SweepSpec(vdd=())
+
+    def test_nonpositive_axis_values(self):
+        with pytest.raises(ExperimentError, match="must be > 0"):
+            SweepSpec(vdd=(0.0,))
+        with pytest.raises(ExperimentError, match="must be >= 1"):
+            SweepSpec(n_patterns=(0,))
+
+    def test_library_aliases_canonicalized(self):
+        spec = SweepSpec(libraries=("generalized", "conventional", "cmos"))
+        assert spec.libraries == (GENERALIZED, CONVENTIONAL, CMOS)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        spec = SweepSpec(vdd=(0.7, 0.9), circuits=("t481",),
+                         libraries=("cmos",), n_patterns=(1024,), seed=7)
+        again = SweepSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.spec_hash == spec.spec_hash
+
+    def test_from_file(self, tmp_path):
+        spec = SweepSpec(circuits=("t481",), vdd=(0.8,))
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert SweepSpec.from_file(str(path)) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown SweepSpec"):
+            SweepSpec.from_dict({"voltage": [0.9]})
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError, match="cannot read"):
+            SweepSpec.from_file(str(tmp_path / "absent.json"))
+
+    def test_experiment_config_roundtrip(self):
+        config = SweepSpec(circuits=("t481",)).expand()[0].config
+        from repro.experiments.config import ExperimentConfig
+
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+    def test_experiment_config_unknown_field(self):
+        from repro.experiments.config import ExperimentConfig
+
+        with pytest.raises(ExperimentError, match="unknown ExperimentConfig"):
+            ExperimentConfig.from_dict({"voltage": 0.9})
+
+
+class TestTaskKey:
+    def test_key_ignores_nothing_that_matters(self):
+        task = SweepTask("t481", CMOS, PAPER_CONFIG)
+        same = SweepTask("t481", CMOS, PAPER_CONFIG)
+        assert task.task_key == same.task_key
+        other = SweepTask("t481", CMOS, PAPER_CONFIG.scaled(1024))
+        assert other.task_key != task.task_key

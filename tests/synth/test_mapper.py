@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.synth.aig import Aig, TRUE, lit_not
 from repro.synth.mapper import MappingOptions, build_match_table, map_aig
 from repro.synth.netlist import static_timing
-from repro.synth.truth import evaluate, flip_variable, permute
+from repro.synth.truth import flip_variable, permute
 
 
 def netlist_evaluate(netlist, values):

@@ -1,6 +1,5 @@
 """ISOP extraction and algebraic factoring."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.synth.sop import (

@@ -5,7 +5,6 @@ from __future__ import annotations
 import dataclasses
 
 import numpy as np
-import pytest
 
 from repro.cache import DiskCache, stable_hash
 from repro.devices.parameters import cmos_32nm, cntfet_32nm
