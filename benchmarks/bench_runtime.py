@@ -103,14 +103,14 @@ def bench_synthesis(circuit: str) -> dict:
 def bench_map_and_sim(circuit: str, n_patterns: int) -> dict:
     """Mapping onto the three libraries and pattern-power estimation."""
     from repro.circuits.suite import benchmark_suite
-    from repro.experiments.flow import three_libraries
+    from repro.registry import paper_libraries
     from repro.sim.estimator import estimate_circuit_power
     from repro.synth.mapper import map_aig
     from repro.synth.scripts import resyn2rs
 
     spec = {s.name: s for s in benchmark_suite()}[circuit]
     subject = resyn2rs(spec.build())
-    libraries = three_libraries()
+    libraries = paper_libraries()
 
     start = time.perf_counter()
     netlists = {key: map_aig(subject, library)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Extend the reproduction through the public API only.
+
+Registers a toy technology library with :mod:`repro.registry` — no
+experiment, sweep or CLI code is touched — then runs one circuit
+through a :class:`repro.api.Session` on *both* estimator backends and
+checks they agree.  CI runs this as the API smoke test.
+
+The registration itself is the "add your own library in 10 lines" of
+docs/architecture.md:
+"""
+
+from repro import registry
+from repro.api import Session
+from repro.devices.parameters import CNTFET_32NM
+from repro.experiments.config import ExperimentConfig
+from repro.gates.conventional import conventional_cells
+from repro.gates.library import Library
+
+# -- the 10 lines -------------------------------------------------------------
+
+
+def nand_only_library(vdd=None):
+    tech = registry.tech_at(CNTFET_32NM, vdd)
+    cells = [c for c in conventional_cells()
+             if c.name in ("INV", "NAND2", "NAND3", "NAND4")]
+    return Library("toy-nand", tech, cells)
+
+
+registry.register_library("toy-nand", nand_only_library,
+                          aliases=("toy",),
+                          description="NAND-only teaching library")
+
+# -----------------------------------------------------------------------------
+
+print("registered libraries:", ", ".join(registry.available_libraries()))
+assert "toy-nand" in registry.available_libraries()
+
+from repro.circuits.adders import ripple_adder_circuit  # noqa: E402
+
+results = {}
+for backend in ("bitsim", "spice-transient"):
+    config = ExperimentConfig(n_patterns=2048, state_patterns=2048,
+                              backend=backend)
+    session = Session(config)
+    flow = session.run(ripple_adder_circuit(4), "toy")
+    results[backend] = flow
+    print(f"{backend:>15s}: {flow.gate_count} gates, "
+          f"PT = {flow.pt_w * 1e6:.3f} uW, "
+          f"delay = {flow.delay_ps:.1f} ps")
+
+bitsim, spice = results["bitsim"], results["spice-transient"]
+assert bitsim.library == spice.library == "toy-nand"
+assert abs(spice.pt_w - bitsim.pt_w) <= 0.10 * bitsim.pt_w, \
+    "backends disagree beyond tolerance"
+print("OK: toy library runs end-to-end through both backends")

@@ -12,8 +12,8 @@ Run:  python examples/synthesis_flow.py [width]
 import sys
 
 from repro.circuits.multiplier import array_multiplier
-from repro.experiments.flow import three_libraries
 from repro.gates.genlib import write_genlib
+from repro.registry import paper_libraries
 from repro.synth.mapper import map_aig
 from repro.synth.netlist import static_timing
 from repro.synth.scripts import resyn2rs
@@ -28,7 +28,7 @@ optimized = resyn2rs(aig, verify=True)
 print(f"after resyn2rs: {optimized.n_nodes} nodes, "
       f"depth {optimized.depth()} (function verified)")
 
-for key, library in three_libraries().items():
+for key, library in paper_libraries().items():
     netlist = map_aig(optimized, library)
     netlist.validate()
     delay, _ = static_timing(netlist)
@@ -44,8 +44,8 @@ for key, library in three_libraries().items():
     print(f"XOR-embedding cells used: {xor_cells}")
 
 # genlib export (portable to ABC/SIS-style tools)
-library = three_libraries()["cntfet-generalized"]
-path = f"generalized_cntfet.genlib"
+library = paper_libraries()["cntfet-generalized"]
+path = "generalized_cntfet.genlib"
 with open(path, "w") as handle:
     handle.write(write_genlib(library))
 print(f"\nwrote {path} ({len(library)} cells)")

@@ -21,12 +21,29 @@ The package is organized as the paper's stack:
 
 Quickstart::
 
-    from repro.experiments import reproduce_library_study
-    print(reproduce_library_study().render())
+    from repro.api import Session
+    print(Session().table1().render())
+
+:mod:`repro.api` (the :class:`~repro.api.Session` facade),
+:mod:`repro.registry` (named library factories) and
+:mod:`repro.sim.backends` (pluggable estimators) are the public front
+door; they are imported lazily here so ``import repro`` stays light.
 """
 
 from repro import devices, errors, units
 
 __version__ = "1.0.0"
 
-__all__ = ["devices", "errors", "units", "__version__"]
+__all__ = ["devices", "errors", "units", "api", "registry", "Session",
+           "__version__"]
+
+
+def __getattr__(name):
+    """Lazy access to the heavier front-door modules (PEP 562)."""
+    if name in ("api", "registry"):
+        import importlib
+        return importlib.import_module(f"repro.{name}")
+    if name == "Session":
+        from repro.api import Session
+        return Session
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,286 @@
+"""One front door: the :class:`Session` facade.
+
+A ``Session`` owns everything a reproduction run needs — the
+:class:`~repro.experiments.config.ExperimentConfig` (operating point,
+pattern budget, estimator backend), the library selection (resolved
+through :mod:`repro.registry`), process parallelism and the persistent
+characterization-cache wiring — and exposes the three workloads every
+entry point routes through::
+
+    from repro.api import Session
+
+    session = Session()                       # the paper's config
+    session.run("C1355", "generalized")       # one Table 1 cell
+    session.table1()                          # the whole table
+    session.sweep(SweepSpec(vdd=(0.8, 0.9)))  # a scenario grid
+
+``reproduce_table1`` and the sweep runner are thin wrappers over a
+Session; the CLI builds one per command.  Anything registered with
+:func:`repro.registry.register_library` or
+:func:`repro.sim.backends.register_backend` is immediately usable here
+— no experiment code changes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.cache import ENV_CACHE_DIR, ENV_CACHE_DISABLE
+from repro.circuits.suite import benchmark_suite
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
+from repro.experiments.flow import (
+    CircuitFlowResult,
+    run_circuit_flow,
+    synthesized_benchmark,
+    synthesize_subject,
+)
+from repro.experiments.parallel import parallel_map, parallel_map_stream, resolve_jobs
+from repro.experiments.table1 import (
+    Table1Result,
+    _run_table1_cell,
+    _verbose_line,
+)
+from repro.gates.library import Library
+from repro.sim.backends import available_backends
+from repro.synth.aig import Aig
+from repro import registry
+
+#: Types accepted wherever a circuit is expected.
+CircuitLike = Union[str, Aig]
+#: Types accepted wherever a library is expected.
+LibraryLike = Union[str, Library]
+
+
+class Session:
+    """A configured reproduction session (the single public entry point).
+
+    Args:
+        config: the experiment configuration ``run`` and ``table1``
+            use (the paper's by default).  The config's ``backend``
+            field selects the estimator; its ``vdd`` is the supply all
+            libraries are characterized at.  (``sweep`` grids carry
+            their own per-point configs — see :meth:`sweep`.)
+        jobs: worker processes for grid workloads (1 = serial,
+            0/``None`` = all CPUs; clamped to the CPU count).  Results
+            are bit-identical for any value.
+        libraries: library keys/aliases this session targets for
+            multi-library workloads (``table1``, ``run`` without an
+            explicit library).  Defaults to the paper's three.
+        cache_dir: redirect the persistent characterization cache
+            (:mod:`repro.cache`) to this directory.  Applied via the
+            process environment so worker processes inherit it — the
+            setting is process-wide and persists after the session
+            (later sessions see it unless they set their own).
+        cache_enabled: force the characterization cache on/off.
+            Process-wide like ``cache_dir``; ``None`` leaves the
+            environment untouched.
+
+    Registrations (libraries, backends) are per-process: with
+    ``jobs != 1`` worker processes re-import the registries, so a
+    library registered at runtime (not from an imported module) is
+    only visible to workers under the ``fork`` start method — put
+    custom registrations in a module workers import, or run serially.
+    """
+
+    def __init__(self, config: ExperimentConfig = PAPER_CONFIG, *,
+                 jobs: Optional[int] = 1,
+                 libraries: Optional[Sequence[str]] = None,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 cache_enabled: Optional[bool] = None):
+        self.config = config
+        self.jobs = jobs
+        keys = registry.PAPER_LIBRARIES if libraries is None else libraries
+        self.libraries = tuple(registry.canonical_library(key)
+                               for key in keys)
+        if not self.libraries:
+            raise ExperimentError(
+                "a session needs at least one library (got an empty "
+                "selection)")
+        if cache_dir is not None:
+            os.environ[ENV_CACHE_DIR] = str(cache_dir)
+        if cache_enabled is not None:
+            os.environ[ENV_CACHE_DISABLE] = "0" if cache_enabled else "1"
+
+    # -- discovery ---------------------------------------------------------
+
+    @staticmethod
+    def available_libraries() -> List[str]:
+        """Registered library keys (see :mod:`repro.registry`)."""
+        return registry.available_libraries()
+
+    @staticmethod
+    def available_backends() -> List[str]:
+        """Registered estimator backends (see :mod:`repro.sim.backends`)."""
+        return available_backends()
+
+    @property
+    def effective_jobs(self) -> int:
+        """The worker count grids actually run with."""
+        return resolve_jobs(self.jobs)
+
+    def with_config(self, **overrides) -> "Session":
+        """A sibling session with config fields replaced."""
+        from dataclasses import replace
+        return Session(replace(self.config, **overrides), jobs=self.jobs,
+                       libraries=self.libraries)
+
+    # -- resolution --------------------------------------------------------
+
+    def library(self, name: LibraryLike,
+                vdd: Optional[float] = None) -> Library:
+        """Resolve a key/alias (or pass a library through), characterized
+        at ``vdd`` (default: this session's operating point)."""
+        if isinstance(name, Library):
+            return name
+        return registry.cached_library(name,
+                                       self.config.vdd if vdd is None
+                                       else vdd)
+
+    def _subject(self, circuit: CircuitLike) -> Aig:
+        """A synthesized subject graph for a benchmark name or raw AIG."""
+        if isinstance(circuit, Aig):
+            return synthesize_subject(circuit, self.config)
+        known = [spec.name for spec in benchmark_suite()]
+        if circuit not in known:
+            raise ExperimentError(
+                f"unknown benchmark {circuit!r}; choose from "
+                f"{', '.join(known)} (or pass an Aig)")
+        return synthesized_benchmark(circuit, self.config.synthesize)
+
+    # -- workloads ---------------------------------------------------------
+
+    def run(self, circuit: CircuitLike,
+            library: Optional[LibraryLike] = None
+            ) -> Union[CircuitFlowResult, Dict[str, CircuitFlowResult]]:
+        """Synthesize, map and estimate one circuit.
+
+        Args:
+            circuit: a Table 1 benchmark name or any :class:`Aig`.
+            library: a registered key/alias or a :class:`Library`;
+                ``None`` runs every library of the session and returns
+                ``{canonical_key: result}``.
+        """
+        if library is None:
+            return {key: self.run(circuit, key) for key in self.libraries}
+        subject = self._subject(circuit)
+        resolved = self.library(library)
+        flow = run_circuit_flow(subject, resolved, self.config,
+                                presynthesized=True)
+        if isinstance(circuit, str) and flow.circuit != circuit:
+            # Benchmark generators name their AIGs with a suffix; report
+            # the Table 1 name the caller asked for.
+            from dataclasses import replace
+            flow = replace(flow, circuit=circuit)
+        return flow
+
+    def table1(self, benchmarks: Optional[List[str]] = None,
+               verbose: bool = False) -> Table1Result:
+        """The Table 1 grid: every benchmark on every session library.
+
+        At the paper config with the paper's three libraries this is
+        bit-identical to the historical ``reproduce_table1``.
+        """
+        selected = [spec for spec in benchmark_suite()
+                    if benchmarks is None or spec.name in benchmarks]
+        order = list(self.libraries)
+        tasks = [(spec.name, key, self.config)
+                 for spec in selected for key in order]
+        if self.jobs == 1:
+            # Serial: stream progress while computing.
+            flows = []
+            for task in tasks:
+                flow = _run_table1_cell(task)
+                flows.append(flow)
+                if verbose:
+                    print(_verbose_line(flow))
+        else:
+            # chunksize=len(order) keeps one circuit's libraries on one
+            # worker, so each circuit is synthesized once per process
+            # that touches it.
+            flows = parallel_map(_run_table1_cell, tasks, jobs=self.jobs,
+                                 chunksize=len(order))
+            if verbose:
+                for flow in flows:
+                    print(_verbose_line(flow))
+
+        result = Table1Result(config=self.config, library_order=order)
+        for spec, start in zip(selected, range(0, len(flows), len(order))):
+            row: Dict[str, CircuitFlowResult] = {}
+            for offset, key in enumerate(order):
+                row[key] = flows[start + offset]
+            result.results[spec.name] = row
+            result.benchmark_order.append(spec.name)
+        return result
+
+    def sweep(self, spec, store=None, verbose: bool = False,
+              echo: Callable[[str], None] = print):
+        """Run every not-yet-stored point of a sweep grid.
+
+        Unlike ``run``/``table1``, a sweep's operating points, library
+        axis and estimator backend are defined entirely by the *spec*
+        (each grid point is its own :class:`ExperimentConfig`); the
+        session contributes parallelism and cache wiring.  Build the
+        spec with ``backend=...``/``libraries=...`` to vary those —
+        the session's own config does not leak into the grid.
+
+        Args:
+            spec: a :class:`~repro.sweep.spec.SweepSpec`.
+            store: a :class:`~repro.sweep.store.ResultStore`, a path
+                (suffix selects the backend), or ``None`` for a fresh
+                in-memory store.
+            verbose: one line per completed point, streamed.
+            echo: sink for verbose lines (tests capture it).
+
+        Returns:
+            A :class:`~repro.sweep.runner.SweepRunReport`; the store
+            holds every point (``store`` attribute of the report).
+        """
+        import time
+
+        from repro.sweep.runner import (
+            SweepRunReport,
+            _chunksize,
+            _verbose_line as _sweep_line,
+            run_sweep_task,
+        )
+        from repro.sweep.store import (
+            MemoryResultStore,
+            ResultStore,
+            open_store,
+        )
+
+        if store is None:
+            store = MemoryResultStore()
+        elif not isinstance(store, ResultStore):
+            store = open_store(store)
+
+        start = time.perf_counter()
+        tasks = spec.expand()
+        done_keys = store.keys()
+        pending = [task for task in tasks if task.task_key not in done_keys]
+        jobs_effective = min(resolve_jobs(self.jobs), max(1, len(pending)))
+
+        def checkpoint(task, record) -> None:
+            store.append(record)
+            if verbose:
+                echo(_sweep_line(task, record))
+
+        parallel_map_stream(
+            run_sweep_task, pending, jobs=self.jobs,
+            chunksize=_chunksize(spec, len(pending), jobs_effective),
+            callback=checkpoint)
+
+        return SweepRunReport(
+            spec_hash=spec.spec_hash,
+            store_path=str(store.path),
+            total=len(tasks),
+            cached=len(tasks) - len(pending),
+            executed=len(pending),
+            jobs_requested=0 if self.jobs is None else self.jobs,
+            jobs_effective=jobs_effective,
+            elapsed_s=time.perf_counter() - start,
+            store=store,
+        )

@@ -6,13 +6,18 @@ driven without writing Python:
 * ``table1 [--fast] [--benchmarks A,B,...]`` — the Table 1 experiment;
 * ``library`` — the Section 4 gate-level study;
 * ``figures`` — Fig. 2 / Fig. 4 / Fig. 5 demonstrations;
-* ``genlib <generalized|conventional|cmos> [-o FILE]`` — export a
-  characterized library in genlib format;
+* ``genlib <LIBRARY> [-o FILE]`` — export a characterized library in
+  genlib format (any key or alias from ``repro libraries``);
 * ``cell <NAME>`` — per-vector leakage report of one library cell;
+* ``libraries`` — every registered library and estimator backend;
 * ``techs`` — the calibrated technology summaries;
 * ``sweep run/report/status/spec`` — declarative scenario grids over
   vdd x frequency x fanout x patterns x library x circuit with a
   resumable result store (see :mod:`repro.sweep`).
+
+Libraries are resolved through :mod:`repro.registry`, so anything
+registered there — including third-party libraries — is addressable
+from every ``--library``/``--libraries`` flag.
 """
 
 from __future__ import annotations
@@ -25,12 +30,20 @@ from repro.devices import CMOS_32NM, CNTFET_32NM, technology_report
 
 
 def _cmd_table1(args) -> int:
-    from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
+    from dataclasses import replace
+
+    from repro.experiments.config import FAST_CONFIG, PAPER_CONFIG
     from repro.experiments.table1 import reproduce_table1
 
-    config = PAPER_CONFIG
-    if args.fast:
-        config = ExperimentConfig(n_patterns=16_384, state_patterns=16_384)
+    config = FAST_CONFIG if args.fast else PAPER_CONFIG
+    if args.backend:
+        from repro.sim.backends import available_backends
+
+        if args.backend not in available_backends():
+            raise SystemExit(
+                f"unknown estimator backend {args.backend!r}; choose "
+                f"from {', '.join(available_backends())}")
+        config = replace(config, backend=args.backend)
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
     result = reproduce_table1(config, benchmarks=benchmarks,
                               verbose=not args.quiet, jobs=args.jobs)
@@ -62,15 +75,32 @@ def _cmd_figures(args) -> int:
 
 
 def _library_by_key(key: str):
+    from repro import registry
     from repro.errors import ExperimentError
-    from repro.experiments.flow import three_libraries
-    from repro.sweep.spec import canonical_library
 
     try:
-        name = canonical_library(key)
+        return registry.cached_library(key)
     except ExperimentError as exc:
         raise SystemExit(str(exc))
-    return three_libraries()[name]
+
+
+def _cmd_libraries(args) -> int:
+    from repro import registry
+    from repro.sim.backends import available_backends
+
+    for key in registry.available_libraries():
+        entry = registry.library_entry(key)
+        aliases = f" (aliases: {', '.join(entry.aliases)})" \
+            if entry.aliases else ""
+        print(f"{key}{aliases}")
+        if entry.description:
+            print(f"    {entry.description}")
+        if args.verbose:
+            library = registry.cached_library(key)
+            print(f"    {len(library)} cells, technology "
+                  f"{library.tech.name}, vdd={library.tech.vdd:g}V")
+    print(f"estimator backends: {', '.join(available_backends())}")
+    return 0
 
 
 def _cmd_genlib(args) -> int:
@@ -132,6 +162,7 @@ def _spec_from_args(args):
         "libraries": (args.libraries, lambda text: _csv_values(text, str)),
         "synthesize": (args.synthesize, _parse_bool_axis),
         "seed": (args.seed, int),
+        "backend": (args.backend, str),
     }
     for name, (value, parse) in overrides.items():
         if value is not None:
@@ -219,12 +250,17 @@ def _add_axis_flags(parser, with_spec: bool = True) -> None:
     parser.add_argument("--circuits", default=None, metavar="A,B,...",
                         help="benchmark subset (default: all 12)")
     parser.add_argument("--libraries", default=None, metavar="L1,L2,...",
-                        help="libraries or aliases (default: all three)")
+                        help="registered library keys or aliases (see "
+                             "'repro libraries'; default: the paper's "
+                             "three)")
     parser.add_argument("--synthesize", default=None,
                         choices=["on", "off", "both"],
                         help="resyn2rs before mapping (default on)")
     parser.add_argument("--seed", default=None, type=int,
                         help="pattern RNG seed (default 2010)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="estimator backend for every point "
+                             "(default bitsim)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -246,6 +282,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "grid (0 = all CPUs; clamped to the CPU "
                              "count); results are bit-identical to the "
                              "serial run")
+    table1.add_argument("--backend", default=None, metavar="NAME",
+                        help="estimator backend (default bitsim; see "
+                             "'repro libraries' for the registered set)")
     table1.set_defaults(func=_cmd_table1)
 
     library = sub.add_parser("library",
@@ -258,15 +297,23 @@ def build_parser() -> argparse.ArgumentParser:
     figures.set_defaults(func=_cmd_figures)
 
     genlib = sub.add_parser("genlib", help="export a library as genlib")
-    genlib.add_argument("library",
-                        choices=["generalized", "conventional", "cmos"])
+    genlib.add_argument("library", metavar="LIBRARY",
+                        help="registered library key or alias "
+                             "(see 'repro libraries')")
     genlib.add_argument("-o", "--output", default=None)
     genlib.set_defaults(func=_cmd_genlib)
 
     cell = sub.add_parser("cell", help="per-vector leakage of one cell")
     cell.add_argument("name")
-    cell.add_argument("--library", default="generalized")
+    cell.add_argument("--library", default="generalized",
+                      help="registered library key or alias")
     cell.set_defaults(func=_cmd_cell)
+
+    libraries = sub.add_parser(
+        "libraries", help="registered libraries and estimator backends")
+    libraries.add_argument("-v", "--verbose", action="store_true",
+                           help="build each library and show cell counts")
+    libraries.set_defaults(func=_cmd_libraries)
 
     techs = sub.add_parser("techs", help="technology summaries")
     techs.set_defaults(func=_cmd_techs)

@@ -2,57 +2,64 @@
 
 This mirrors the paper's methodology exactly: circuits are first
 synthesized with the resyn2rs script (library-independent), then mapped
-onto each of the three genlib-characterized libraries, and finally
-power is estimated with random patterns on the mapped netlists.
+onto genlib-characterized libraries, and finally power is estimated on
+the mapped netlists by the config-selected estimator backend (the
+paper's random-pattern bitsim by default).
+
+Libraries are resolved through :mod:`repro.registry`; the historical
+``three_libraries`` / ``cached_libraries`` helpers remain as deprecated
+shims over it.
 """
 
 from __future__ import annotations
 
+import warnings
 import weakref
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
 from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
-from repro.gates.ambipolar_library import generalized_cntfet_library
-from repro.gates.conventional import cmos_library, conventional_cntfet_library
 from repro.gates.library import Library
 from repro.power.model import energy_delay_product
-from repro.sim.estimator import CircuitPowerReport, estimate_circuit_power
+from repro.sim.backends import estimate_with_backend
+from repro.sim.estimator import CircuitPowerReport
 from repro.synth.aig import Aig
 from repro.synth.mapper import MappingOptions, map_aig
 from repro.synth.netlist import MappedNetlist
 from repro.synth.scripts import resyn2rs
-from repro.circuits.suite import CMOS, CONVENTIONAL, GENERALIZED, benchmark_suite
-from repro.devices.parameters import CMOS_32NM, CNTFET_32NM
+from repro.circuits.suite import benchmark_suite
+from repro import registry
 
 
 def three_libraries(vdd: Optional[float] = None) -> Dict[str, Library]:
-    """The three libraries of the Table 1 comparison, by key.
+    """Deprecated: the three Table 1 libraries, freshly built.
 
-    ``vdd`` rebuilds every library on its technology re-supplied at
-    that voltage (``TechnologyParams.with_vdd``), so cell timing and
-    leakage are characterized at the requested operating point — the
-    supply-sweep path.  ``None`` (and exactly 0.9, the technologies'
-    native supply) is the paper's point.
+    Use :func:`repro.registry.build_library` (or
+    :func:`repro.registry.paper_libraries` for the cached trio); the
+    registry is where libraries — including ones registered after the
+    fact — live now.
     """
-    cntfet = CNTFET_32NM if vdd is None else CNTFET_32NM.with_vdd(vdd)
-    cmos = CMOS_32NM if vdd is None else CMOS_32NM.with_vdd(vdd)
-    return {
-        GENERALIZED: generalized_cntfet_library(cntfet),
-        CONVENTIONAL: conventional_cntfet_library(cntfet),
-        CMOS: cmos_library(cmos),
-    }
+    warnings.warn(
+        "three_libraries() is deprecated; use repro.registry."
+        "build_library()/paper_libraries() instead",
+        DeprecationWarning, stacklevel=2)
+    return {key: registry.build_library(key, vdd)
+            for key in registry.PAPER_LIBRARIES}
 
 
-@lru_cache(maxsize=None)
 def cached_libraries(vdd: Optional[float] = None) -> Dict[str, Library]:
-    """:func:`three_libraries`, characterized once per process per vdd.
+    """Deprecated: the three Table 1 libraries, cached per process.
 
-    Worker processes of the Table 1 grid and of sweep runs share this
-    so every task in a process reuses the same library objects (and
-    their warmed match tables)."""
-    return three_libraries(vdd)
+    Use :func:`repro.registry.cached_library` /
+    :func:`repro.registry.paper_libraries`; this shim returns the very
+    same objects the registry cache holds.
+    """
+    warnings.warn(
+        "cached_libraries() is deprecated; use repro.registry."
+        "cached_library()/paper_libraries() instead",
+        DeprecationWarning, stacklevel=2)
+    return registry.paper_libraries(vdd)
 
 
 @lru_cache(maxsize=None)
@@ -144,6 +151,10 @@ def run_circuit_flow(aig: Aig, library: Library,
     cached netlist of the same (subject, library, mapper options) is
     bit-identical to remapping.  Sweeps over operating points lean on
     this: the netlist is fixed while VDD / frequency / fanout vary.
+
+    Estimation runs on the backend named by ``config.backend``
+    (:mod:`repro.sim.backends`); the default ``"bitsim"`` is the
+    paper's random-pattern method.
     """
     subject = aig
     if netlist is None:
@@ -151,12 +162,8 @@ def run_circuit_flow(aig: Aig, library: Library,
             subject = synthesize_subject(aig, config)
         netlist = map_subject(subject, library, config)
     params = config.power_parameters
-    report: CircuitPowerReport = estimate_circuit_power(
-        netlist, params,
-        n_patterns=config.n_patterns,
-        seed=config.seed,
-        state_patterns=config.state_patterns,
-    )
+    report: CircuitPowerReport = estimate_with_backend(
+        netlist, params, config)
     return CircuitFlowResult(
         circuit=aig.name,
         library=library.name,

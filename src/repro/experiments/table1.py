@@ -6,6 +6,10 @@ generalized-CNTFET, conventional-CNTFET and CMOS libraries, and power-
 estimated with random patterns.  The result object carries per-cell
 data, the column averages and the improvement rows exactly as the paper
 formats them, plus the paper's own numbers for side-by-side reporting.
+
+:func:`reproduce_table1` is a thin wrapper over the
+:class:`repro.api.Session` front door, kept for its established
+signature; the grid orchestration itself lives in ``Session.table1``.
 """
 
 from __future__ import annotations
@@ -18,17 +22,15 @@ from repro.circuits.suite import (
     CONVENTIONAL,
     GENERALIZED,
     PAPER_AVERAGES,
-    benchmark_suite,
 )
 from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
 from repro.experiments.flow import (
     CircuitFlowResult,
-    cached_libraries,
     run_circuit_flow,
     synthesized_benchmark,
 )
-from repro.experiments.parallel import parallel_map
 from repro.experiments.reporting import format_ratio, format_saving, render_table
+from repro.registry import cached_library
 
 LIBRARY_ORDER = [GENERALIZED, CONVENTIONAL, CMOS]
 
@@ -42,6 +44,10 @@ class Table1Result:
     results: Dict[str, Dict[str, CircuitFlowResult]] = field(
         default_factory=dict)
     benchmark_order: List[str] = field(default_factory=list)
+    #: Library columns, in presentation order (the paper's three by
+    #: default; sessions over other registrations set their own).
+    library_order: List[str] = field(
+        default_factory=lambda: list(LIBRARY_ORDER))
 
     # -- aggregates ----------------------------------------------------------
 
@@ -62,7 +68,16 @@ class Table1Result:
         )
 
     def improvement_vs_cmos(self, library: str) -> Dict[str, str]:
-        """The paper's "Improvement vs. CMOS" row for one library."""
+        """The paper's "Improvement vs. CMOS" row for one library.
+
+        Raises :class:`ExperimentError` when the result was computed
+        without the CMOS baseline column.
+        """
+        if CMOS not in self.library_order:
+            from repro.errors import ExperimentError
+            raise ExperimentError(
+                "improvement_vs_cmos needs the 'cmos' library column; "
+                f"this table was computed over {self.library_order}")
         ours = self.averages(library)
         cmos = self.averages(CMOS)
         return {
@@ -79,7 +94,7 @@ class Table1Result:
     def render(self, include_paper: bool = True) -> str:
         """Monospace rendition of the reproduced table."""
         blocks: List[str] = []
-        for library in LIBRARY_ORDER:
+        for library in self.library_order:
             headers = ["Circuit", "No.", "Delay(ps)", "PD(uW)", "PS(uW)",
                        "PT(uW)", "EDP(1e-24Js)"]
             rows = []
@@ -92,7 +107,7 @@ class Table1Result:
             rows.append(["Average", avg.gate_count, f"{avg.delay_ps:.0f}",
                          f"{avg.pd_uw:.2f}", f"{avg.ps_uw:.3f}",
                          f"{avg.pt_uw:.2f}", f"{avg.edp_paper_units:.2f}"])
-            if include_paper:
+            if include_paper and library in PAPER_AVERAGES:
                 paper = PAPER_AVERAGES[library]
                 rows.append(["(paper avg)", paper.gates,
                              f"{paper.delay_ps:.0f}", f"{paper.pd_uw:.2f}",
@@ -100,7 +115,7 @@ class Table1Result:
                              f"{paper.edp:.2f}"])
             blocks.append(render_table(headers, rows,
                                        title=f"== {library} =="))
-            if library != CMOS:
+            if library != CMOS and CMOS in self.library_order:
                 imp = self.improvement_vs_cmos(library)
                 blocks.append(
                     f"Improvement vs CMOS: gates {imp['gates']}, "
@@ -114,7 +129,7 @@ def _run_table1_cell(task: Tuple[str, str, ExperimentConfig]
     """One Table 1 cell: picklable task -> picklable result."""
     name, library_key, config = task
     subject = synthesized_benchmark(name, config.synthesize)
-    library = cached_libraries()[library_key]
+    library = cached_library(library_key, config.vdd)
     flow = run_circuit_flow(subject, library, config, presynthesized=True)
     return CircuitFlowResult(
         circuit=name, library=library_key,
@@ -133,7 +148,7 @@ def reproduce_table1(config: ExperimentConfig = PAPER_CONFIG,
                      benchmarks: Optional[List[str]] = None,
                      verbose: bool = False,
                      jobs: Optional[int] = 1) -> Table1Result:
-    """Run the full Table 1 experiment.
+    """Run the full Table 1 experiment (via :class:`repro.api.Session`).
 
     Args:
         config: operating point and pattern budget.
@@ -146,33 +161,7 @@ def reproduce_table1(config: ExperimentConfig = PAPER_CONFIG,
             bit-identical for any value — tasks carry deterministic
             seeds and come back in grid order.
     """
-    selected = [spec for spec in benchmark_suite()
-                if benchmarks is None or spec.name in benchmarks]
-    tasks = [(spec.name, key, config)
-             for spec in selected for key in LIBRARY_ORDER]
-    if jobs == 1:
-        # Serial: stream progress while computing.
-        flows = []
-        for task in tasks:
-            flow = _run_table1_cell(task)
-            flows.append(flow)
-            if verbose:
-                print(_verbose_line(flow))
-    else:
-        # chunksize=3 keeps one circuit's three libraries on one
-        # worker, so each circuit is synthesized once per process that
-        # touches it.
-        flows = parallel_map(_run_table1_cell, tasks, jobs=jobs,
-                             chunksize=3)
-        if verbose:
-            for flow in flows:
-                print(_verbose_line(flow))
+    from repro.api import Session
 
-    result = Table1Result(config=config)
-    for spec, start in zip(selected, range(0, len(flows), len(LIBRARY_ORDER))):
-        row: Dict[str, CircuitFlowResult] = {}
-        for offset, key in enumerate(LIBRARY_ORDER):
-            row[key] = flows[start + offset]
-        result.results[spec.name] = row
-        result.benchmark_order.append(spec.name)
-    return result
+    return Session(config, jobs=jobs).table1(benchmarks=benchmarks,
+                                             verbose=verbose)

@@ -1,0 +1,107 @@
+"""Hybrid pass-transistor ambipolar demo library (after Hu et al.).
+
+Hu et al. (arXiv:2002.01932) combine complementary static logic with
+pass-transistor-style XOR networks that exploit the ambipolar CNTFET's
+in-field polarity gate.  This library reconstructs that flavour as a
+*fourth* technology for the Table 1 comparison: the 20 conventional
+cells keep their static topologies, XOR2/XNOR2 collapse to single
+transmission-gate switches, and a small set of hybrid cells embeds one
+pass-transistor XOR inside an otherwise static first stage.
+
+It exists mainly to prove the registry's point: it is registered purely
+through :mod:`repro.registry` — no experiment or sweep code names it —
+and still shows up in CLI listings, sweeps and :class:`repro.api.Session`
+runs like the built-in three.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.devices.parameters import CNTFET_32NM, TechnologyParams
+from repro.errors import LibraryError
+from repro.gates.cells import Cell, Stage, nfet, pfet, tg
+from repro.gates.conventional import conventional_cells
+from repro.gates.library import Library
+from repro.gates.topology import parallel, series
+
+#: Canonical registry key of this library.
+HYBRID_PASS = "cntfet-hybrid-pass"
+
+
+def _pass_xor_cells() -> Dict[str, Cell]:
+    """Single-switch XOR2/XNOR2 (the pass-transistor workhorses)."""
+    xor2 = Cell("XOR2", ("a", "b"),
+                (Stage("y", tg("a", "b", invert=True)),), "a^b",
+                generalized=True)
+    xnor2 = Cell("XNOR2", ("a", "b"),
+                 (Stage("y", tg("a", "b")),), "(a^b)'",
+                 generalized=True)
+    return {"XOR2": xor2, "XNOR2": xnor2}
+
+
+def hybrid_cells() -> List[Cell]:
+    """The hybrid cells: one pass-transistor XOR inside a static stage."""
+    cells: List[Cell] = []
+    add = cells.append
+
+    # Three-input parity with one TG pair per phase of c.
+    add(Cell("HPXOR3", ("a", "b", "c"),
+             (Stage("y", parallel(series(tg("a", "b"), nfet("c")),
+                                  series(tg("a", "b", invert=True),
+                                         pfet("c")))),),
+             "a^b^c", generalized=True))
+    add(Cell("HPXNOR3", ("a", "b", "c"),
+             (Stage("y", parallel(series(tg("a", "b"), pfet("c")),
+                                  series(tg("a", "b", invert=True),
+                                         nfet("c")))),),
+             "(a^b^c)'", generalized=True))
+
+    # Static NAND/NOR first stage merged into a pass-transistor XOR
+    # output switch: the XOR costs one switch level.
+    add(Cell("HPANDX", ("a", "b", "c"),
+             (Stage("i0", series(nfet("a"), nfet("b"))),
+              Stage("y", tg("i0", "c", invert=True))),
+             "((ab)^c)'", generalized=True))
+    add(Cell("HPORX", ("a", "b", "c"),
+             (Stage("i0", parallel(nfet("a"), nfet("b"))),
+              Stage("y", tg("i0", "c", invert=True))),
+             "((a+b)^c)'", generalized=True))
+
+    # Multiplexer whose selected branch is a pass-transistor XOR.
+    add(Cell("HPMUXI", ("s", "a", "b", "c"),
+             (Stage("y", parallel(series(nfet("s"), tg("a", "c")),
+                                  series(nfet("s'"), nfet("b")))),),
+             "(s(a^c)+s'b)'", generalized=True))
+    return cells
+
+
+def hybrid_pass_cells() -> List[Cell]:
+    """All cells: conventional base with pass-transistor XORs + hybrids."""
+    swaps = _pass_xor_cells()
+    cells = [swaps.get(cell.name, cell) for cell in conventional_cells()]
+    cells.extend(hybrid_cells())
+    return cells
+
+
+#: Expected functions of the hybrid cells, used by the unit tests.
+HYBRID_FUNCTIONS: Dict[str, Callable[..., bool]] = {
+    "HPXOR3": lambda a, b, c: (a != b) != c,
+    "HPXNOR3": lambda a, b, c: not ((a != b) != c),
+    "HPANDX": lambda a, b, c: not ((a and b) != c),
+    "HPORX": lambda a, b, c: not ((a or b) != c),
+    "HPMUXI": lambda s, a, b, c: not ((a != c) if s else b),
+}
+
+
+def hybrid_pass_library(tech: TechnologyParams = CNTFET_32NM) -> Library:
+    """The hybrid pass-transistor demo library on an ambipolar technology.
+
+    Raises :class:`LibraryError` for non-ambipolar technologies —
+    transmission gates need the in-field polarity gate.
+    """
+    if not tech.ambipolar:
+        raise LibraryError(
+            "the hybrid pass-transistor library requires an ambipolar "
+            "technology")
+    return Library(HYBRID_PASS, tech, hybrid_pass_cells())

@@ -1,0 +1,211 @@
+"""Registry of named, discoverable library factories.
+
+Every place the reproduction needs a cell library by name — the Table 1
+columns, the sweep ``library`` axis, the CLI ``--library`` flags, the
+:class:`repro.api.Session` front door — resolves it here.  A library is
+*registered*, not hardwired: adding a fourth technology to the
+comparison is one :func:`register_library` call, with no edits to
+``experiments/`` or ``sweep/``.
+
+A factory is a callable ``factory(vdd) -> Library``: ``vdd=None`` builds
+the library at its technology's native supply, any other value
+re-characterizes it at that operating point (the supply-sweep path,
+conventionally via :meth:`TechnologyParams.with_vdd`).  Keys are the
+canonical library names (also the ``Library.name`` of what the factory
+builds); aliases are short spellings accepted anywhere a key is
+(``"generalized"`` for ``"cntfet-generalized"``, ...).
+
+The three paper libraries plus the hybrid pass-transistor demo library
+(after Hu et al., arXiv:2002.01932) are registered at import time;
+:func:`available_libraries` lists whatever is registered right now.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.circuits.suite import CMOS, CONVENTIONAL, GENERALIZED
+from repro.devices.parameters import CMOS_32NM, CNTFET_32NM, TechnologyParams
+from repro.errors import ExperimentError
+from repro.gates.ambipolar_library import generalized_cntfet_library
+from repro.gates.conventional import cmos_library, conventional_cntfet_library
+from repro.gates.hybrid_pass import HYBRID_PASS, hybrid_pass_library
+from repro.gates.library import Library
+
+#: Factory signature: build the library, optionally at a non-native vdd.
+LibraryFactory = Callable[[Optional[float]], Library]
+
+
+@dataclass(frozen=True)
+class LibraryEntry:
+    """One registered library: canonical key, factory and metadata."""
+
+    key: str
+    factory: LibraryFactory
+    aliases: Tuple[str, ...] = ()
+    description: str = ""
+
+
+#: Canonical key -> entry, in registration order.
+_ENTRIES: Dict[str, LibraryEntry] = {}
+#: Any accepted spelling (key or alias) -> canonical key.
+_NAMES: Dict[str, str] = {}
+#: Per-process build cache, keyed by (canonical key, vdd).
+_CACHE: Dict[Tuple[str, Optional[float]], Library] = {}
+
+
+def register_library(key: str, factory: LibraryFactory, *,
+                     aliases: Tuple[str, ...] = (),
+                     description: str = "",
+                     replace: bool = False) -> LibraryEntry:
+    """Register a library factory under ``key`` (plus optional aliases).
+
+    Args:
+        key: canonical library name; should equal the ``Library.name``
+            the factory produces so results and listings agree.
+        factory: ``factory(vdd) -> Library``; ``vdd=None`` means the
+            technology's native supply.
+        aliases: additional accepted spellings of the key.
+        description: one line for CLI listings.
+        replace: allow re-registering an existing key (its cached
+            builds are dropped); without it a collision raises.
+
+    Raises:
+        ExperimentError: on key/alias collisions (unless ``replace``).
+    """
+    entry = LibraryEntry(key=key, factory=factory,
+                         aliases=tuple(aliases), description=description)
+    taken = {name: owner for name, owner in _NAMES.items()
+             if not (replace and owner == key)}
+    for name in (key, *entry.aliases):
+        if name in taken and taken[name] != key:
+            raise ExperimentError(
+                f"library name {name!r} is already registered "
+                f"(for {taken[name]!r})")
+    if key in _ENTRIES and not replace:
+        raise ExperimentError(
+            f"library {key!r} is already registered; pass replace=True "
+            f"to override")
+    unregister_library(key, missing_ok=True)
+    _ENTRIES[key] = entry
+    _NAMES[key] = key
+    for alias in entry.aliases:
+        _NAMES[alias] = key
+    return entry
+
+
+def unregister_library(key: str, missing_ok: bool = False) -> None:
+    """Remove a registered library, its aliases and its cached builds."""
+    entry = _ENTRIES.pop(key, None)
+    if entry is None:
+        if missing_ok:
+            return
+        raise ExperimentError(f"library {key!r} is not registered")
+    for name in (entry.key, *entry.aliases):
+        if _NAMES.get(name) == key:
+            del _NAMES[name]
+    for cache_key in [k for k in _CACHE if k[0] == key]:
+        del _CACHE[cache_key]
+
+
+def available_libraries() -> List[str]:
+    """Canonical keys of every registered library, registration order."""
+    return list(_ENTRIES)
+
+
+def library_aliases() -> Dict[str, str]:
+    """Every accepted spelling (keys included) -> canonical key."""
+    return dict(_NAMES)
+
+
+def library_entry(name: str) -> LibraryEntry:
+    """The registration entry behind a key or alias."""
+    return _ENTRIES[canonical_library(name)]
+
+
+def canonical_library(name: str) -> str:
+    """Resolve a library key or alias to its canonical key.
+
+    Raises :class:`ExperimentError` naming the known spellings when the
+    name is not registered.
+    """
+    try:
+        return _NAMES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown library {name!r}; choose from "
+            f"{sorted(_NAMES)}") from None
+
+
+def build_library(name: str, vdd: Optional[float] = None) -> Library:
+    """Build a fresh library by key or alias (no caching)."""
+    return _ENTRIES[canonical_library(name)].factory(vdd)
+
+
+def cached_library(name: str, vdd: Optional[float] = None) -> Library:
+    """Build a library once per process per (key, vdd) and reuse it.
+
+    The cache is what lets worker processes and repeated estimates
+    share characterized libraries (and their warmed match tables);
+    ``vdd=None`` and the technology's literal native supply are
+    distinct cache slots but construct value-identical libraries.
+    """
+    key = canonical_library(name)
+    cache_key = (key, vdd)
+    library = _CACHE.get(cache_key)
+    if library is None:
+        library = _ENTRIES[key].factory(vdd)
+        _CACHE[cache_key] = library
+    return library
+
+
+def paper_libraries(vdd: Optional[float] = None) -> Dict[str, Library]:
+    """The three libraries of the paper's Table 1 comparison, by key.
+
+    Cached per process per vdd — the modern spelling of the deprecated
+    ``repro.experiments.flow.cached_libraries``.
+    """
+    return {key: cached_library(key, vdd) for key in PAPER_LIBRARIES}
+
+
+def tech_at(tech: TechnologyParams,
+            vdd: Optional[float]) -> TechnologyParams:
+    """``tech`` re-supplied at ``vdd`` (``None`` keeps the native supply).
+
+    The standard helper for writing vdd-aware factories: cell timing
+    and leakage are characterized at the requested operating point.
+    """
+    return tech if vdd is None else tech.with_vdd(vdd)
+
+
+# -- built-in registrations ---------------------------------------------------
+
+#: The paper's Table 1 columns, in column-block order.
+PAPER_LIBRARIES = (GENERALIZED, CONVENTIONAL, CMOS)
+
+register_library(
+    GENERALIZED,
+    lambda vdd=None: generalized_cntfet_library(tech_at(CNTFET_32NM, vdd)),
+    aliases=("generalized",),
+    description="46-cell generalized ambipolar CNTFET library "
+                "(transmission-gate XOR cells, Ben Jamaa et al. [3])")
+
+register_library(
+    CONVENTIONAL,
+    lambda vdd=None: conventional_cntfet_library(tech_at(CNTFET_32NM, vdd)),
+    aliases=("conventional",),
+    description="20 conventional-function cells in the CNTFET technology")
+
+register_library(
+    CMOS,
+    lambda vdd=None: cmos_library(tech_at(CMOS_32NM, vdd)),
+    aliases=("cmos32",),
+    description="32 nm bulk CMOS reference library")
+
+register_library(
+    HYBRID_PASS,
+    lambda vdd=None: hybrid_pass_library(tech_at(CNTFET_32NM, vdd)),
+    aliases=("hybrid", "hybrid-pass"),
+    description="hybrid pass-transistor ambipolar demo library "
+                "(after Hu et al., arXiv:2002.01932)")

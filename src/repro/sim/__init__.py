@@ -10,10 +10,20 @@ leakage data as the library characterization.
 
 from repro.sim.bitsim import BitParallelSimulator, SimulationStats
 from repro.sim.estimator import CircuitPowerReport, estimate_circuit_power
+from repro.sim.backends import (
+    EstimatorBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 
 __all__ = [
     "BitParallelSimulator",
     "SimulationStats",
     "CircuitPowerReport",
     "estimate_circuit_power",
+    "EstimatorBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
 ]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -155,12 +155,12 @@ class _LeakageTables:
         return tables
 
 
-def _switched_capacitance(netlist: MappedNetlist) -> Dict[str, float]:
+def switched_capacitance(netlist: MappedNetlist) -> Dict[str, float]:
     """Full switched capacitance per gate-output net.
 
     Fanout pin capacitance (plus the PO external load) from
     :meth:`MappedNetlist.net_loads`, plus the driver's intrinsic drain
-    capacitance.
+    capacitance.  Shared by every estimator backend.
     """
     loads = netlist.net_loads()
     library = netlist.library
@@ -169,6 +169,26 @@ def _switched_capacitance(netlist: MappedNetlist) -> Dict[str, float]:
         caps[gate.output] = (loads[gate.output]
                              + library.output_capacitance(gate.cell))
     return caps
+
+
+def leakage_currents(netlist: MappedNetlist,
+                     stats: SimulationStats) -> Tuple[float, float]:
+    """State-weighted ``(i_off, i_gate)`` totals for a simulated netlist.
+
+    Weights each gate's pattern-classified leakage table by the input-
+    state frequencies observed in simulation (Eq. 4-5's expectation).
+    The single implementation every estimator backend shares.
+    """
+    tables = _LeakageTables.for_library(netlist.library)
+    denominator = max(1, stats.n_state_patterns)
+    total_i_off = 0.0
+    total_i_gate = 0.0
+    for gate in netlist.gates:
+        counts = stats.state_counts[gate.name]
+        weights = counts / denominator
+        total_i_off += float(weights @ tables.i_off[gate.cell])
+        total_i_gate += float(weights @ tables.i_gate[gate.cell])
+    return total_i_off, total_i_gate
 
 
 def estimate_circuit_power(netlist: MappedNetlist,
@@ -197,7 +217,7 @@ def estimate_circuit_power(netlist: MappedNetlist,
         simulator = BitParallelSimulator(netlist)
         stats = simulator.run(n_patterns, seed, state_patterns)
 
-    caps = _switched_capacitance(netlist)
+    caps = switched_capacitance(netlist)
     p_dynamic = 0.0
     for gate in netlist.gates:
         alpha = stats.toggle_rate(gate.output)
@@ -205,15 +225,7 @@ def estimate_circuit_power(netlist: MappedNetlist,
                       * params.frequency * params.vdd**2)
     p_short = SHORT_CIRCUIT_FRACTION * p_dynamic
 
-    tables = _LeakageTables.for_library(library)
-    total_i_off = 0.0
-    total_i_gate = 0.0
-    denominator = max(1, stats.n_state_patterns)
-    for gate in netlist.gates:
-        counts = stats.state_counts[gate.name]
-        weights = counts / denominator
-        total_i_off += float(weights @ tables.i_off[gate.cell])
-        total_i_gate += float(weights @ tables.i_gate[gate.cell])
+    total_i_off, total_i_gate = leakage_currents(netlist, stats)
     p_static = total_i_off * params.vdd
     p_gate = total_i_gate * params.vdd
 

@@ -24,6 +24,7 @@ from repro.sweep.runner import SweepRunReport, run_sweep
 from repro.sweep.spec import SweepSpec, SweepTask
 from repro.sweep.store import (
     JsonlResultStore,
+    MemoryResultStore,
     SqliteResultStore,
     open_store,
     sweep_status,
@@ -35,6 +36,7 @@ __all__ = [
     "SweepRunReport",
     "run_sweep",
     "JsonlResultStore",
+    "MemoryResultStore",
     "SqliteResultStore",
     "open_store",
     "sweep_status",

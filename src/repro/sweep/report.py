@@ -26,22 +26,30 @@ from repro.sweep.spec import DEFAULT_LIBRARIES
 from repro.sweep.store import flow_result
 
 #: The config fields that define an operating point (everything except
-#: the subject / library identity).  seed and state_patterns are part
-#: of the key so points differing only in them never merge into one
-#: table as indistinguishable duplicate rows.
+#: the subject / library identity).  seed, state_patterns and the
+#: estimator backend are part of the key so points differing only in
+#: them never merge into one table as indistinguishable duplicate rows.
 POINT_FIELDS = ("vdd", "frequency", "fanout", "n_patterns", "synthesize",
-                "seed", "state_patterns")
+                "seed", "state_patterns", "backend")
 
 #: Flat CSV column order.
 CSV_COLUMNS = ("circuit", "library", "vdd", "frequency", "fanout",
                "n_patterns", "state_patterns", "seed", "synthesize",
-               "gate_count", "delay_ps", "pd_uw", "ps_uw", "pg_uw",
-               "pt_uw", "edp_1e24js", "task_key")
+               "backend", "gate_count", "delay_ps", "pd_uw", "ps_uw",
+               "pg_uw", "pt_uw", "edp_1e24js", "task_key")
+
+
+def _config_field(config: Dict[str, Any], name: str) -> Any:
+    """A config field; records stored before ``backend`` existed read
+    as the default estimator, mirroring ``ExperimentConfig.from_dict``."""
+    if name == "backend":
+        return config.get("backend", "bitsim")
+    return config[name]
 
 
 def _point_key(record: Dict[str, Any]) -> Tuple:
     config = record["config"]
-    return tuple(config[name] for name in POINT_FIELDS)
+    return tuple(_config_field(config, name) for name in POINT_FIELDS)
 
 
 @lru_cache(maxsize=1)
@@ -76,6 +84,7 @@ def _flat_row(record: Dict[str, Any]) -> Dict[str, Any]:
         "state_patterns": config["state_patterns"],
         "seed": config["seed"],
         "synthesize": config["synthesize"],
+        "backend": _config_field(config, "backend"),
         "gate_count": flow.gate_count,
         "delay_ps": flow.delay_ps,
         "pd_uw": flow.pd_uw,
@@ -97,10 +106,12 @@ def _markdown_table(headers: Sequence[str],
 
 
 def _point_title(point: Tuple) -> str:
-    vdd, frequency, fanout, n_patterns, synthesize, seed, _state = point
+    (vdd, frequency, fanout, n_patterns, synthesize, seed, _state,
+     backend) = point
     synth = "resyn2rs" if synthesize else "no-synthesis"
+    suffix = "" if backend == "bitsim" else f", {backend}"
     return (f"VDD={vdd:g} V, f={frequency / 1e9:g} GHz, fanout={fanout}, "
-            f"{n_patterns} patterns, {synth}, seed {seed}")
+            f"{n_patterns} patterns, {synth}, seed {seed}{suffix}")
 
 
 def render_table1(records: List[Dict[str, Any]]) -> str:
@@ -156,21 +167,23 @@ def render_vdd_series(records: List[Dict[str, Any]]) -> str:
         config = record["config"]
         key = (record["circuit"], record["library"], config["frequency"],
                config["fanout"], config["n_patterns"], config["synthesize"],
-               config["seed"], config["state_patterns"])
+               config["seed"], config["state_patterns"],
+               _config_field(config, "backend"))
         series.setdefault(key, []).append(record)
 
     blocks: List[str] = []
     for key in sorted(series, key=lambda key: (
             _circuit_rank(key[0]), _library_rank(key[1]), key[2:])):
         (circuit, library, frequency, fanout, n_patterns, synthesize,
-         seed, _state) = key
+         seed, _state, backend) = key
         group = sorted(series[key],
                        key=lambda record: record["config"]["vdd"])
         synth = "resyn2rs" if synthesize else "no-synthesis"
+        suffix = "" if backend == "bitsim" else f", {backend}"
         blocks.append(
             f"### {circuit} on {library} "
             f"(f={frequency / 1e9:g} GHz, fanout={fanout}, "
-            f"{n_patterns} patterns, {synth}, seed {seed})")
+            f"{n_patterns} patterns, {synth}, seed {seed}{suffix})")
         headers = ["VDD(V)", "PD(uW)", "PS(uW)", "PT(uW)", "EDP(1e-24Js)"]
         rows = []
         for record in group:

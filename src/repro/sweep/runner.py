@@ -1,7 +1,9 @@
 """Sharded, resumable execution of a sweep grid.
 
-``run_sweep`` expands the spec, drops every task whose key the store
-already holds, and fans the rest out over worker processes via
+``run_sweep`` is a thin wrapper over :meth:`repro.api.Session.sweep`,
+kept for its established signature.  The session expands the spec,
+drops every task whose key the store already holds, and fans the rest
+out over worker processes via
 :func:`repro.experiments.parallel.parallel_map_stream`.  Each finished
 point is appended to the store *as it completes* (grid order serially,
 completion order across workers — the store is key-addressed, so
@@ -24,19 +26,18 @@ to the full pipeline (the runner tests assert this against
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.experiments.flow import (
     CircuitFlowResult,
-    cached_libraries,
     map_subject,
     run_circuit_flow,
     synthesized_benchmark,
 )
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.parallel import parallel_map_stream, resolve_jobs
+from repro.registry import cached_library
 from repro.sweep.spec import SweepSpec, SweepTask
 from repro.sweep.store import ResultStore, record_for
 
@@ -52,7 +53,7 @@ def _mapped_netlist(circuit: str, library_key: str, vdd: float,
     so mapping legitimately differs across the vdd axis.
     """
     subject = synthesized_benchmark(circuit, synthesize)
-    library = cached_libraries(vdd)[library_key]
+    library = cached_library(library_key, vdd)
     options = ExperimentConfig(
         synthesize=synthesize, mapper_cut_size=cut_size,
         mapper_cut_limit=cut_limit, mapper_area_rounds=area_rounds)
@@ -64,7 +65,7 @@ def run_sweep_task(task: SweepTask) -> Dict[str, Any]:
     start = time.perf_counter()
     config = task.config
     subject = synthesized_benchmark(task.circuit, config.synthesize)
-    library = cached_libraries(config.vdd)[task.library]
+    library = cached_library(task.library, config.vdd)
     netlist = _mapped_netlist(
         task.circuit, task.library, config.vdd, config.synthesize,
         config.mapper_cut_size, config.mapper_cut_limit,
@@ -91,6 +92,9 @@ class SweepRunReport:
     jobs_requested: int
     jobs_effective: int
     elapsed_s: float
+    #: The store the run appended to (handy for in-memory sessions).
+    store: Optional[ResultStore] = field(default=None, repr=False,
+                                         compare=False)
 
     def render(self) -> str:
         """One greppable summary line (CI asserts on ``executed=``)."""
@@ -133,30 +137,6 @@ def run_sweep(spec: SweepSpec, store: ResultStore,
         verbose: one line per completed point, streamed as it lands.
         echo: sink for verbose lines (tests capture it).
     """
-    start = time.perf_counter()
-    tasks = spec.expand()
-    done_keys = store.keys()
-    pending: List[SweepTask] = [task for task in tasks
-                                if task.task_key not in done_keys]
-    jobs_effective = min(resolve_jobs(jobs), max(1, len(pending)))
+    from repro.api import Session
 
-    def checkpoint(task: SweepTask, record: Dict[str, Any]) -> None:
-        store.append(record)
-        if verbose:
-            echo(_verbose_line(task, record))
-
-    parallel_map_stream(
-        run_sweep_task, pending, jobs=jobs,
-        chunksize=_chunksize(spec, len(pending), jobs_effective),
-        callback=checkpoint)
-
-    return SweepRunReport(
-        spec_hash=spec.spec_hash,
-        store_path=str(store.path),
-        total=len(tasks),
-        cached=len(tasks) - len(pending),
-        executed=len(pending),
-        jobs_requested=0 if jobs is None else jobs,
-        jobs_effective=jobs_effective,
-        elapsed_s=time.perf_counter() - start,
-    )
+    return Session(jobs=jobs).sweep(spec, store, verbose=verbose, echo=echo)

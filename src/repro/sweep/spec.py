@@ -17,37 +17,23 @@ from dataclasses import dataclass, fields
 from typing import Any, Dict, Iterable, List, Sequence, Tuple, Union
 
 from repro.cache import stable_hash
-from repro.circuits.suite import CMOS, CONVENTIONAL, GENERALIZED, benchmark_suite
+from repro.circuits.suite import benchmark_suite
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
+from repro.registry import PAPER_LIBRARIES, canonical_library
 
 #: Bump when the meaning of a task key changes (fields added to the
 #: hashed payload, estimation semantics, ...): old store entries are
 #: then simply never matched again.
-TASK_SCHEMA_VERSION = 1
-
-#: Short names accepted anywhere a library key is expected.
-LIBRARY_ALIASES = {
-    "generalized": GENERALIZED,
-    "conventional": CONVENTIONAL,
-    "cmos": CMOS,
-    GENERALIZED: GENERALIZED,
-    CONVENTIONAL: CONVENTIONAL,
-    CMOS: CMOS,
-}
+#:
+#: v2: ``ExperimentConfig`` gained the ``backend`` field (estimator
+#: backend selection), which is part of the hashed config payload.
+TASK_SCHEMA_VERSION = 2
 
 #: Canonical library order (the paper's Table 1 column-block order).
-DEFAULT_LIBRARIES = (GENERALIZED, CONVENTIONAL, CMOS)
-
-
-def canonical_library(name: str) -> str:
-    """Resolve a library name or alias to its canonical key."""
-    try:
-        return LIBRARY_ALIASES[name]
-    except KeyError:
-        raise ExperimentError(
-            f"unknown library {name!r}; choose from "
-            f"{sorted(set(LIBRARY_ALIASES))}") from None
+#: Any library registered with :mod:`repro.registry` — key or alias —
+#: is a valid ``libraries`` axis value.
+DEFAULT_LIBRARIES = PAPER_LIBRARIES
 
 
 @dataclass(frozen=True)
@@ -103,13 +89,15 @@ class SweepSpec:
     * ``fanout`` — load fanouts for the Eq. 2-5 conditions;
     * ``n_patterns`` — random-pattern budgets for activity estimation;
     * ``synthesize`` — whether resyn2rs runs before mapping;
-    * ``libraries`` — library keys or aliases;
+    * ``libraries`` — registered library keys or aliases;
     * ``circuits`` — Table 1 benchmark names; empty means all 12.
 
     Scalars shared by every point: ``seed``, ``state_patterns`` (capped
     at each point's ``n_patterns``, matching
-    :meth:`ExperimentConfig.scaled`) and the mapper options.  The
-    default spec is exactly the paper's operating point.
+    :meth:`ExperimentConfig.scaled`), the mapper options and the
+    estimator ``backend`` (part of every task's content hash, so a
+    store never mixes backends).  The default spec is exactly the
+    paper's operating point.
     """
 
     vdd: Tuple[float, ...] = (0.9,)
@@ -124,6 +112,7 @@ class SweepSpec:
     mapper_cut_size: int = 5
     mapper_cut_limit: int = 8
     mapper_area_rounds: int = 2
+    backend: str = "bitsim"
 
     def __post_init__(self) -> None:
         for name in ("vdd", "frequency", "fanout", "n_patterns",
@@ -142,6 +131,11 @@ class SweepSpec:
                 f"unknown circuits: {', '.join(unknown)}; "
                 f"choose from {', '.join(known)}")
         object.__setattr__(self, "circuits", circuits)
+        from repro.sim.backends import available_backends
+        if self.backend not in available_backends():
+            raise ExperimentError(
+                f"unknown estimator backend {self.backend!r}; choose "
+                f"from {sorted(available_backends())}")
         for name in ("vdd", "frequency"):
             if any(value <= 0 for value in getattr(self, name)):
                 raise ExperimentError(f"sweep axis {name!r} must be > 0")
@@ -180,6 +174,7 @@ class SweepSpec:
             mapper_cut_size=self.mapper_cut_size,
             mapper_cut_limit=self.mapper_cut_limit,
             mapper_area_rounds=self.mapper_area_rounds,
+            backend=self.backend,
         )
 
     def expand(self) -> List[SweepTask]:

@@ -85,6 +85,32 @@ class ResultStore:
         return len(self.keys())
 
 
+class MemoryResultStore(ResultStore):
+    """A dict-backed store for API sessions that never touch disk.
+
+    Same key-addressed semantics as the persistent backends (last
+    write per key wins), but the records live only as long as the
+    object — :meth:`repro.api.Session.sweep` uses one when no store is
+    given.
+    """
+
+    def __init__(self):
+        super().__init__(":memory:")
+        self._records: Dict[str, Dict[str, Any]] = {}
+
+    def keys(self) -> Set[str]:
+        return set(self._records)
+
+    def records(self) -> List[Dict[str, Any]]:
+        return list(self._records.values())
+
+    def append(self, record: Dict[str, Any]) -> None:
+        self._records[record["task_key"]] = record
+
+    def get(self, task_key: str) -> Optional[Dict[str, Any]]:
+        return self._records.get(task_key)
+
+
 class JsonlResultStore(ResultStore):
     """Append-only JSON-lines store (the default backend)."""
 

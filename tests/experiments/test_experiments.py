@@ -29,6 +29,49 @@ class TestConfig:
         assert small.state_patterns == 1000
         assert small.vdd == PAPER_CONFIG.vdd
 
+    def test_scaled_preserves_explicit_state_budget(self):
+        """An explicitly-smaller state budget survives rescaling."""
+        explicit = ExperimentConfig(n_patterns=16_384, state_patterns=1000)
+        assert explicit.scaled(8192).state_patterns == 1000
+        assert explicit.scaled(640_000).state_patterns == 1000
+        # ... and is still clamped to a budget below it.
+        assert explicit.scaled(500).state_patterns == 500
+
+    def test_scaled_preserves_explicitly_raised_state_budget(self):
+        """A deliberately raised budget is explicit too, not a clamp."""
+        raised = ExperimentConfig(n_patterns=640_000,
+                                  state_patterns=131_072)
+        assert raised.scaled(640_000).state_patterns == 131_072
+        assert raised.scaled(200_000).state_patterns == 131_072
+        assert raised.scaled(1000).state_patterns == 1000
+
+    def test_scaled_up_restores_default_clamp(self):
+        """A state budget that merely tracked the clamp is re-derived,
+        so scaling a fast config back up restores the 64 K default."""
+        from repro.experiments.config import DEFAULT_STATE_PATTERNS, FAST_CONFIG
+
+        assert FAST_CONFIG.state_patterns == FAST_CONFIG.n_patterns
+        restored = FAST_CONFIG.scaled(640_000)
+        assert restored.state_patterns == DEFAULT_STATE_PATTERNS
+        assert PAPER_CONFIG.scaled(640_000) == PAPER_CONFIG
+
+    def test_pattern_budgets_validated(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match="n_patterns"):
+            ExperimentConfig(n_patterns=0)
+        with pytest.raises(ExperimentError, match="n_patterns"):
+            ExperimentConfig(n_patterns=-1)
+        with pytest.raises(ExperimentError, match="state_patterns"):
+            ExperimentConfig(state_patterns=0)
+
+    def test_round_trip(self):
+        config = ExperimentConfig(n_patterns=1024, state_patterns=512,
+                                  vdd=0.8, backend="bitsim")
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+        with pytest.raises(Exception, match="unknown ExperimentConfig"):
+            ExperimentConfig.from_dict({"bogus": 1})
+
 
 class TestReporting:
     def test_render_table(self):

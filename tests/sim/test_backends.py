@@ -1,0 +1,184 @@
+"""Estimator backends: registry semantics, config round-trips, task-key
+separation, and bitsim-vs-spice-transient agreement."""
+
+import pytest
+
+from repro.circuits.adders import ripple_adder_circuit
+from repro.circuits.suite import CMOS
+from repro.errors import ExperimentError, SimulationError
+from repro.experiments.config import ExperimentConfig
+from repro.sim.backends import (
+    BITSIM,
+    SPICE_TRANSIENT,
+    BitsimBackend,
+    SpiceTransientBackend,
+    available_backends,
+    estimate_with_backend,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.sim.estimator import estimate_circuit_power
+from repro.synth.mapper import map_aig
+from repro.sweep.spec import SweepSpec, SweepTask
+
+
+@pytest.fixture(scope="module")
+def adder_netlist(mlib):
+    return map_aig(ripple_adder_circuit(3), mlib)
+
+
+class TestBackendRegistry:
+    def test_builtins_available(self):
+        keys = available_backends()
+        assert BITSIM in keys
+        assert SPICE_TRANSIENT in keys
+
+    def test_unknown_backend_raises_with_choices(self):
+        with pytest.raises(ExperimentError, match="choose from"):
+            get_backend("no-such-backend")
+
+    def test_register_unregister(self):
+        backend = BitsimBackend()
+        register_backend("test-backend", backend)
+        try:
+            assert get_backend("test-backend") is backend
+            with pytest.raises(ExperimentError, match="already registered"):
+                register_backend("test-backend", BitsimBackend())
+            register_backend("test-backend", backend, replace=True)
+        finally:
+            unregister_backend("test-backend")
+        assert "test-backend" not in available_backends()
+        with pytest.raises(ExperimentError):
+            unregister_backend("test-backend")
+
+
+class TestConfigRoundTrip:
+    def test_backend_serializes(self):
+        config = ExperimentConfig(backend=SPICE_TRANSIENT)
+        data = config.to_dict()
+        assert data["backend"] == SPICE_TRANSIENT
+        assert ExperimentConfig.from_dict(data) == config
+
+    def test_missing_backend_defaults_to_bitsim(self):
+        """Configs stored before the field existed load unchanged."""
+        data = ExperimentConfig().to_dict()
+        del data["backend"]
+        assert ExperimentConfig.from_dict(data).backend == BITSIM
+
+    def test_backend_changes_sweep_task_keys(self):
+        config = ExperimentConfig(n_patterns=1024, state_patterns=1024)
+        bitsim_task = SweepTask("t481", CMOS, config)
+        spice_task = SweepTask(
+            "t481", CMOS,
+            ExperimentConfig(n_patterns=1024, state_patterns=1024,
+                             backend=SPICE_TRANSIENT))
+        assert bitsim_task.task_key != spice_task.task_key
+
+    def test_spec_backend_round_trip(self):
+        spec = SweepSpec(circuits=("t481",), n_patterns=(1024,),
+                         backend=SPICE_TRANSIENT)
+        again = SweepSpec.from_dict(spec.to_dict())
+        assert again.backend == SPICE_TRANSIENT
+        assert all(task.config.backend == SPICE_TRANSIENT
+                   for task in again.expand())
+        assert again.spec_hash == spec.spec_hash
+
+    def test_spec_rejects_unknown_backend(self):
+        with pytest.raises(ExperimentError, match="unknown estimator"):
+            SweepSpec(backend="no-such-backend")
+
+
+class TestBitsimBackend:
+    def test_identical_to_direct_estimator(self, adder_netlist):
+        """The default backend IS the historical estimator, bit for bit."""
+        config = ExperimentConfig(n_patterns=2048, state_patterns=2048)
+        via_backend = get_backend(BITSIM).estimate(
+            adder_netlist, config.power_parameters, config)
+        direct = estimate_circuit_power(
+            adder_netlist, config.power_parameters,
+            n_patterns=2048, seed=config.seed, state_patterns=2048)
+        assert via_backend == direct
+
+
+class TestSpiceTransientBackend:
+    def test_agrees_with_bitsim_loosely(self, adder_netlist):
+        """Transient-measured switching energy converges to Eq. 2's
+        alpha*C*f*VDD^2 when every output settles within the period."""
+        config = ExperimentConfig(n_patterns=2048, state_patterns=2048)
+        params = config.power_parameters
+        bitsim = get_backend(BITSIM).estimate(adder_netlist, params, config)
+        spice = get_backend(SPICE_TRANSIENT).estimate(
+            adder_netlist, params, config)
+        assert spice.p_dynamic == pytest.approx(bitsim.p_dynamic, rel=0.10)
+        assert spice.p_total == pytest.approx(bitsim.p_total, rel=0.10)
+        # Leakage reuses the same pattern-classified DC tables.
+        assert spice.p_static == bitsim.p_static
+        assert spice.p_gate_leak == bitsim.p_gate_leak
+        assert spice.delay == bitsim.delay
+        assert spice.gate_count == bitsim.gate_count
+
+    def test_small_benchmark_end_to_end(self):
+        """Acceptance: a CircuitPowerReport for a Table 1 benchmark."""
+        from repro.api import Session
+
+        config = ExperimentConfig(n_patterns=512, state_patterns=512,
+                                  backend=SPICE_TRANSIENT)
+        flow = Session(config).run("C1355", "generalized")
+        assert flow.circuit == "C1355"
+        assert flow.gate_count > 100
+        assert flow.pt_w > 0
+        assert flow.pd_w > flow.ps_w  # Section 4 ordering holds here too
+
+    def test_rejects_oversized_netlists(self, adder_netlist):
+        config = ExperimentConfig(n_patterns=256, state_patterns=256)
+        backend = SpiceTransientBackend(max_gates=5)
+        with pytest.raises(SimulationError, match="limited to 5 gates"):
+            backend.estimate(adder_netlist, config.power_parameters, config)
+
+    def test_energy_cache_reused(self, adder_netlist):
+        config = ExperimentConfig(n_patterns=256, state_patterns=256)
+        backend = SpiceTransientBackend()
+        backend.estimate(adder_netlist, config.power_parameters, config)
+        solves = len(backend._energy_cache)
+        assert solves > 0
+        backend.estimate(adder_netlist, config.power_parameters, config)
+        assert len(backend._energy_cache) == solves
+
+    def test_energy_cache_keyed_by_frequency(self, adder_netlist):
+        """The integration window is one period: a frequency change
+        must re-solve, not reuse the first-seen frequency's energies."""
+        backend = SpiceTransientBackend()
+        slow = ExperimentConfig(n_patterns=256, state_patterns=256)
+        fast = ExperimentConfig(n_patterns=256, state_patterns=256,
+                                frequency=1.0e12)
+        backend.estimate(adder_netlist, slow.power_parameters, slow)
+        solves = len(backend._energy_cache)
+        r_fast = backend.estimate(adder_netlist, fast.power_parameters,
+                                  fast)
+        assert len(backend._energy_cache) == 2 * solves
+        fresh = SpiceTransientBackend().estimate(
+            adder_netlist, fast.power_parameters, fast)
+        assert r_fast.p_dynamic == fresh.p_dynamic
+
+
+class TestFlowDispatch:
+    def test_flow_routes_through_selected_backend(self, adder_netlist):
+        calls = []
+
+        class SpyBackend:
+            name = "spy"
+
+            def estimate(self, netlist, params, config):
+                calls.append(netlist.name)
+                return get_backend(BITSIM).estimate(netlist, params, config)
+
+        register_backend("spy", SpyBackend())
+        try:
+            config = ExperimentConfig(n_patterns=256, state_patterns=256,
+                                      backend="spy")
+            report = estimate_with_backend(adder_netlist, None, config)
+            assert calls == [adder_netlist.name]
+            assert report.n_patterns == 256
+        finally:
+            unregister_backend("spy")

@@ -47,6 +47,44 @@ class TestReportPivots:
         assert lines[0].startswith("circuit,library,vdd,")
         assert len(lines) == 1 + SPEC.size()
 
+    def test_backends_never_merge(self, store):
+        """Records from different estimator backends stay in separate
+        blocks/series and are never averaged together."""
+        import copy
+
+        records = [record for record in store.records()
+                   if record["config"]["vdd"] == 0.9]
+        other = []
+        for record in records:
+            clone = copy.deepcopy(record)
+            clone["config"]["backend"] = "spice-transient"
+            clone["task_key"] = record["task_key"] + "-spice"
+            other.append(clone)
+        mixed = records + other
+        table = render_table1(mixed)
+        assert ", spice-transient" in table
+        # Two point blocks, each listing t481 exactly once per library.
+        for block in table.split("### ")[1:]:
+            assert block.count("| t481 |") == 2  # two libraries
+            assert "Average" not in block        # never across backends
+        series = render_vdd_series(mixed)
+        assert series.count("### t481 on cmos") == 2
+        csv_text = render_csv(mixed)
+        assert "backend" in csv_text.splitlines()[0]
+        assert csv_text.count("spice-transient") == len(other)
+
+    def test_legacy_records_without_backend_field(self, store):
+        """Pre-backend stores report as bitsim (no crash, no suffix)."""
+        import copy
+
+        legacy = []
+        for record in store.records():
+            clone = copy.deepcopy(record)
+            del clone["config"]["backend"]
+            legacy.append(clone)
+        assert "spice" not in render_table1(legacy)
+        assert render_csv(legacy).count(",bitsim,") == len(legacy)
+
     def test_empty_store_rejected(self, tmp_path):
         empty = JsonlResultStore(tmp_path / "empty.jsonl")
         with pytest.raises(ExperimentError, match="no points"):

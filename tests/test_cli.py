@@ -54,3 +54,36 @@ class TestCommands:
         assert main(["figures"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 2" in out and "Fig. 4" in out and "Fig. 5" in out
+
+
+class TestRegistryCommands:
+    def test_libraries_lists_registrations_and_backends(self, capsys):
+        assert main(["libraries"]) == 0
+        out = capsys.readouterr().out
+        assert "cntfet-generalized" in out
+        assert "cntfet-hybrid-pass" in out
+        assert "aliases: hybrid" in out
+        assert "bitsim" in out and "spice-transient" in out
+
+    def test_genlib_accepts_registered_alias(self, capsys):
+        """The hybrid library is addressable with no CLI edits."""
+        assert main(["genlib", "hybrid"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("GATE") == 25
+
+    def test_genlib_unknown_library_fails_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown library"):
+            main(["genlib", "nope"])
+
+    def test_table1_unknown_backend_fails_fast(self):
+        with pytest.raises(SystemExit, match="unknown estimator backend"):
+            main(["table1", "--fast", "--benchmarks", "t481",
+                  "--backend", "bogus"])
+
+    def test_sweep_spec_includes_hybrid_and_backend(self, capsys):
+        assert main(["sweep", "spec", "--libraries", "hybrid,cmos",
+                     "--circuits", "t481", "--backend",
+                     "spice-transient"]) == 0
+        out = capsys.readouterr().out
+        assert '"cntfet-hybrid-pass"' in out
+        assert '"spice-transient"' in out

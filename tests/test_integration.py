@@ -7,7 +7,8 @@ from repro import __version__
 from repro.circuits.adders import ripple_adder_circuit
 from repro.circuits.ecc import hamming_corrector
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.flow import run_circuit_flow, three_libraries
+from repro.experiments.flow import run_circuit_flow
+from repro.registry import paper_libraries
 from repro.gates.genlib import parse_genlib, write_genlib
 from repro.sim.bitsim import BitParallelSimulator
 from repro.synth.mapper import map_aig
@@ -21,7 +22,7 @@ class TestFullPipeline:
         function via bit-parallel simulation against the AIG."""
         aig = ripple_adder_circuit(4)
         optimized = resyn2rs(aig, verify=True)
-        for library in three_libraries().values():
+        for library in paper_libraries().values():
             netlist = map_aig(optimized, library)
             netlist.validate()
             words = BitParallelSimulator(netlist).output_words(512, seed=99)
@@ -32,7 +33,7 @@ class TestFullPipeline:
 
     def test_power_flow_on_real_circuit(self):
         config = ExperimentConfig(n_patterns=4096, state_patterns=4096)
-        libraries = three_libraries()
+        libraries = paper_libraries()
         aig = hamming_corrector(4)
         results = {key: run_circuit_flow(aig, lib, config)
                    for key, lib in libraries.items()}
@@ -43,7 +44,7 @@ class TestFullPipeline:
         assert generalized.edp_js < cmos.edp_js / 5
 
     def test_genlib_files_written_for_all_libraries(self, tmp_path):
-        for key, library in three_libraries().items():
+        for key, library in paper_libraries().items():
             path = tmp_path / f"{key}.genlib"
             path.write_text(write_genlib(library))
             parsed = parse_genlib(path.read_text())

@@ -1,0 +1,193 @@
+"""The library registry: registration, aliases, discovery, vdd-aware
+construction, the hybrid pass-transistor demo library, and the
+deprecated flow shims."""
+
+import itertools
+
+import pytest
+
+from repro import registry
+from repro.circuits.suite import CMOS, CONVENTIONAL, GENERALIZED
+from repro.errors import ExperimentError, LibraryError
+from repro.gates.conventional import conventional_cells
+from repro.gates.hybrid_pass import (
+    HYBRID_FUNCTIONS,
+    HYBRID_PASS,
+    hybrid_pass_library,
+)
+from repro.gates.library import Library
+
+
+@pytest.fixture
+def toy_registration():
+    """Register a toy library for one test and clean it up after."""
+    def factory(vdd=None):
+        from repro.devices.parameters import CMOS_32NM
+        return Library("toy", registry.tech_at(CMOS_32NM, vdd),
+                       conventional_cells())
+
+    entry = registry.register_library(
+        "toy", factory, aliases=("t",), description="test library")
+    yield entry
+    registry.unregister_library("toy")
+
+
+class TestRegistryBasics:
+    def test_builtins_registered(self):
+        keys = registry.available_libraries()
+        assert keys[:3] == [GENERALIZED, CONVENTIONAL, CMOS]
+        assert HYBRID_PASS in keys
+
+    def test_alias_resolution(self):
+        assert registry.canonical_library("generalized") == GENERALIZED
+        assert registry.canonical_library("conventional") == CONVENTIONAL
+        assert registry.canonical_library("cmos") == CMOS
+        assert registry.canonical_library("hybrid") == HYBRID_PASS
+        # Canonical keys resolve to themselves.
+        assert registry.canonical_library(GENERALIZED) == GENERALIZED
+
+    def test_unknown_key_raises_with_choices(self):
+        with pytest.raises(ExperimentError, match="unknown library"):
+            registry.canonical_library("no-such-library")
+        with pytest.raises(ExperimentError, match="choose from"):
+            registry.build_library("no-such-library")
+
+    def test_entry_metadata(self):
+        entry = registry.library_entry("hybrid")
+        assert entry.key == HYBRID_PASS
+        assert "hybrid" in entry.aliases
+        assert entry.description
+
+    def test_cached_library_identity(self):
+        a = registry.cached_library("generalized")
+        b = registry.cached_library(GENERALIZED)
+        assert a is b
+        assert registry.build_library("generalized") is not a
+
+    def test_vdd_aware_construction(self):
+        native = registry.cached_library("cmos")
+        scaled = registry.cached_library("cmos", 0.7)
+        assert native.tech.vdd == pytest.approx(0.9)
+        assert scaled.tech.vdd == pytest.approx(0.7)
+        assert scaled is not native
+        assert scaled is registry.cached_library("cmos", 0.7)
+
+
+class TestRegistration:
+    def test_register_and_resolve(self, toy_registration):
+        assert "toy" in registry.available_libraries()
+        assert registry.canonical_library("t") == "toy"
+        library = registry.cached_library("t")
+        assert library.name == "toy"
+        assert library is registry.cached_library("toy")
+
+    def test_duplicate_key_rejected(self, toy_registration):
+        with pytest.raises(ExperimentError, match="already registered"):
+            registry.register_library("toy", toy_registration.factory)
+
+    def test_alias_collision_rejected(self, toy_registration):
+        with pytest.raises(ExperimentError, match="already registered"):
+            registry.register_library("other", toy_registration.factory,
+                                      aliases=("t",))
+
+    def test_replace_evicts_cache(self, toy_registration):
+        before = registry.cached_library("toy")
+        registry.register_library("toy", toy_registration.factory,
+                                  aliases=("t",), replace=True)
+        after = registry.cached_library("toy")
+        assert after is not before
+
+    def test_unregister(self):
+        registry.register_library(
+            "ephemeral", lambda vdd=None: None)  # factory never called
+        registry.unregister_library("ephemeral")
+        assert "ephemeral" not in registry.available_libraries()
+        with pytest.raises(ExperimentError):
+            registry.unregister_library("ephemeral")
+        registry.unregister_library("ephemeral", missing_ok=True)
+
+    def test_paper_libraries_cached_trio(self):
+        trio = registry.paper_libraries()
+        assert list(trio) == [GENERALIZED, CONVENTIONAL, CMOS]
+        for key, library in trio.items():
+            assert library is registry.cached_library(key)
+
+
+class TestHybridPassLibrary:
+    def test_cell_functions(self):
+        library = hybrid_pass_library()
+        for name, expected in HYBRID_FUNCTIONS.items():
+            cell = library.cell(name)
+            for bits in itertools.product([False, True],
+                                          repeat=cell.n_inputs):
+                assert cell.evaluate(bits) == expected(*bits), (name, bits)
+
+    def test_pass_transistor_xors(self):
+        library = hybrid_pass_library()
+        assert library.cell("XOR2").uses_transmission_gates()
+        assert library.cell("XNOR2").uses_transmission_gates()
+        # The static base keeps its CMOS-style topologies.
+        assert not library.cell("NAND2").uses_transmission_gates()
+
+    def test_requires_ambipolar_technology(self):
+        from repro.devices.parameters import CMOS_32NM
+        with pytest.raises(LibraryError, match="ambipolar"):
+            hybrid_pass_library(CMOS_32NM)
+
+    def test_maps_and_estimates_end_to_end(self, tiny_config):
+        """The registry-only fourth library runs the full pipeline."""
+        from repro.circuits.adders import ripple_adder_circuit
+        from repro.experiments.flow import run_circuit_flow
+
+        library = registry.cached_library("hybrid")
+        flow = run_circuit_flow(ripple_adder_circuit(4), library,
+                                tiny_config)
+        assert flow.library == HYBRID_PASS
+        assert flow.gate_count > 0
+        assert flow.pt_w > 0
+
+    def test_sweepable_without_experiment_edits(self, tmp_path):
+        """The hybrid library joins sweep grids purely via the registry."""
+        from repro.sweep.runner import run_sweep
+        from repro.sweep.spec import SweepSpec
+        from repro.sweep.store import open_store
+
+        spec = SweepSpec(circuits=("t481",), libraries=("hybrid",),
+                         n_patterns=(512,), state_patterns=512)
+        assert spec.libraries == (HYBRID_PASS,)
+        store = open_store(tmp_path / "hybrid.jsonl")
+        report = run_sweep(spec, store)
+        assert report.executed == 1
+        record = store.records()[0]
+        assert record["library"] == HYBRID_PASS
+        assert record["result"]["pt_w"] > 0
+
+
+class TestDeprecatedShims:
+    def test_three_libraries_warns_and_matches_registry(self):
+        from repro.experiments.flow import three_libraries
+
+        with pytest.warns(DeprecationWarning, match="three_libraries"):
+            shimmed = three_libraries()
+        assert list(shimmed) == [GENERALIZED, CONVENTIONAL, CMOS]
+        for key, library in shimmed.items():
+            reference = registry.cached_library(key)
+            assert library.name == reference.name
+            assert library.tech == reference.tech
+            assert library.names == reference.names
+
+    def test_cached_libraries_warns_and_returns_identical_objects(self):
+        from repro.experiments.flow import cached_libraries
+
+        with pytest.warns(DeprecationWarning, match="cached_libraries"):
+            shimmed = cached_libraries()
+        for key, library in shimmed.items():
+            assert library is registry.cached_library(key)
+
+    def test_shims_respect_vdd(self):
+        from repro.experiments.flow import cached_libraries
+
+        with pytest.warns(DeprecationWarning):
+            shimmed = cached_libraries(0.8)
+        assert shimmed[CMOS].tech.vdd == pytest.approx(0.8)
+        assert shimmed[CMOS] is registry.cached_library(CMOS, 0.8)
