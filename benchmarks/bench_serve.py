@@ -1,0 +1,177 @@
+"""Serving-path benchmark: cold vs warm query latency and throughput.
+
+Measures what the long-lived engine (:mod:`repro.serve`) buys over the
+batch path:
+
+* **cold** — first query on a fresh engine (pays characterization,
+  synthesis, mapping and estimation);
+* **remap-free** — same circuit/library at a different frequency (the
+  netlist/library caches hold, only estimation reruns);
+* **warm** — the identical query again (result-cache hit);
+* **throughput** — sequential warm queries/s, in process and over HTTP
+  (loopback).
+
+Results merge into ``BENCH_perf.json`` under the ``"serve"`` key (the
+rest of the file is whatever ``bench_runtime.py`` last wrote), so the
+performance trajectory of the serving path is tracked from PR to PR.
+The warm/cold ratio is asserted ``>= 10`` — a warm engine that ever
+re-pays synthesis is a regression, not noise.
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from dataclasses import replace
+from pathlib import Path
+
+# Cold-path honesty: the persistent characterization cache must not
+# leak warm timings into the tracked report.
+os.environ["REPRO_CACHE_DISABLE"] = "1"
+
+#: Minimum cold/warm latency ratio the acceptance criteria require.
+MIN_WARM_SPEEDUP = 10.0
+
+
+def _best_of(func, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_engine(config, circuit: str, library: str) -> dict:
+    from repro.api import Session
+    from repro.serve import Engine
+
+    engine = Engine(Session(config))
+
+    start = time.perf_counter()
+    cold = engine.estimate_request(circuit, library)
+    cold_s = time.perf_counter() - start
+    assert cold.cache_status == "cold"
+
+    remap_free_s = _best_of(
+        lambda: engine.estimate_request(
+            circuit, library, replace(config, frequency=2.0e9)),
+        repeats=1)
+
+    warm_s = _best_of(
+        lambda: engine.estimate_request(circuit, library), repeats=5)
+    assert engine.estimate_request(circuit, library).cache_status == "hot"
+
+    n = 2000
+    start = time.perf_counter()
+    for _ in range(n):
+        engine.estimate_request(circuit, library)
+    elapsed = time.perf_counter() - start
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm query only {speedup:.1f}x faster than cold "
+        f"({warm_s:.6f}s vs {cold_s:.3f}s); the engine is re-paying "
+        f"work it should have cached")
+    return {
+        "circuit": circuit,
+        "library": library,
+        "cold_first_query_s": cold_s,
+        "remap_free_requery_s": remap_free_s,
+        "warm_query_s": warm_s,
+        "warm_speedup_vs_cold": speedup,
+        "warm_queries_per_s": n / elapsed,
+        "counters": dict(engine.counters),
+    }
+
+
+def bench_http(config, circuit: str, library: str) -> dict:
+    """Serving overhead over loopback HTTP.
+
+    Runs after :func:`bench_engine` in the same process, so the
+    process-global caches (synthesized subjects, characterized
+    libraries, mapper match tables) are already warm; only the fresh
+    engine's own LRUs are cold.  The first-query number is therefore
+    labeled ``result_cold`` — it measures mapping + estimation + HTTP,
+    *not* a true cold start (that is ``engine.cold_first_query_s``).
+    """
+    from repro.api import Session
+    from repro.serve import Client, Engine, serve
+
+    server = serve(Engine(Session(config)))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = Client(server.url)
+        start = time.perf_counter()
+        first = client.estimate(circuit, library)
+        result_cold_s = time.perf_counter() - start
+        assert first.cache_status == "cold"
+
+        warm_s = _best_of(
+            lambda: client.estimate(circuit, library), repeats=5)
+
+        n = 500
+        start = time.perf_counter()
+        for _ in range(n):
+            client.estimate(circuit, library)
+        elapsed = time.perf_counter() - start
+        return {
+            "result_cold_first_query_s": result_cold_s,
+            "warm_roundtrip_s": warm_s,
+            "warm_queries_per_s": n / elapsed,
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny budget for CI smoke runs")
+    parser.add_argument("-o", "--output", default="BENCH_perf.json",
+                        help="JSON report to merge the 'serve' key into")
+    args = parser.parse_args(argv)
+
+    from repro import __version__
+    from repro.experiments.config import ExperimentConfig
+
+    if args.quick:
+        config = ExperimentConfig(n_patterns=2_048, state_patterns=2_048)
+        circuit = "t481"
+    else:
+        config = ExperimentConfig(n_patterns=16_384,
+                                  state_patterns=16_384)
+        circuit = "C1908"
+
+    section = {
+        "version": __version__,
+        "quick": args.quick,
+        "n_patterns": config.n_patterns,
+        "engine": bench_engine(config, circuit, "cntfet-generalized"),
+        "http": bench_http(config, circuit, "cntfet-generalized"),
+    }
+
+    output = Path(args.output)
+    try:
+        report = json.loads(output.read_text())
+    except (OSError, ValueError):
+        report = {}
+    report["serve"] = section
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps({"serve": section}, indent=2))
+    print(f"\nmerged 'serve' into {output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,7 +32,38 @@ door; they are imported lazily here so ``import repro`` stays light.
 
 from repro import devices, errors, units
 
-__version__ = "1.0.0"
+#: Distribution name in package metadata (pyproject.toml).
+_DIST_NAME = "repro-ambipolar-cntfet-power"
+
+
+def _detect_version() -> str:
+    """Single-source the version from package metadata.
+
+    Installed (``pip install -e .`` included) the metadata is
+    authoritative; on a bare ``PYTHONPATH=src`` checkout it falls back
+    to reading pyproject.toml next to the package, so there is exactly
+    one place the number is written.
+    """
+    from importlib import metadata
+
+    try:
+        return metadata.version(_DIST_NAME)
+    except metadata.PackageNotFoundError:
+        pass
+    import re
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        match = re.search(r'^version\s*=\s*"([^"]+)"',
+                          pyproject.read_text(encoding="utf-8"),
+                          re.MULTILINE)
+    except OSError:
+        match = None
+    return f"{match.group(1)}+src" if match else "0+unknown"
+
+
+__version__ = _detect_version()
 
 __all__ = ["devices", "errors", "units", "api", "registry", "Session",
            "__version__"]

@@ -40,8 +40,8 @@ from repro.experiments.flow import (
 from repro.experiments.parallel import parallel_map, parallel_map_stream, resolve_jobs
 from repro.experiments.table1 import (
     Table1Result,
-    _run_table1_cell,
-    _verbose_line,
+    run_table1_cell,
+    verbose_cell_line,
 )
 from repro.gates.library import Library
 from repro.sim.backends import available_backends
@@ -78,11 +78,15 @@ class Session:
             Process-wide like ``cache_dir``; ``None`` leaves the
             environment untouched.
 
-    Registrations (libraries, backends) are per-process: with
-    ``jobs != 1`` worker processes re-import the registries, so a
-    library registered at runtime (not from an imported module) is
+    Registrations (libraries, circuits, backends) are per-process:
+    with ``jobs != 1`` worker processes re-import the registries, so a
+    factory registered at runtime (not from an imported module) is
     only visible to workers under the ``fork`` start method — put
     custom registrations in a module workers import, or run serially.
+    The exception is BLIF circuits: :func:`repro.registry.
+    register_blif_circuit` captures the netlist source, and the
+    parallel runner replays it in every worker, so ``--blif`` netlists
+    work for any ``jobs`` value under any start method.
     """
 
     def __init__(self, config: ExperimentConfig = PAPER_CONFIG, *,
@@ -116,6 +120,12 @@ class Session:
         """Registered estimator backends (see :mod:`repro.sim.backends`)."""
         return available_backends()
 
+    @staticmethod
+    def available_circuits() -> List[str]:
+        """Registered circuit keys (the 12 benchmarks plus any user
+        registrations — see :mod:`repro.registry`)."""
+        return registry.available_circuits()
+
     @property
     def effective_jobs(self) -> int:
         """The worker count grids actually run with."""
@@ -140,15 +150,18 @@ class Session:
                                        else vdd)
 
     def _subject(self, circuit: CircuitLike) -> Aig:
-        """A synthesized subject graph for a benchmark name or raw AIG."""
+        """A synthesized subject graph for a registered circuit name or
+        raw AIG."""
         if isinstance(circuit, Aig):
             return synthesize_subject(circuit, self.config)
-        known = [spec.name for spec in benchmark_suite()]
-        if circuit not in known:
+        try:
+            key = registry.canonical_circuit(circuit)
+        except ExperimentError:
             raise ExperimentError(
-                f"unknown benchmark {circuit!r}; choose from "
-                f"{', '.join(known)} (or pass an Aig)")
-        return synthesized_benchmark(circuit, self.config.synthesize)
+                f"unknown benchmark or registered circuit {circuit!r}; "
+                f"choose from {', '.join(registry.available_circuits())} "
+                f"(or pass an Aig)") from None
+        return synthesized_benchmark(key, self.config.synthesize)
 
     # -- workloads ---------------------------------------------------------
 
@@ -169,50 +182,60 @@ class Session:
         resolved = self.library(library)
         flow = run_circuit_flow(subject, resolved, self.config,
                                 presynthesized=True)
-        if isinstance(circuit, str) and flow.circuit != circuit:
-            # Benchmark generators name their AIGs with a suffix; report
-            # the Table 1 name the caller asked for.
-            from dataclasses import replace
-            flow = replace(flow, circuit=circuit)
+        if isinstance(circuit, str):
+            # Generators name their AIGs with a suffix, and the caller
+            # may have used an alias; report the canonical registry key.
+            key = registry.canonical_circuit(circuit)
+            if flow.circuit != key:
+                from dataclasses import replace
+                flow = replace(flow, circuit=key)
         return flow
 
     def table1(self, benchmarks: Optional[List[str]] = None,
                verbose: bool = False) -> Table1Result:
         """The Table 1 grid: every benchmark on every session library.
 
-        At the paper config with the paper's three libraries this is
+        ``benchmarks=None`` runs the paper's 12-row suite; an explicit
+        list accepts *any* registered circuit (keys or aliases, user
+        BLIF netlists included) and keeps the given order.  At the
+        paper config with the paper's three libraries this is
         bit-identical to the historical ``reproduce_table1``.
         """
-        selected = [spec for spec in benchmark_suite()
-                    if benchmarks is None or spec.name in benchmarks]
+        if benchmarks is None:
+            names = [spec.name for spec in benchmark_suite()]
+        else:
+            # Canonicalize, then dedupe: a key and its alias naming the
+            # same circuit must not double-weight the Average row.
+            names = list(dict.fromkeys(
+                registry.canonical_circuit(name) for name in benchmarks))
         order = list(self.libraries)
-        tasks = [(spec.name, key, self.config)
-                 for spec in selected for key in order]
+        tasks = [(name, key, self.config)
+                 for name in names for key in order]
         if self.jobs == 1:
             # Serial: stream progress while computing.
             flows = []
             for task in tasks:
-                flow = _run_table1_cell(task)
+                flow = run_table1_cell(task)
                 flows.append(flow)
                 if verbose:
-                    print(_verbose_line(flow))
+                    print(verbose_cell_line(flow))
         else:
             # chunksize=len(order) keeps one circuit's libraries on one
             # worker, so each circuit is synthesized once per process
             # that touches it.
-            flows = parallel_map(_run_table1_cell, tasks, jobs=self.jobs,
+            flows = parallel_map(run_table1_cell, tasks, jobs=self.jobs,
                                  chunksize=len(order))
             if verbose:
                 for flow in flows:
-                    print(_verbose_line(flow))
+                    print(verbose_cell_line(flow))
 
         result = Table1Result(config=self.config, library_order=order)
-        for spec, start in zip(selected, range(0, len(flows), len(order))):
+        for name, start in zip(names, range(0, len(flows), len(order))):
             row: Dict[str, CircuitFlowResult] = {}
             for offset, key in enumerate(order):
                 row[key] = flows[start + offset]
-            result.results[spec.name] = row
-            result.benchmark_order.append(spec.name)
+            result.results[name] = row
+            result.benchmark_order.append(name)
         return result
 
     def sweep(self, spec, store=None, verbose: bool = False,

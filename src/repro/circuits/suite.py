@@ -1,9 +1,19 @@
 """The 12-benchmark suite of Table 1, with the paper's reference data.
 
-Each entry pairs a functional generator (our substitute for the
+Each benchmark pairs a functional generator (our substitute for the
 original ISCAS-85/MCNC netlist, see the package docstring) with the
 numbers the paper reports for the three libraries, so the experiment
 harness can print paper-vs-measured side by side.
+
+Since the circuit-registry redesign this module is a thin view over
+:mod:`repro.registry`: importing it registers the 12 benchmarks via
+:func:`repro.registry.register_circuit`, and :func:`benchmark_suite`
+reads them back out of the registry (so ``replace``-ing a registration
+really changes what the Table 1 harness runs).  User circuits —
+e.g. BLIF netlists brought in with
+:func:`repro.registry.register_blif_circuit` — live in the same
+registry but carry no paper rows, so they are addressable from every
+entry point without silently joining the paper's 12-row table.
 """
 
 from __future__ import annotations
@@ -16,13 +26,21 @@ from repro.circuits.des import des_rounds
 from repro.circuits.ecc import hamming_corrector, secded_decoder
 from repro.circuits.multiplier import array_multiplier
 from repro.circuits.random_logic import random_control_logic, t481_style
-from repro.errors import ExperimentError
+from repro.registry import (
+    CMOS,
+    CONVENTIONAL,
+    GENERALIZED,
+    circuit_entry,
+    paper_benchmarks,
+    register_circuit,
+)
 from repro.synth.aig import Aig
 
-#: Library keys used throughout the experiments.
-GENERALIZED = "cntfet-generalized"
-CONVENTIONAL = "cntfet-conventional"
-CMOS = "cmos"
+__all__ = [
+    "CMOS", "CONVENTIONAL", "GENERALIZED",
+    "PaperRow", "BenchmarkSpec", "PAPER_AVERAGES",
+    "benchmark_suite", "build_benchmark",
+]
 
 
 @dataclass(frozen=True)
@@ -47,83 +65,29 @@ class BenchmarkSpec:
     paper: Dict[str, PaperRow]
 
 
-def _spec(name: str, function: str, build: Callable[[], Aig],
-          generalized: PaperRow, conventional: PaperRow,
-          cmos: PaperRow) -> BenchmarkSpec:
-    return BenchmarkSpec(name, function, build, {
-        GENERALIZED: generalized,
-        CONVENTIONAL: conventional,
-        CMOS: cmos,
-    })
+def _register(name: str, function: str, build: Callable[[], Aig],
+              generalized: PaperRow, conventional: PaperRow,
+              cmos: PaperRow) -> None:
+    register_circuit(
+        name, build, function=function,
+        description=f"Table 1 benchmark ({function})",
+        paper={GENERALIZED: generalized, CONVENTIONAL: conventional,
+               CMOS: cmos},
+        replace=True)
 
 
 def benchmark_suite() -> List[BenchmarkSpec]:
-    """The 12 benchmarks of Table 1, in the paper's row order."""
-    return [
-        _spec("C2670", "ALU and control",
-              lambda: alu_circuit(12, with_priority=True, name="C2670c"),
-              PaperRow(541, 52, 10.95, 0.10, 12.70, 0.66),
-              PaperRow(631, 62, 14.52, 0.14, 16.83, 1.04),
-              PaperRow(632, 320, 20.34, 1.84, 25.42, 8.13)),
-        _spec("C1908", "Error correcting",
-              lambda: secded_decoder(5, name="C1908c"),
-              PaperRow(261, 50, 4.23, 0.05, 4.91, 0.25),
-              PaperRow(569, 90, 11.34, 0.13, 13.17, 1.19),
-              PaperRow(544, 452, 15.81, 1.63, 19.98, 9.04)),
-        _spec("C3540", "ALU and control",
-              lambda: alu_circuit(20, n_select_words=2, with_priority=True,
-                                  name="C3540c"),
-              PaperRow(871, 80, 17.35, 0.18, 20.13, 1.61),
-              PaperRow(1126, 109, 24.06, 0.26, 27.93, 3.04),
-              PaperRow(1084, 551, 32.24, 3.29, 40.70, 22.41)),
-        _spec("dalu", "Dedicated ALU",
-              lambda: alu_circuit(16, name="daluc"),
-              PaperRow(892, 68, 13.29, 0.19, 15.48, 1.06),
-              PaperRow(1142, 79, 17.24, 0.26, 20.08, 1.59),
-              PaperRow(1046, 401, 22.38, 3.20, 29.26, 11.73)),
-        _spec("C7552", "ALU and control",
-              lambda: alu_circuit(32, with_priority=True, name="C7552c"),
-              PaperRow(1229, 59, 24.68, 0.24, 28.62, 1.69),
-              PaperRow(1722, 77, 40.74, 0.38, 47.23, 3.65),
-              PaperRow(1615, 401, 55.45, 4.85, 69.10, 27.71)),
-        _spec("C6288", "Multiplier",
-              lambda: array_multiplier(16, name="C6288c"),
-              PaperRow(1645, 161, 31.53, 0.31, 36.57, 5.88),
-              PaperRow(3405, 245, 79.40, 0.78, 92.09, 22.57),
-              PaperRow(3653, 1268, 114.20, 11.09, 143.53, 181.96)),
-        _spec("C5315", "ALU and selector",
-              lambda: alu_circuit(16, n_select_words=3, name="C5315c"),
-              PaperRow(1163, 58, 23.69, 0.24, 27.47, 1.59),
-              PaperRow(1368, 88, 31.96, 0.31, 37.06, 3.28),
-              PaperRow(1496, 448, 48.53, 4.41, 60.66, 27.20)),
-        _spec("des", "Data encryption",
-              lambda: des_rounds(2, name="desc"),
-              PaperRow(3429, 40, 59.02, 0.72, 68.59, 2.75),
-              PaperRow(3483, 59, 64.71, 0.78, 75.19, 4.41),
-              PaperRow(3668, 301, 98.34, 11.26, 125.48, 37.82)),
-        _spec("i10", "Logic",
-              lambda: random_control_logic(64, 2200, 180, seed=10,
-                                           name="i10c"),
-              PaperRow(1680, 82, 23.37, 0.34, 27.21, 2.24),
-              PaperRow(1979, 95, 31.29, 0.43, 36.41, 3.47),
-              PaperRow(2073, 486, 45.90, 6.00, 59.39, 28.88)),
-        _spec("t481", "Logic",
-              lambda: t481_style(),
-              PaperRow(860, 54, 6.92, 0.19, 8.15, 0.44),
-              PaperRow(709, 58, 5.08, 0.15, 6.00, 0.35),
-              PaperRow(743, 290, 7.73, 2.24, 11.36, 3.30)),
-        _spec("i8", "Logic",
-              lambda: random_control_logic(133, 1200, 81, seed=8,
-                                           name="i8c"),
-              PaperRow(961, 37, 19.72, 0.21, 22.89, 0.86),
-              PaperRow(987, 37, 19.98, 0.22, 23.19, 0.87),
-              PaperRow(974, 191, 29.06, 2.93, 36.65, 7.00)),
-        _spec("C1355", "Error correcting",
-              lambda: hamming_corrector(5, name="C1355c"),
-              PaperRow(212, 27, 3.34, 0.04, 3.88, 0.10),
-              PaperRow(428, 62, 10.73, 0.10, 12.43, 0.78),
-              PaperRow(607, 320, 18.16, 1.83, 22.89, 7.33)),
-    ]
+    """The paper-benchmark circuits of the registry, as Table 1 specs.
+
+    In registration order — the paper's row order for the built-in 12.
+    """
+    specs: List[BenchmarkSpec] = []
+    for key in paper_benchmarks():
+        entry = circuit_entry(key)
+        specs.append(BenchmarkSpec(name=entry.key, function=entry.function,
+                                   build=entry.build,
+                                   paper=dict(entry.paper)))
+    return specs
 
 
 #: Paper Table 1 averages, for the summary row of the reproduction.
@@ -135,8 +99,88 @@ PAPER_AVERAGES: Dict[str, PaperRow] = {
 
 
 def build_benchmark(name: str) -> Aig:
-    """Build one benchmark by its Table 1 name."""
-    for spec in benchmark_suite():
-        if spec.name == name:
-            return spec.build()
-    raise ExperimentError(f"unknown benchmark {name!r}")
+    """Build one registered circuit by name (any key or alias).
+
+    Historically restricted to the 12 Table 1 names; now a thin wrapper
+    over :func:`repro.registry.build_circuit`, so registered user
+    circuits build here too.
+    """
+    from repro.errors import ExperimentError
+    from repro.registry import canonical_circuit, circuit_entry
+
+    # Resolve the name inside the guard, build outside: a factory's own
+    # ExperimentError is a real failure and must not be rewritten as an
+    # unknown-name error.
+    try:
+        key = canonical_circuit(name)
+    except ExperimentError:
+        known = ", ".join(paper_benchmarks())
+        raise ExperimentError(
+            f"unknown benchmark or registered circuit {name!r}; the "
+            f"Table 1 suite is {known}") from None
+    return circuit_entry(key).build()
+
+
+# -- the 12 paper benchmarks, in the paper's row order ------------------------
+
+_register("C2670", "ALU and control",
+          lambda: alu_circuit(12, with_priority=True, name="C2670c"),
+          PaperRow(541, 52, 10.95, 0.10, 12.70, 0.66),
+          PaperRow(631, 62, 14.52, 0.14, 16.83, 1.04),
+          PaperRow(632, 320, 20.34, 1.84, 25.42, 8.13))
+_register("C1908", "Error correcting",
+          lambda: secded_decoder(5, name="C1908c"),
+          PaperRow(261, 50, 4.23, 0.05, 4.91, 0.25),
+          PaperRow(569, 90, 11.34, 0.13, 13.17, 1.19),
+          PaperRow(544, 452, 15.81, 1.63, 19.98, 9.04))
+_register("C3540", "ALU and control",
+          lambda: alu_circuit(20, n_select_words=2, with_priority=True,
+                              name="C3540c"),
+          PaperRow(871, 80, 17.35, 0.18, 20.13, 1.61),
+          PaperRow(1126, 109, 24.06, 0.26, 27.93, 3.04),
+          PaperRow(1084, 551, 32.24, 3.29, 40.70, 22.41))
+_register("dalu", "Dedicated ALU",
+          lambda: alu_circuit(16, name="daluc"),
+          PaperRow(892, 68, 13.29, 0.19, 15.48, 1.06),
+          PaperRow(1142, 79, 17.24, 0.26, 20.08, 1.59),
+          PaperRow(1046, 401, 22.38, 3.20, 29.26, 11.73))
+_register("C7552", "ALU and control",
+          lambda: alu_circuit(32, with_priority=True, name="C7552c"),
+          PaperRow(1229, 59, 24.68, 0.24, 28.62, 1.69),
+          PaperRow(1722, 77, 40.74, 0.38, 47.23, 3.65),
+          PaperRow(1615, 401, 55.45, 4.85, 69.10, 27.71))
+_register("C6288", "Multiplier",
+          lambda: array_multiplier(16, name="C6288c"),
+          PaperRow(1645, 161, 31.53, 0.31, 36.57, 5.88),
+          PaperRow(3405, 245, 79.40, 0.78, 92.09, 22.57),
+          PaperRow(3653, 1268, 114.20, 11.09, 143.53, 181.96))
+_register("C5315", "ALU and selector",
+          lambda: alu_circuit(16, n_select_words=3, name="C5315c"),
+          PaperRow(1163, 58, 23.69, 0.24, 27.47, 1.59),
+          PaperRow(1368, 88, 31.96, 0.31, 37.06, 3.28),
+          PaperRow(1496, 448, 48.53, 4.41, 60.66, 27.20))
+_register("des", "Data encryption",
+          lambda: des_rounds(2, name="desc"),
+          PaperRow(3429, 40, 59.02, 0.72, 68.59, 2.75),
+          PaperRow(3483, 59, 64.71, 0.78, 75.19, 4.41),
+          PaperRow(3668, 301, 98.34, 11.26, 125.48, 37.82))
+_register("i10", "Logic",
+          lambda: random_control_logic(64, 2200, 180, seed=10, name="i10c"),
+          PaperRow(1680, 82, 23.37, 0.34, 27.21, 2.24),
+          PaperRow(1979, 95, 31.29, 0.43, 36.41, 3.47),
+          PaperRow(2073, 486, 45.90, 6.00, 59.39, 28.88))
+_register("t481", "Logic",
+          lambda: t481_style(),
+          PaperRow(860, 54, 6.92, 0.19, 8.15, 0.44),
+          PaperRow(709, 58, 5.08, 0.15, 6.00, 0.35),
+          PaperRow(743, 290, 7.73, 2.24, 11.36, 3.30))
+_register("i8", "Logic",
+          lambda: random_control_logic(133, 1200, 81, seed=8, name="i8c"),
+          PaperRow(961, 37, 19.72, 0.21, 22.89, 0.86),
+          PaperRow(987, 37, 19.98, 0.22, 23.19, 0.87),
+          PaperRow(974, 191, 29.06, 2.93, 36.65, 7.00))
+_register("C1355", "Error correcting",
+          lambda: hamming_corrector(5, name="C1355c"),
+          PaperRow(212, 27, 3.34, 0.04, 3.88, 0.10),
+          PaperRow(428, 62, 10.73, 0.10, 12.43, 0.78),
+          PaperRow(607, 320, 18.16, 1.83, 22.89, 7.33))

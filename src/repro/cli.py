@@ -10,14 +10,19 @@ driven without writing Python:
   genlib format (any key or alias from ``repro libraries``);
 * ``cell <NAME>`` — per-vector leakage report of one library cell;
 * ``libraries`` — every registered library and estimator backend;
+* ``circuits`` — every registered circuit (the 12 benchmarks plus any
+  ``--blif`` registrations);
 * ``techs`` — the calibrated technology summaries;
 * ``sweep run/report/status/spec`` — declarative scenario grids over
   vdd x frequency x fanout x patterns x library x circuit with a
-  resumable result store (see :mod:`repro.sweep`).
+  resumable result store (see :mod:`repro.sweep`);
+* ``serve`` — the long-lived estimation server (:mod:`repro.serve`);
+* ``query`` — one power query against a running server.
 
-Libraries are resolved through :mod:`repro.registry`, so anything
-registered there — including third-party libraries — is addressable
-from every ``--library``/``--libraries`` flag.
+Libraries and circuits are resolved through :mod:`repro.registry`, so
+anything registered there — including third-party libraries and
+``--blif FILE`` netlists — is addressable from every
+``--library``/``--libraries``/``--circuits`` flag.
 """
 
 from __future__ import annotations
@@ -29,12 +34,30 @@ from typing import List, Optional
 from repro.devices import CMOS_32NM, CNTFET_32NM, technology_report
 
 
+def _register_blifs(paths: Optional[List[str]]) -> None:
+    """Register ``--blif`` netlists before a command runs."""
+    if not paths:
+        return
+    from repro.registry import register_blif_circuit
+
+    for path in paths:
+        try:
+            entry = register_blif_circuit(path)
+        except Exception as exc:
+            raise SystemExit(str(exc))
+        # stderr: several commands (sweep spec, query --json) emit
+        # machine-readable stdout that this note must not corrupt.
+        print(f"registered circuit {entry.key!r} from {path}",
+              file=sys.stderr)
+
+
 def _cmd_table1(args) -> int:
     from dataclasses import replace
 
     from repro.experiments.config import FAST_CONFIG, PAPER_CONFIG
     from repro.experiments.table1 import reproduce_table1
 
+    _register_blifs(args.blif)
     config = FAST_CONFIG if args.fast else PAPER_CONFIG
     if args.backend:
         from repro.sim.backends import available_backends
@@ -100,6 +123,26 @@ def _cmd_libraries(args) -> int:
             print(f"    {len(library)} cells, technology "
                   f"{library.tech.name}, vdd={library.tech.vdd:g}V")
     print(f"estimator backends: {', '.join(available_backends())}")
+    return 0
+
+
+def _cmd_circuits(args) -> int:
+    from repro import registry
+
+    _register_blifs(args.blif)
+    for key in registry.available_circuits():
+        entry = registry.circuit_entry(key)
+        aliases = f" (aliases: {', '.join(entry.aliases)})" \
+            if entry.aliases else ""
+        paper = "" if entry.paper is not None else "  [user circuit]"
+        print(f"{key}{aliases}{paper}")
+        detail = entry.description or entry.function
+        if detail:
+            print(f"    {detail}")
+        if args.verbose:
+            aig = registry.cached_circuit(key)
+            print(f"    {aig.n_pis} inputs, {aig.n_pos} outputs, "
+                  f"{aig.n_nodes} AND nodes")
     return 0
 
 
@@ -174,6 +217,7 @@ def _cmd_sweep_run(args) -> int:
     from repro.sweep.runner import run_sweep
     from repro.sweep.store import open_store
 
+    _register_blifs(args.blif)
     spec = _spec_from_args(args)
     store = open_store(args.store)
     report = run_sweep(spec, store, jobs=args.jobs,
@@ -205,6 +249,7 @@ def _cmd_sweep_report(args) -> int:
 def _cmd_sweep_status(args) -> int:
     from repro.sweep.store import open_store_for_read, sweep_status
 
+    _register_blifs(args.blif)
     spec = _spec_from_args(args)
     status = sweep_status(spec, open_store_for_read(args.store))
     print(f"sweep {status['spec_hash'][:12]}: "
@@ -222,6 +267,7 @@ def _cmd_sweep_status(args) -> int:
 
 
 def _cmd_sweep_spec(args) -> int:
+    _register_blifs(args.blif)
     spec = _spec_from_args(args)
     text = spec.to_json()
     if args.output:
@@ -230,6 +276,102 @@ def _cmd_sweep_spec(args) -> int:
         print(f"wrote {args.output} ({spec.size()} points)")
     else:
         print(text, end="")
+    return 0
+
+
+# -- serve / query ------------------------------------------------------------
+
+def _config_from_flags(args):
+    """An ExperimentConfig from the serve/query operating-point flags,
+    or ``None`` when no flag was given (meaning: server default)."""
+    from dataclasses import replace
+
+    from repro.experiments.config import FAST_CONFIG, PAPER_CONFIG
+
+    overrides = {}
+    for flag, field in (("vdd", "vdd"), ("frequency", "frequency"),
+                        ("fanout", "fanout"), ("patterns", "n_patterns"),
+                        ("state_patterns", "state_patterns"),
+                        ("seed", "seed"), ("backend", "backend")):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[field] = value
+    if not args.fast and not overrides:
+        return None
+    base = FAST_CONFIG if args.fast else PAPER_CONFIG
+    return replace(base, **overrides)
+
+
+def _add_config_flags(parser) -> None:
+    """Operating-point flags shared by ``serve`` and ``query``."""
+    parser.add_argument("--fast", action="store_true",
+                        help="16K patterns instead of 640K")
+    parser.add_argument("--vdd", type=float, default=None, metavar="V")
+    parser.add_argument("--frequency", type=float, default=None,
+                        metavar="HZ")
+    parser.add_argument("--fanout", type=int, default=None, metavar="N")
+    parser.add_argument("--patterns", type=int, default=None, metavar="N",
+                        help="random-pattern budget")
+    parser.add_argument("--state-patterns", type=int, default=None,
+                        metavar="N", dest="state_patterns",
+                        help="leakage-state histogram budget")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="estimator backend (default bitsim)")
+
+
+def _cmd_serve(args) -> int:
+    from repro import __version__
+    from repro.api import Session
+    from repro.experiments.config import PAPER_CONFIG
+    from repro.serve import Engine, serve
+    from repro.sim.backends import available_backends
+
+    _register_blifs(args.blif)
+    config = _config_from_flags(args) or PAPER_CONFIG
+    # Fail at startup, not on the first client request, for a typo'd
+    # backend (same up-front check the table1 command makes).
+    if config.backend not in available_backends():
+        raise SystemExit(
+            f"unknown estimator backend {config.backend!r}; choose "
+            f"from {', '.join(available_backends())}")
+    engine = Engine(Session(config), store=args.store)
+    server = serve(engine, host=args.host, port=args.port)
+    print(f"repro-serve {__version__} listening on {server.url} "
+          f"(backend={config.backend}, n_patterns={config.n_patterns})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json as json_module
+
+    from repro.errors import ExperimentError
+    from repro.serve import Client
+
+    client = Client(args.url, timeout=args.timeout)
+    try:
+        report = client.estimate(args.circuit, args.library,
+                                 _config_from_flags(args))
+    except ExperimentError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2))
+        return 0
+    r = report.result
+    print(f"{report.circuit} on {report.library} "
+          f"[{report.backend}] via {args.url}")
+    print(f"  gates={r.gate_count} delay={r.delay_ps:.1f}ps "
+          f"PD={r.pd_uw:.3f}uW PS={r.ps_uw:.4f}uW PT={r.pt_uw:.3f}uW "
+          f"EDP={r.edp_paper_units:.3f}e-24Js")
+    print(f"  cache={report.cache_status} elapsed={report.elapsed_s:.3f}s "
+          f"server={report.server_version} key={report.query_key[:12]}")
     return 0
 
 
@@ -261,21 +403,36 @@ def _add_axis_flags(parser, with_spec: bool = True) -> None:
     parser.add_argument("--backend", default=None, metavar="NAME",
                         help="estimator backend for every point "
                              "(default bitsim)")
+    parser.add_argument("--blif", action="append", default=None,
+                        metavar="FILE",
+                        help="register a BLIF netlist as a circuit "
+                             "before running (repeatable); it is then "
+                             "a valid --circuits value")
 
 
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Power Consumption of Logic Circuits "
                     "in Ambipolar Carbon Nanotube Technology' (DATE 2010)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     table1 = sub.add_parser("table1", help="reproduce Table 1")
     table1.add_argument("--fast", action="store_true",
                         help="16K patterns instead of 640K")
     table1.add_argument("--benchmarks", default=None,
-                        help="comma-separated benchmark subset")
+                        help="comma-separated benchmark subset (any "
+                             "registered circuit name)")
+    table1.add_argument("--blif", action="append", default=None,
+                        metavar="FILE",
+                        help="register a BLIF netlist as a circuit "
+                             "(repeatable); name it in --benchmarks to "
+                             "run it")
     table1.add_argument("--quiet", action="store_true")
     table1.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the circuit x library "
@@ -315,8 +472,46 @@ def build_parser() -> argparse.ArgumentParser:
                            help="build each library and show cell counts")
     libraries.set_defaults(func=_cmd_libraries)
 
+    circuits = sub.add_parser(
+        "circuits", help="registered circuits (benchmarks + user netlists)")
+    circuits.add_argument("-v", "--verbose", action="store_true",
+                          help="build each circuit and show its size")
+    circuits.add_argument("--blif", action="append", default=None,
+                          metavar="FILE",
+                          help="register a BLIF netlist first (repeatable)")
+    circuits.set_defaults(func=_cmd_circuits)
+
     techs = sub.add_parser("techs", help="technology summaries")
     techs.set_defaults(func=_cmd_techs)
+
+    serve = sub.add_parser(
+        "serve", help="long-lived estimation server (POST /v1/estimate)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="TCP port; 0 binds a free one (printed on "
+                            "startup)")
+    serve.add_argument("--store", default=None, metavar="FILE",
+                       help="sweep-format result store to warm-start "
+                            "from and append every computed answer to")
+    serve.add_argument("--blif", action="append", default=None,
+                       metavar="FILE",
+                       help="register a BLIF netlist before serving "
+                            "(repeatable)")
+    _add_config_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    query = sub.add_parser(
+        "query", help="one power query against a running server")
+    query.add_argument("circuit", help="registered circuit name or alias")
+    query.add_argument("library", help="registered library key or alias")
+    query.add_argument("--url", default="http://127.0.0.1:8321",
+                       help="server base URL (default %(default)s)")
+    query.add_argument("--timeout", type=float, default=600.0,
+                       metavar="S", help="request timeout in seconds")
+    query.add_argument("--json", action="store_true",
+                       help="print the raw PowerQuoteReport JSON")
+    _add_config_flags(query)
+    query.set_defaults(func=_cmd_query)
 
     sweep = sub.add_parser(
         "sweep", help="scenario grids with a resumable result store")

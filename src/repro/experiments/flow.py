@@ -28,7 +28,6 @@ from repro.synth.aig import Aig
 from repro.synth.mapper import MappingOptions, map_aig
 from repro.synth.netlist import MappedNetlist
 from repro.synth.scripts import resyn2rs
-from repro.circuits.suite import benchmark_suite
 from repro import registry
 
 
@@ -64,14 +63,15 @@ def cached_libraries(vdd: Optional[float] = None) -> Dict[str, Library]:
 
 @lru_cache(maxsize=None)
 def synthesized_benchmark(name: str, synthesize: bool) -> Aig:
-    """Build (and optionally resyn2rs) one benchmark, memoized per process.
+    """Build (and optionally resyn2rs) one circuit, memoized per process.
 
+    Any circuit registered with :func:`repro.registry.register_circuit`
+    — the 12 Table 1 benchmarks, user BLIF netlists — resolves here.
     Worker processes touching several (library, operating point) tasks
     of one circuit pay for construction and synthesis once; both are
     deterministic, so every process derives the same subject graph.
     """
-    spec = {s.name: s for s in benchmark_suite()}[name]
-    aig = spec.build()
+    aig = registry.build_circuit(name)
     if not synthesize:
         return aig
     return synthesize_subject(aig, ExperimentConfig(synthesize=True))
@@ -139,6 +139,35 @@ def map_subject(subject: Aig, library: Library,
     return map_aig(subject, library, options)
 
 
+def estimate_mapped(netlist: MappedNetlist,
+                    config: ExperimentConfig = PAPER_CONFIG,
+                    circuit: Optional[str] = None,
+                    library: Optional[str] = None) -> CircuitFlowResult:
+    """Estimate an already-mapped netlist (the tail of the pipeline).
+
+    This is the single place a :class:`CircuitPowerReport` becomes a
+    :class:`CircuitFlowResult`; the Table 1 grid, the sweep runner and
+    the :mod:`repro.serve` engine all finish here, which is what makes
+    their results comparable field for field.  ``circuit`` / ``library``
+    override the reported names (callers that resolved a registry key
+    report the canonical key, not the generator's internal name).
+    """
+    params = config.power_parameters
+    report: CircuitPowerReport = estimate_with_backend(
+        netlist, params, config)
+    return CircuitFlowResult(
+        circuit=circuit if circuit is not None else netlist.name,
+        library=library if library is not None else netlist.library.name,
+        gate_count=report.gate_count,
+        delay_s=report.delay,
+        pd_w=report.p_dynamic,
+        ps_w=report.p_static,
+        pg_w=report.p_gate_leak,
+        pt_w=report.p_total,
+        edp_js=energy_delay_product(report.p_total, report.delay, params),
+    )
+
+
 def run_circuit_flow(aig: Aig, library: Library,
                      config: ExperimentConfig = PAPER_CONFIG,
                      presynthesized: bool = False,
@@ -161,17 +190,5 @@ def run_circuit_flow(aig: Aig, library: Library,
         if config.synthesize and not presynthesized:
             subject = synthesize_subject(aig, config)
         netlist = map_subject(subject, library, config)
-    params = config.power_parameters
-    report: CircuitPowerReport = estimate_with_backend(
-        netlist, params, config)
-    return CircuitFlowResult(
-        circuit=aig.name,
-        library=library.name,
-        gate_count=report.gate_count,
-        delay_s=report.delay,
-        pd_w=report.p_dynamic,
-        ps_w=report.p_static,
-        pg_w=report.p_gate_leak,
-        pt_w=report.p_total,
-        edp_js=energy_delay_product(report.p_total, report.delay, params),
-    )
+    return estimate_mapped(netlist, config, circuit=aig.name,
+                           library=library.name)

@@ -63,6 +63,21 @@ def _run_chunk(func: Callable[[_T], _R], chunk: List[_T]) -> List[_R]:
     return [func(item) for item in chunk]
 
 
+def _worker_init(blif_snapshot) -> None:
+    """Worker initializer: replay runtime circuit registrations.
+
+    Under the ``spawn``/``forkserver`` start methods workers re-import
+    the registry and would only know the built-in circuits; replaying
+    the parent's BLIF registrations keeps ``--blif`` netlists buildable
+    for any ``jobs`` value (under ``fork`` this is a no-op re-replace
+    of what the worker already inherited).
+    """
+    if blif_snapshot:
+        from repro import registry
+
+        registry.restore_blif_registrations(blif_snapshot)
+
+
 def parallel_map_stream(func: Callable[[_T], _R], items: Iterable[_T],
                         jobs: Optional[int] = 1,
                         chunksize: int = 1,
@@ -94,7 +109,10 @@ def parallel_map_stream(func: Callable[[_T], _R], items: Iterable[_T],
     chunks = [list(work[start:start + chunksize])
               for start in range(0, len(work), chunksize)]
     slots: List[Optional[_R]] = [None] * len(work)
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+    from repro import registry
+    with ProcessPoolExecutor(
+            max_workers=n_workers, initializer=_worker_init,
+            initargs=(registry.blif_registrations(),)) as pool:
         futures = {}
         for index, chunk in enumerate(chunks):
             future = pool.submit(_run_chunk, func, chunk)

@@ -26,7 +26,8 @@ from repro.circuits.suite import (
 from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
 from repro.experiments.flow import (
     CircuitFlowResult,
-    run_circuit_flow,
+    estimate_mapped,
+    map_subject,
     synthesized_benchmark,
 )
 from repro.experiments.reporting import format_ratio, format_saving, render_table
@@ -124,24 +125,37 @@ class Table1Result:
         return "\n\n".join(blocks)
 
 
-def _run_table1_cell(task: Tuple[str, str, ExperimentConfig]
-                     ) -> CircuitFlowResult:
-    """One Table 1 cell: picklable task -> picklable result."""
+def run_table1_cell(task: Tuple[str, str, ExperimentConfig]
+                    ) -> CircuitFlowResult:
+    """Run one Table 1 cell: a picklable task to a picklable result.
+
+    ``task`` is ``(circuit, library_key, config)`` — a registered
+    circuit name, a registered library key and the experiment config.
+    This is the unit of work :meth:`repro.api.Session.table1` fans out
+    over worker processes; it is deliberately module-level and
+    argument-pure so it pickles under every multiprocessing start
+    method.  The reported ``circuit`` / ``library`` are the registry
+    keys the task named (not the generator's internal AIG name).
+    """
     name, library_key, config = task
     subject = synthesized_benchmark(name, config.synthesize)
     library = cached_library(library_key, config.vdd)
-    flow = run_circuit_flow(subject, library, config, presynthesized=True)
-    return CircuitFlowResult(
-        circuit=name, library=library_key,
-        gate_count=flow.gate_count, delay_s=flow.delay_s,
-        pd_w=flow.pd_w, ps_w=flow.ps_w, pg_w=flow.pg_w,
-        pt_w=flow.pt_w, edp_js=flow.edp_js)
+    netlist = map_subject(subject, library, config)
+    return estimate_mapped(netlist, config, circuit=name,
+                           library=library_key)
 
 
-def _verbose_line(flow: CircuitFlowResult) -> str:
+def verbose_cell_line(flow: CircuitFlowResult) -> str:
+    """One human-readable progress line for a completed Table 1 cell."""
     return (f"{flow.circuit:6s} {flow.library:20s} "
             f"gates={flow.gate_count:5d} delay={flow.delay_ps:7.1f}ps "
             f"PT={flow.pt_uw:8.2f}uW EDP={flow.edp_paper_units:8.2f}")
+
+
+#: Deprecated underscore spellings, kept for one release: external code
+#: imported these before they were promoted to the public API.
+_run_table1_cell = run_table1_cell
+_verbose_line = verbose_cell_line
 
 
 def reproduce_table1(config: ExperimentConfig = PAPER_CONFIG,

@@ -1,31 +1,50 @@
-"""Registry of named, discoverable library factories.
+"""Registries of named, discoverable library and circuit factories.
 
-Every place the reproduction needs a cell library by name — the Table 1
-columns, the sweep ``library`` axis, the CLI ``--library`` flags, the
-:class:`repro.api.Session` front door — resolves it here.  A library is
-*registered*, not hardwired: adding a fourth technology to the
-comparison is one :func:`register_library` call, with no edits to
-``experiments/`` or ``sweep/``.
+Every place the reproduction needs a cell library or a benchmark
+circuit by name — the Table 1 rows and columns, the sweep ``library``
+and ``circuits`` axes, the CLI flags, the :class:`repro.api.Session`
+front door, the :mod:`repro.serve` estimation server — resolves it
+here.  Both kinds are *registered*, not hardwired: adding a fourth
+technology to the comparison, or a thirteenth benchmark netlist, is one
+``register_*`` call with no edits to ``experiments/`` or ``sweep/``.
 
-A factory is a callable ``factory(vdd) -> Library``: ``vdd=None`` builds
-the library at its technology's native supply, any other value
-re-characterizes it at that operating point (the supply-sweep path,
-conventionally via :meth:`TechnologyParams.with_vdd`).  Keys are the
-canonical library names (also the ``Library.name`` of what the factory
-builds); aliases are short spellings accepted anywhere a key is
-(``"generalized"`` for ``"cntfet-generalized"``, ...).
+**Libraries.**  A factory is a callable ``factory(vdd) -> Library``:
+``vdd=None`` builds the library at its technology's native supply, any
+other value re-characterizes it at that operating point (the
+supply-sweep path, conventionally via
+:meth:`TechnologyParams.with_vdd`).  Keys are the canonical library
+names (also the ``Library.name`` of what the factory builds); aliases
+are short spellings accepted anywhere a key is (``"generalized"`` for
+``"cntfet-generalized"``, ...).
+
+**Circuits.**  A factory is a callable ``build() -> Aig``.  The 12
+paper benchmarks of Table 1 are registered by
+:mod:`repro.circuits.suite` (which is now a thin view over this
+registry) together with the paper's reference rows;
+:func:`register_blif_circuit` registers an arbitrary user netlist from
+a BLIF file, after which it flows through every Session / CLI / sweep
+/ serve path exactly like a built-in benchmark.
 
 The three paper libraries plus the hybrid pass-transistor demo library
 (after Hu et al., arXiv:2002.01932) are registered at import time;
-:func:`available_libraries` lists whatever is registered right now.
+``available_libraries()`` / ``available_circuits()`` list whatever is
+registered right now.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    TYPE_CHECKING,
+)
 
-from repro.circuits.suite import CMOS, CONVENTIONAL, GENERALIZED
 from repro.devices.parameters import CMOS_32NM, CNTFET_32NM, TechnologyParams
 from repro.errors import ExperimentError
 from repro.gates.ambipolar_library import generalized_cntfet_library
@@ -33,8 +52,106 @@ from repro.gates.conventional import cmos_library, conventional_cntfet_library
 from repro.gates.hybrid_pass import HYBRID_PASS, hybrid_pass_library
 from repro.gates.library import Library
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.synth.aig import Aig
+
+#: Library keys used throughout the experiments (historically defined
+#: in :mod:`repro.circuits.suite`, which still re-exports them).
+GENERALIZED = "cntfet-generalized"
+CONVENTIONAL = "cntfet-conventional"
+CMOS = "cmos"
+
 #: Factory signature: build the library, optionally at a non-native vdd.
 LibraryFactory = Callable[[Optional[float]], Library]
+#: Factory signature: build a benchmark circuit.
+CircuitFactory = Callable[[], "Aig"]
+
+
+# -- generic name/alias registry core -----------------------------------------
+
+#: Bumped on every (re/un)registration of either kind.  Name-keyed
+#: caches outside this module (the flow's synthesized-subject memo,
+#: a serving engine's LRUs) compare it to detect that a name may now
+#: mean something else and must be re-resolved.
+_GENERATION = 0
+
+
+def generation() -> int:
+    """Monotonic counter of registry mutations (both kinds)."""
+    return _GENERATION
+
+
+def _bump_generation() -> None:
+    global _GENERATION
+    _GENERATION += 1
+    # The flow memoizes synthesized subjects by circuit *name*; a
+    # replaced registration must not serve a stale graph.  Only clear
+    # when the module is already imported (no import cost here).
+    import sys
+    flow = sys.modules.get("repro.experiments.flow")
+    # getattr-guarded: during the initial import chain the flow module
+    # may itself be mid-initialization.
+    memo = getattr(flow, "synthesized_benchmark", None)
+    if memo is not None:
+        memo.cache_clear()
+
+
+class _Registry:
+    """Key/alias bookkeeping shared by the library and circuit registries.
+
+    ``kind`` only flavors error messages; the semantics — canonical
+    keys in registration order, aliases resolving to keys, collisions
+    rejected unless ``replace`` — are identical for both.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        #: Canonical key -> entry, in registration order.
+        self.entries: Dict[str, Any] = {}
+        #: Any accepted spelling (key or alias) -> canonical key.
+        self.names: Dict[str, str] = {}
+
+    def add(self, entry: Any, replace: bool) -> None:
+        key = entry.key
+        taken = {name: owner for name, owner in self.names.items()
+                 if not (replace and owner == key)}
+        for name in (key, *entry.aliases):
+            if name in taken and taken[name] != key:
+                raise ExperimentError(
+                    f"{self.kind} name {name!r} is already registered "
+                    f"(for {taken[name]!r})")
+        if key in self.entries and not replace:
+            raise ExperimentError(
+                f"{self.kind} {key!r} is already registered; pass "
+                f"replace=True to override")
+        self.remove(key, missing_ok=True)
+        self.entries[key] = entry
+        self.names[key] = key
+        for alias in entry.aliases:
+            self.names[alias] = key
+
+    def remove(self, key: str, missing_ok: bool = False) -> Optional[Any]:
+        entry = self.entries.pop(key, None)
+        if entry is None:
+            if missing_ok:
+                return None
+            raise ExperimentError(
+                f"{self.kind} {key!r} is not registered")
+        for name in (entry.key, *entry.aliases):
+            if self.names.get(name) == key:
+                del self.names[name]
+        return entry
+
+    def canonical(self, name: str) -> str:
+        try:
+            return self.names[name]
+        except KeyError:
+            raise ExperimentError(
+                f"unknown {self.kind} {name!r}; choose from "
+                f"{sorted(self.names)}") from None
+
+
+# -- libraries -----------------------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -47,12 +164,9 @@ class LibraryEntry:
     description: str = ""
 
 
-#: Canonical key -> entry, in registration order.
-_ENTRIES: Dict[str, LibraryEntry] = {}
-#: Any accepted spelling (key or alias) -> canonical key.
-_NAMES: Dict[str, str] = {}
+_LIBRARIES = _Registry("library")
 #: Per-process build cache, keyed by (canonical key, vdd).
-_CACHE: Dict[Tuple[str, Optional[float]], Library] = {}
+_LIBRARY_CACHE: Dict[Tuple[str, Optional[float]], Library] = {}
 
 
 def register_library(key: str, factory: LibraryFactory, *,
@@ -76,52 +190,35 @@ def register_library(key: str, factory: LibraryFactory, *,
     """
     entry = LibraryEntry(key=key, factory=factory,
                          aliases=tuple(aliases), description=description)
-    taken = {name: owner for name, owner in _NAMES.items()
-             if not (replace and owner == key)}
-    for name in (key, *entry.aliases):
-        if name in taken and taken[name] != key:
-            raise ExperimentError(
-                f"library name {name!r} is already registered "
-                f"(for {taken[name]!r})")
-    if key in _ENTRIES and not replace:
-        raise ExperimentError(
-            f"library {key!r} is already registered; pass replace=True "
-            f"to override")
-    unregister_library(key, missing_ok=True)
-    _ENTRIES[key] = entry
-    _NAMES[key] = key
-    for alias in entry.aliases:
-        _NAMES[alias] = key
+    _LIBRARIES.add(entry, replace=replace)
+    for cache_key in [k for k in _LIBRARY_CACHE if k[0] == key]:
+        del _LIBRARY_CACHE[cache_key]
+    _bump_generation()
     return entry
 
 
 def unregister_library(key: str, missing_ok: bool = False) -> None:
     """Remove a registered library, its aliases and its cached builds."""
-    entry = _ENTRIES.pop(key, None)
-    if entry is None:
-        if missing_ok:
-            return
-        raise ExperimentError(f"library {key!r} is not registered")
-    for name in (entry.key, *entry.aliases):
-        if _NAMES.get(name) == key:
-            del _NAMES[name]
-    for cache_key in [k for k in _CACHE if k[0] == key]:
-        del _CACHE[cache_key]
+    if _LIBRARIES.remove(key, missing_ok=missing_ok) is None:
+        return
+    for cache_key in [k for k in _LIBRARY_CACHE if k[0] == key]:
+        del _LIBRARY_CACHE[cache_key]
+    _bump_generation()
 
 
 def available_libraries() -> List[str]:
     """Canonical keys of every registered library, registration order."""
-    return list(_ENTRIES)
+    return list(_LIBRARIES.entries)
 
 
 def library_aliases() -> Dict[str, str]:
     """Every accepted spelling (keys included) -> canonical key."""
-    return dict(_NAMES)
+    return dict(_LIBRARIES.names)
 
 
 def library_entry(name: str) -> LibraryEntry:
     """The registration entry behind a key or alias."""
-    return _ENTRIES[canonical_library(name)]
+    return _LIBRARIES.entries[canonical_library(name)]
 
 
 def canonical_library(name: str) -> str:
@@ -130,17 +227,12 @@ def canonical_library(name: str) -> str:
     Raises :class:`ExperimentError` naming the known spellings when the
     name is not registered.
     """
-    try:
-        return _NAMES[name]
-    except KeyError:
-        raise ExperimentError(
-            f"unknown library {name!r}; choose from "
-            f"{sorted(_NAMES)}") from None
+    return _LIBRARIES.canonical(name)
 
 
 def build_library(name: str, vdd: Optional[float] = None) -> Library:
     """Build a fresh library by key or alias (no caching)."""
-    return _ENTRIES[canonical_library(name)].factory(vdd)
+    return _LIBRARIES.entries[canonical_library(name)].factory(vdd)
 
 
 def cached_library(name: str, vdd: Optional[float] = None) -> Library:
@@ -153,10 +245,10 @@ def cached_library(name: str, vdd: Optional[float] = None) -> Library:
     """
     key = canonical_library(name)
     cache_key = (key, vdd)
-    library = _CACHE.get(cache_key)
+    library = _LIBRARY_CACHE.get(cache_key)
     if library is None:
-        library = _ENTRIES[key].factory(vdd)
-        _CACHE[cache_key] = library
+        library = _LIBRARIES.entries[key].factory(vdd)
+        _LIBRARY_CACHE[cache_key] = library
     return library
 
 
@@ -177,6 +269,227 @@ def tech_at(tech: TechnologyParams,
     and leakage are characterized at the requested operating point.
     """
     return tech if vdd is None else tech.with_vdd(vdd)
+
+
+# -- circuits ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CircuitEntry:
+    """One registered circuit: canonical key, ``build()`` factory and
+    metadata.
+
+    ``paper`` holds the paper's Table 1 reference rows (a mapping of
+    library key -> :class:`~repro.circuits.suite.PaperRow`) for the 12
+    built-in benchmarks and is ``None`` for user registrations;
+    ``function`` is the paper's "Function" column (free text for user
+    circuits).
+    """
+
+    key: str
+    build: CircuitFactory
+    aliases: Tuple[str, ...] = ()
+    description: str = ""
+    function: str = ""
+    paper: Optional[Mapping[str, Any]] = field(default=None, hash=False)
+
+
+_CIRCUITS = _Registry("circuit")
+#: Per-process build cache, keyed by canonical key.
+_CIRCUIT_CACHE: Dict[str, "Aig"] = {}
+
+
+def register_circuit(key: str, build: CircuitFactory, *,
+                     aliases: Tuple[str, ...] = (),
+                     description: str = "",
+                     function: str = "",
+                     paper: Optional[Mapping[str, Any]] = None,
+                     replace: bool = False) -> CircuitEntry:
+    """Register a circuit factory under ``key`` (plus optional aliases).
+
+    Args:
+        key: canonical circuit name (what results and reports show).
+        build: ``build() -> Aig``; must be deterministic — every call
+            constructs the same graph, which is what lets worker
+            processes and caches share one synthesis.
+        aliases: additional accepted spellings of the key.
+        description: one line for CLI listings.
+        function: the functional class (the paper's "Function" column).
+        paper: the paper's reference Table 1 rows for this circuit
+            (built-in benchmarks only).
+        replace: allow re-registering an existing key (its cached
+            build is dropped); without it a collision raises.
+
+    Raises:
+        ExperimentError: on key/alias collisions (unless ``replace``).
+    """
+    entry = CircuitEntry(key=key, build=build, aliases=tuple(aliases),
+                         description=description, function=function,
+                         paper=paper)
+    _CIRCUITS.add(entry, replace=replace)
+    _CIRCUIT_CACHE.pop(key, None)
+    # A non-BLIF registration taking over a BLIF key must not leave a
+    # stale source for worker replay (register_blif_text re-records).
+    _BLIF_SOURCES.pop(key, None)
+    _bump_generation()
+    return entry
+
+
+def unregister_circuit(key: str, missing_ok: bool = False) -> None:
+    """Remove a registered circuit, its aliases and its cached build."""
+    if _CIRCUITS.remove(key, missing_ok=missing_ok) is None:
+        return
+    _CIRCUIT_CACHE.pop(key, None)
+    _BLIF_SOURCES.pop(key, None)
+    _bump_generation()
+
+
+def available_circuits() -> List[str]:
+    """Canonical keys of every registered circuit, registration order."""
+    return list(_CIRCUITS.entries)
+
+
+def circuit_aliases() -> Dict[str, str]:
+    """Every accepted spelling (keys included) -> canonical key."""
+    return dict(_CIRCUITS.names)
+
+
+def circuit_entry(name: str) -> CircuitEntry:
+    """The registration entry behind a key or alias."""
+    return _CIRCUITS.entries[canonical_circuit(name)]
+
+
+def canonical_circuit(name: str) -> str:
+    """Resolve a circuit key or alias to its canonical key.
+
+    Raises :class:`ExperimentError` naming the known spellings when the
+    name is not registered.
+    """
+    return _CIRCUITS.canonical(name)
+
+
+def build_circuit(name: str) -> "Aig":
+    """Build a fresh AIG by key or alias (no caching)."""
+    return _CIRCUITS.entries[canonical_circuit(name)].build()
+
+
+def cached_circuit(name: str) -> "Aig":
+    """Build a circuit once per process and reuse the AIG.
+
+    The experiment flow never mutates a subject graph (synthesis
+    derives new graphs, keyed by the source's mutation stamp), so
+    sharing one build between callers is safe and skips re-running the
+    generator.
+    """
+    key = canonical_circuit(name)
+    aig = _CIRCUIT_CACHE.get(key)
+    if aig is None:
+        aig = _CIRCUITS.entries[key].build()
+        _CIRCUIT_CACHE[key] = aig
+    return aig
+
+
+def paper_benchmarks() -> List[str]:
+    """Keys of the registered circuits carrying paper Table 1 rows,
+    registration order — the 12-benchmark suite of the paper."""
+    return [key for key, entry in _CIRCUITS.entries.items()
+            if entry.paper is not None]
+
+
+#: BLIF registrations made in this process: canonical key -> the
+#: captured source text + metadata.  This is the picklable record
+#: worker processes replay (:func:`blif_registrations` /
+#: :func:`restore_blif_registrations`), so ``--blif`` netlists survive
+#: the ``spawn`` multiprocessing start method, where workers re-import
+#: the registry and would otherwise only know the built-in circuits.
+_BLIF_SOURCES: Dict[str, Dict[str, Any]] = {}
+
+
+def register_blif_text(text: str, key: Optional[str] = None, *,
+                       aliases: Tuple[str, ...] = (),
+                       description: str = "",
+                       replace: bool = False) -> CircuitEntry:
+    """Register a combinational BLIF netlist from its source text.
+
+    The text is parsed once, up front (so registration fails loudly on
+    a malformed netlist); the factory then rebuilds the AIG from the
+    captured text, which keeps ``build()`` deterministic like every
+    other registration.
+
+    Args:
+        text: ``.names``-based combinational BLIF source (parsed by
+            :func:`repro.circuits.blif.read_blif`).
+        key: canonical circuit name; defaults to the ``.model`` name.
+        aliases: additional accepted spellings.
+        description: one line for CLI listings.
+        replace: allow re-registering an existing key.
+
+    Raises:
+        ExperimentError: on a name collision.
+        SynthesisError: on malformed BLIF.
+    """
+    from repro.circuits.blif import read_blif
+
+    parsed = read_blif(text)  # validate before registering
+    name = key or parsed.name
+
+    def build(text=text):
+        return read_blif(text)
+
+    entry = register_circuit(
+        name, build, aliases=aliases,
+        description=description or "user BLIF netlist",
+        function="User netlist (BLIF)", replace=replace)
+    _BLIF_SOURCES[name] = {"text": text, "key": name,
+                           "aliases": tuple(aliases),
+                           "description": entry.description}
+    return entry
+
+
+def register_blif_circuit(path: str, key: Optional[str] = None, *,
+                          aliases: Tuple[str, ...] = (),
+                          description: str = "",
+                          replace: bool = False) -> CircuitEntry:
+    """Register a combinational BLIF netlist file as a named circuit.
+
+    The file is read once at registration (later builds are hermetic
+    against file edits); everything else is
+    :func:`register_blif_text`.
+
+    Raises:
+        ExperimentError: on an unreadable file or name collision.
+        SynthesisError: on malformed BLIF.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ExperimentError(f"cannot read BLIF file {path}: {exc}")
+    return register_blif_text(
+        text, key, aliases=aliases,
+        description=description or f"BLIF netlist from {path}",
+        replace=replace)
+
+
+def blif_registrations() -> List[Dict[str, Any]]:
+    """Picklable snapshot of every live BLIF registration.
+
+    The parallel runner ships this to worker processes so a netlist
+    registered at runtime is buildable there under any multiprocessing
+    start method (under ``fork`` the workers inherit the registry
+    anyway; under ``spawn`` this replay is what makes ``--blif`` +
+    ``--jobs`` work).
+    """
+    return [dict(entry) for entry in _BLIF_SOURCES.values()]
+
+
+def restore_blif_registrations(snapshot: List[Dict[str, Any]]) -> None:
+    """Re-apply a :func:`blif_registrations` snapshot (worker side)."""
+    for entry in snapshot:
+        register_blif_text(entry["text"], entry["key"],
+                           aliases=tuple(entry["aliases"]),
+                           description=entry["description"],
+                           replace=True)
 
 
 # -- built-in registrations ---------------------------------------------------
@@ -209,3 +522,9 @@ register_library(
     aliases=("hybrid", "hybrid-pass"),
     description="hybrid pass-transistor ambipolar demo library "
                 "(after Hu et al., arXiv:2002.01932)")
+
+# The 12 paper benchmarks register themselves on import; importing the
+# suite here makes `import repro.registry` alone see them.  This import
+# must stay last: the suite module imports the registration functions
+# above from this (then partially-initialized) module.
+from repro.circuits import suite as _suite  # noqa: E402,F401

@@ -1,0 +1,318 @@
+"""The versioned power-query wire schema.
+
+One request/response pair covers every way a power number leaves this
+package: :class:`PowerQuery` is the typed form of "estimate *this
+circuit* on *this library* at *this operating point*", and
+:class:`PowerQuoteReport` is the answer — the
+:class:`~repro.experiments.flow.CircuitFlowResult` payload plus the
+provenance a caller needs to trust it (schema version, server version,
+backend, canonical keys, config hash, cache status).
+
+Three consumers share it, on purpose:
+
+* the **sweep store** — a :class:`~repro.sweep.spec.SweepTask` *is* a
+  ``PowerQuery`` (same fields, same content hash), so stored sweep
+  records and service responses are keyed identically and a sweep
+  store can warm-start an estimation server;
+* **reports** — :func:`store_record` / :func:`flow_from_record` are
+  the single (de)serialization of a completed point, used by the store
+  backends and the report pivots;
+* the **service** (:mod:`repro.serve`) — ``POST /v1/estimate`` bodies
+  parse with :meth:`PowerQuery.from_dict` and responses render with
+  :meth:`PowerQuoteReport.to_dict`.
+
+Serialization is strict both ways: unknown fields are rejected (a typo
+never silently becomes a default), floats ride through JSON by value
+(Python's ``json`` round-trips doubles exactly), and every payload
+carries ``schema_version`` so a future layout change is detectable
+rather than misparsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, Optional
+
+from repro.cache import stable_hash
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
+from repro.experiments.flow import CircuitFlowResult
+
+#: Version of the query/response wire layout.  Bump when a field is
+#: added/renamed/retyped; peers reject payloads from a newer schema.
+SCHEMA_VERSION = 1
+
+#: Version of the *content-hash* payload behind ``query_key`` /
+#: ``task_key`` (historically defined in :mod:`repro.sweep.spec`,
+#: which re-exports it).  Bump when the meaning of a key changes
+#: (fields added to the hashed payload, estimation semantics, ...):
+#: old store entries are then simply never matched again.
+#:
+#: v2: ``ExperimentConfig`` gained the ``backend`` field (estimator
+#: backend selection), which is part of the hashed config payload.
+TASK_SCHEMA_VERSION = 2
+
+#: ``cache_status`` values a service response may carry.
+CACHE_STATUSES = ("cold", "hot", "coalesced")
+
+
+def _reject_unknown(data: Dict[str, Any], known: set, what: str) -> None:
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ExperimentError(
+            f"unknown {what} fields: {', '.join(unknown)}")
+
+
+def _flow_from_payload(data: Any, what: str) -> CircuitFlowResult:
+    """A :class:`CircuitFlowResult` from an untrusted ``result`` object.
+
+    Strict like the rest of the module: unknown and missing fields are
+    :class:`ExperimentError`s, never ``TypeError``s out of the
+    dataclass constructor.
+    """
+    if not isinstance(data, dict):
+        raise ExperimentError(f"{what} 'result' must be a JSON object")
+    known = {field.name for field in fields(CircuitFlowResult)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ExperimentError(
+            f"unknown {what} result fields: {', '.join(unknown)}")
+    missing = sorted(known - set(data))
+    if missing:
+        raise ExperimentError(
+            f"{what} result is missing fields: {', '.join(missing)}")
+    return CircuitFlowResult(**data)
+
+
+def _check_schema_version(data: Dict[str, Any], what: str) -> None:
+    version = data.get("schema_version", SCHEMA_VERSION)
+    if not isinstance(version, int) or version < 1:
+        raise ExperimentError(
+            f"bad {what} schema_version {version!r}")
+    if version > SCHEMA_VERSION:
+        raise ExperimentError(
+            f"{what} uses schema version {version}, but this build "
+            f"only speaks <= {SCHEMA_VERSION}; upgrade the client or "
+            f"the server")
+
+
+@dataclass(frozen=True)
+class PowerQuery:
+    """One power question: a (circuit, library, config) triple.
+
+    ``circuit`` and ``library`` are registry keys or aliases (the
+    service canonicalizes them before hashing, so an alias and its key
+    are the same query).  ``query_key`` is a deterministic content
+    hash over everything that determines the answer — the same payload
+    a :class:`~repro.sweep.spec.SweepTask` hashes, so service caches
+    and sweep stores share keys.
+    """
+
+    circuit: str
+    library: str
+    config: ExperimentConfig = PAPER_CONFIG
+
+    @property
+    def query_key(self) -> str:
+        return stable_hash({
+            "schema": TASK_SCHEMA_VERSION,
+            "circuit": self.circuit,
+            "library": self.library,
+            "config": self.config,
+        })
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Strict plain-JSON form (the ``POST /v1/estimate`` body)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "circuit": self.circuit,
+            "library": self.library,
+            "config": self.config.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any],
+                  default_config: Optional[ExperimentConfig] = None
+                  ) -> "PowerQuery":
+        """Inverse of :meth:`to_dict`.
+
+        Rejects unknown fields and newer schema versions.  ``config``
+        may be omitted (or ``None``): the query then runs at
+        ``default_config`` — the serving session's configuration —
+        which is what lets a bare ``{"circuit": ..., "library": ...}``
+        body do the right thing against a ``repro serve --fast`` server.
+        """
+        if not isinstance(data, dict):
+            raise ExperimentError(
+                f"a power query must be a JSON object, got "
+                f"{type(data).__name__}")
+        _reject_unknown(data, {"schema_version", "circuit", "library",
+                               "config"}, "PowerQuery")
+        _check_schema_version(data, "PowerQuery")
+        for name in ("circuit", "library"):
+            if not isinstance(data.get(name), str) or not data[name]:
+                raise ExperimentError(
+                    f"power query field {name!r} must be a non-empty "
+                    f"string")
+        config_data = data.get("config")
+        if config_data is None:
+            config = default_config if default_config is not None \
+                else PAPER_CONFIG
+        else:
+            config = ExperimentConfig.from_dict(config_data)
+        return cls(circuit=data["circuit"], library=data["library"],
+                   config=config)
+
+
+@dataclass(frozen=True)
+class PowerQuoteReport:
+    """One power answer: the flow result plus its provenance.
+
+    ``result`` carries the raw :class:`CircuitFlowResult` floats —
+    bit-identical to what :meth:`repro.api.Session.run` returns for
+    the same query (locked by goldens in the serve tests).  The rest
+    is provenance: which build answered (``server_version``), with
+    which estimator (``backend``), for which canonicalized subject
+    (``circuit`` / ``library``), under exactly which configuration
+    (``config_hash``, and ``query_key`` for the full identity), and
+    whether the answer was computed or served warm (``cache_status``:
+    ``cold`` = computed now, ``hot`` = from the result cache,
+    ``coalesced`` = attached to an identical in-flight computation).
+    """
+
+    circuit: str
+    library: str
+    backend: str
+    result: CircuitFlowResult
+    config: ExperimentConfig = PAPER_CONFIG
+    schema_version: int = SCHEMA_VERSION
+    server_version: str = ""
+    config_hash: str = ""
+    query_key: str = ""
+    cache_status: str = "cold"
+    elapsed_s: float = 0.0
+
+    def with_status(self, cache_status: str,
+                    elapsed_s: float) -> "PowerQuoteReport":
+        """A copy re-stamped for one particular serving of the answer."""
+        if cache_status not in CACHE_STATUSES:
+            raise ExperimentError(
+                f"bad cache_status {cache_status!r}; expected one of "
+                f"{', '.join(CACHE_STATUSES)}")
+        return replace(self, cache_status=cache_status,
+                       elapsed_s=elapsed_s)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Strict plain-JSON form (the ``POST /v1/estimate`` response)."""
+        return {
+            "schema_version": self.schema_version,
+            "server_version": self.server_version,
+            "circuit": self.circuit,
+            "library": self.library,
+            "backend": self.backend,
+            "config": self.config.to_dict(),
+            "config_hash": self.config_hash,
+            "query_key": self.query_key,
+            "cache_status": self.cache_status,
+            "elapsed_s": self.elapsed_s,
+            "result": asdict(self.result),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PowerQuoteReport":
+        """Inverse of :meth:`to_dict`; floats round-trip exactly."""
+        if not isinstance(data, dict):
+            raise ExperimentError(
+                f"a power quote must be a JSON object, got "
+                f"{type(data).__name__}")
+        _reject_unknown(
+            data,
+            {"schema_version", "server_version", "circuit", "library",
+             "backend", "config", "config_hash", "query_key",
+             "cache_status", "elapsed_s", "result"},
+            "PowerQuoteReport")
+        _check_schema_version(data, "PowerQuoteReport")
+        for name in ("circuit", "library", "backend", "result"):
+            if name not in data:
+                raise ExperimentError(
+                    f"power quote is missing the {name!r} field")
+        return cls(
+            circuit=data["circuit"],
+            library=data["library"],
+            backend=data["backend"],
+            result=_flow_from_payload(data["result"], "PowerQuoteReport"),
+            config=ExperimentConfig.from_dict(data["config"])
+            if data.get("config") is not None else PAPER_CONFIG,
+            schema_version=data.get("schema_version", SCHEMA_VERSION),
+            server_version=data.get("server_version", ""),
+            config_hash=data.get("config_hash", ""),
+            query_key=data.get("query_key", ""),
+            cache_status=data.get("cache_status", "cold"),
+            elapsed_s=data.get("elapsed_s", 0.0),
+        )
+
+    @classmethod
+    def from_flow(cls, query: PowerQuery, flow: CircuitFlowResult, *,
+                  server_version: str = "", cache_status: str = "cold",
+                  elapsed_s: float = 0.0) -> "PowerQuoteReport":
+        """Wrap a computed flow result for a (canonicalized) query."""
+        return cls(
+            circuit=query.circuit,
+            library=query.library,
+            backend=query.config.backend,
+            result=flow,
+            config=query.config,
+            server_version=server_version,
+            config_hash=stable_hash(query.config),
+            query_key=query.query_key,
+            cache_status=cache_status,
+            elapsed_s=elapsed_s,
+        )
+
+
+# -- the store record shape ----------------------------------------------------
+#
+# One completed point, as persisted by the sweep result stores and as
+# appended by the serving engine.  The shape predates this module (it
+# is what every existing sweep store on disk holds), so the helpers
+# here are the compatibility contract: ``store_record`` writes exactly
+# the historical layout and ``flow_from_record`` reads it back.
+
+
+def store_record(query: PowerQuery, flow: CircuitFlowResult,
+                 elapsed_s: float) -> Dict[str, Any]:
+    """The stored form of one completed point.
+
+    ``result`` holds the raw :class:`CircuitFlowResult` floats; JSON
+    round-trips doubles exactly, so a record read back compares
+    bit-identically to the in-memory computation.
+    """
+    return {
+        "task_key": query.query_key,
+        "circuit": query.circuit,
+        "library": query.library,
+        "config": query.config.to_dict(),
+        "result": asdict(flow),
+        "elapsed_s": elapsed_s,
+    }
+
+
+def flow_from_record(record: Dict[str, Any]) -> CircuitFlowResult:
+    """Rehydrate the :class:`CircuitFlowResult` of a stored record."""
+    return _flow_from_payload(record.get("result"), "store record")
+
+
+def quote_from_record(record: Dict[str, Any], *,
+                      server_version: str = "",
+                      cache_status: str = "hot") -> PowerQuoteReport:
+    """Lift a stored sweep record into a service response.
+
+    This is what lets an :class:`~repro.serve.Engine` warm-start from
+    a sweep store: the record's task key *is* the query key.
+    """
+    config = ExperimentConfig.from_dict(record.get("config", {}))
+    query = PowerQuery(circuit=record["circuit"],
+                       library=record["library"], config=config)
+    return PowerQuoteReport.from_flow(
+        query, flow_from_record(record), server_version=server_version,
+        cache_status=cache_status, elapsed_s=0.0)

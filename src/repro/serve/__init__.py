@@ -1,0 +1,27 @@
+"""Power-as-a-service: a long-lived estimation engine and its HTTP front.
+
+The batch entry points (``repro table1``, sweeps, :class:`Session`)
+pay synthesis, characterization and mapping from scratch per process.
+This package keeps all of that **warm**: an :class:`Engine` owns a
+:class:`~repro.api.Session` plus LRU caches of characterized libraries,
+mapped netlists and finished answers — keyed by the same
+``stable_hash`` content keys as :mod:`repro.cache` and the sweep
+stores — and coalesces identical in-flight queries, so a hot repeat
+query costs a dictionary lookup instead of a synthesis run.
+
+* :class:`Engine` — the in-process service core (usable directly);
+* :class:`PowerServer` / :func:`serve` — a stdlib
+  ``ThreadingHTTPServer`` speaking the :mod:`repro.schema` wire format
+  (``POST /v1/estimate``, ``GET /v1/circuits|libraries|backends|healthz``);
+* :class:`Client` — the matching urllib client;
+* ``repro serve`` / ``repro query`` — the CLI pair.
+
+Responses are bit-identical to :meth:`repro.api.Session.run` (locked
+by goldens in ``tests/serve/``).
+"""
+
+from repro.serve.client import Client
+from repro.serve.engine import Engine
+from repro.serve.http import PowerServer, serve
+
+__all__ = ["Engine", "PowerServer", "serve", "Client"]

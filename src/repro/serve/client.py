@@ -1,0 +1,109 @@
+"""A small urllib client for the estimation service.
+
+Speaks the :mod:`repro.schema` wire format against a running
+``repro serve`` endpoint::
+
+    from repro.serve import Client
+
+    client = Client("http://127.0.0.1:8321")
+    report = client.estimate("t481", "generalized")
+    print(report.result.pt_uw, report.cache_status)
+
+Server-side failures (unknown circuit, schema mismatch, ...) surface
+as :class:`~repro.errors.ExperimentError` carrying the server's
+``error`` message; transport failures (nothing listening, timeouts)
+surface as :class:`~repro.errors.ExperimentError` naming the URL.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.schema import PowerQuery, PowerQuoteReport, SCHEMA_VERSION
+
+
+class Client:
+    """One service endpoint (``base_url`` like ``http://host:port``).
+
+    ``timeout`` is generous by default: a cold paper-config query is a
+    real synthesis + 640 K-pattern estimation.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 600.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, path: str,
+                 payload: Optional[Dict[str, Any]] = None) -> Any:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8"))["error"]
+            except Exception:
+                message = f"HTTP {exc.code}"
+            raise ExperimentError(
+                f"server at {self.base_url}: {message}") from None
+        except urllib.error.URLError as exc:
+            raise ExperimentError(
+                f"cannot reach estimation server at {url}: "
+                f"{exc.reason}") from None
+
+    # -- endpoints ---------------------------------------------------------
+
+    def query(self, query: PowerQuery) -> PowerQuoteReport:
+        """POST a prepared :class:`PowerQuery` to ``/v1/estimate``."""
+        return PowerQuoteReport.from_dict(
+            self._request("/v1/estimate", query.to_dict()))
+
+    def estimate(self, circuit: str, library: str,
+                 config: Optional[ExperimentConfig] = None
+                 ) -> PowerQuoteReport:
+        """Estimate one (circuit, library) cell.
+
+        ``config=None`` sends a config-less query: the *server's*
+        default configuration applies (so repeated bare queries hit
+        the same cache entry regardless of the client's local
+        defaults).
+        """
+        payload: Dict[str, Any] = {
+            "schema_version": SCHEMA_VERSION,
+            "circuit": circuit,
+            "library": library,
+        }
+        if config is not None:
+            payload["config"] = config.to_dict()
+        return PowerQuoteReport.from_dict(
+            self._request("/v1/estimate", payload))
+
+    def circuits(self) -> List[Dict[str, Any]]:
+        """The server's registered circuits (``/v1/circuits``)."""
+        return self._request("/v1/circuits")["circuits"]
+
+    def libraries(self) -> List[Dict[str, Any]]:
+        """The server's registered libraries (``/v1/libraries``)."""
+        return self._request("/v1/libraries")["libraries"]
+
+    def backends(self) -> Dict[str, Any]:
+        """The server's estimator backends (``/v1/backends``)."""
+        return self._request("/v1/backends")
+
+    def healthz(self) -> Dict[str, Any]:
+        """The server's liveness/stats payload (``/v1/healthz``)."""
+        return self._request("/v1/healthz")

@@ -1,0 +1,380 @@
+"""The warm estimation engine behind ``repro serve``.
+
+An :class:`Engine` answers :class:`~repro.schema.PowerQuery` requests
+with :class:`~repro.schema.PowerQuoteReport` responses, bit-identical
+to :meth:`repro.api.Session.run` for the same (circuit, library,
+config) triple, while keeping every expensive intermediate warm:
+
+* **results** — finished reports, LRU-keyed by ``query_key`` (the
+  sweep-task content hash), so a repeated identical query is a
+  dictionary lookup (``cache_status: "hot"``);
+* **netlists** — mapped netlists, LRU-keyed by the subset of the
+  config that shapes mapping (circuit, library, vdd, synthesize,
+  mapper options), so changing only estimation knobs (frequency,
+  fanout, pattern budget, backend) re-estimates without re-mapping;
+* **libraries** — characterized libraries per (key, vdd), fronting
+  the per-process registry cache with engine-level hit/miss counters.
+
+Identical queries that arrive *while one is still computing* are
+coalesced: the followers block on the leader's future and are answered
+from its result (``cache_status: "coalesced"``) — N clients asking for
+the same cold cell cost one synthesis, not N.
+
+All keys are ``stable_hash`` content hashes (:mod:`repro.cache`), so
+an optional sweep-format result store can warm-start the engine and
+every answer the engine computes can resume a sweep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, OrderedDict
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro import __version__, registry
+from repro.api import Session
+from repro.cache import stable_hash
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.flow import (
+    estimate_mapped,
+    map_subject,
+    synthesized_benchmark,
+)
+from repro.schema import PowerQuery, PowerQuoteReport
+from repro.sim.backends import available_backends
+
+#: Default LRU capacities.  Finished reports are tiny (a dataclass of
+#: floats); netlists and libraries are the heavy entries.
+DEFAULT_MAX_RESULTS = 4096
+DEFAULT_MAX_NETLISTS = 64
+DEFAULT_MAX_LIBRARIES = 16
+
+
+class _LruCache:
+    """A tiny LRU with hit/miss counters (not itself thread-safe; the
+    engine serializes access under its lock)."""
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[str, Any]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[Any]:
+        value = self._data.get(key)
+        if value is None:
+            return None
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class Engine:
+    """A long-lived, thread-safe power-estimation service core.
+
+    Args:
+        session: the :class:`~repro.api.Session` whose config is the
+            default for queries that omit one, and whose library
+            selection seeds discovery.  Defaults to ``Session()``
+            (the paper's configuration).
+        max_results / max_netlists / max_libraries: LRU capacities.
+        store: optional sweep-format result store (a
+            :class:`~repro.sweep.store.ResultStore` or a path, suffix
+            selecting the backend).  Every computed answer is appended
+            to it, and result-cache misses consult it before
+            computing — a finished sweep therefore warm-starts the
+            server, and a long-running server leaves a resumable sweep
+            store behind.
+    """
+
+    def __init__(self, session: Optional[Session] = None, *,
+                 max_results: int = DEFAULT_MAX_RESULTS,
+                 max_netlists: int = DEFAULT_MAX_NETLISTS,
+                 max_libraries: int = DEFAULT_MAX_LIBRARIES,
+                 store: Optional[Union[str, Path, Any]] = None):
+        self.session = session if session is not None else Session()
+        self._results = _LruCache(max_results)
+        self._netlists = _LruCache(max_netlists)
+        self._libraries = _LruCache(max_libraries)
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Future] = {}
+        self._generation = registry.generation()
+        self.counters: Counter = Counter()
+        self.started_monotonic = time.monotonic()
+        if store is None:
+            self._store = None
+            self._store_index: Dict[str, Any] = {}
+        else:
+            from repro.sweep.store import ResultStore, open_store
+
+            self._store = store if isinstance(store, ResultStore) \
+                else open_store(store)
+            # One scan at startup; the JSONL backend's get() would
+            # otherwise re-read the whole file per result-cache miss,
+            # and inside the engine lock at that.  Appends keep the
+            # index current, so the store is never re-scanned.
+            self._store_index = {record["task_key"]: record
+                                 for record in self._store.records()}
+
+    # -- discovery ---------------------------------------------------------
+
+    @staticmethod
+    def circuits() -> List[Dict[str, Any]]:
+        """Registered circuits with their metadata (the ``/v1/circuits``
+        payload)."""
+        out = []
+        for key in registry.available_circuits():
+            entry = registry.circuit_entry(key)
+            out.append({
+                "key": entry.key,
+                "aliases": list(entry.aliases),
+                "description": entry.description,
+                "function": entry.function,
+                "paper_benchmark": entry.paper is not None,
+            })
+        return out
+
+    @staticmethod
+    def libraries() -> List[Dict[str, Any]]:
+        """Registered libraries with their metadata (the
+        ``/v1/libraries`` payload)."""
+        out = []
+        for key in registry.available_libraries():
+            entry = registry.library_entry(key)
+            out.append({
+                "key": entry.key,
+                "aliases": list(entry.aliases),
+                "description": entry.description,
+            })
+        return out
+
+    def backends(self) -> Dict[str, Any]:
+        """Registered estimator backends (the ``/v1/backends`` payload)."""
+        return {"backends": available_backends(),
+                "default": self.session.config.backend}
+
+    def stats(self) -> Dict[str, Any]:
+        """Uptime, cache occupancy and counters (the ``/healthz``
+        payload body)."""
+        with self._lock:
+            return {
+                "version": __version__,
+                "uptime_s": time.monotonic() - self.started_monotonic,
+                "default_config": self.session.config.to_dict(),
+                "store": str(self._store.path) if self._store is not None
+                else None,
+                "caches": {
+                    "results": {"size": len(self._results),
+                                "max": self._results.maxsize,
+                                "hits": self._results.hits,
+                                "misses": self._results.misses},
+                    "netlists": {"size": len(self._netlists),
+                                 "max": self._netlists.maxsize,
+                                 "hits": self._netlists.hits,
+                                 "misses": self._netlists.misses},
+                    "libraries": {"size": len(self._libraries),
+                                  "max": self._libraries.maxsize,
+                                  "hits": self._libraries.hits,
+                                  "misses": self._libraries.misses},
+                },
+                "counters": dict(self.counters),
+            }
+
+    # -- query handling ----------------------------------------------------
+
+    def normalize(self, query: PowerQuery) -> PowerQuery:
+        """Canonicalize a query so aliases hit the same cache entries.
+
+        Circuit and library names resolve through the registry (raising
+        the usual "choose from ..." errors for unknown names); a
+        ``None`` config takes the session default.
+        """
+        config = query.config if query.config is not None \
+            else self.session.config
+        return PowerQuery(
+            circuit=registry.canonical_circuit(query.circuit),
+            library=registry.canonical_library(query.library),
+            config=config)
+
+    def estimate_request(self, circuit: str, library: str,
+                         config: Optional[ExperimentConfig] = None
+                         ) -> PowerQuoteReport:
+        """Convenience wrapper: build the query, then :meth:`estimate`."""
+        return self.estimate(PowerQuery(
+            circuit=circuit, library=library,
+            config=config if config is not None else self.session.config))
+
+    def estimate(self, query: PowerQuery) -> PowerQuoteReport:
+        """Answer one query, warm where possible.
+
+        The returned report's ``cache_status`` says how it was served:
+        ``"hot"`` (result cache or store), ``"coalesced"`` (attached to
+        an identical in-flight computation) or ``"cold"`` (computed
+        now).  ``elapsed_s`` is the serving time of *this* call.
+        """
+        start = time.perf_counter()
+        query = self.normalize(query)
+        key = query.query_key
+
+        with self._lock:
+            # A (re/un)registration may have changed what a name means;
+            # every name-keyed warm entry is then suspect — including
+            # stored records (their task_key hashes the *name*).  The
+            # store itself is last-write-wins, so recomputed answers
+            # simply overwrite the stale lines.
+            if registry.generation() != self._generation:
+                self._results.clear()
+                self._netlists.clear()
+                self._libraries.clear()
+                self._store_index.clear()
+                self._generation = registry.generation()
+                self.counters["caches.invalidated"] += 1
+            report = self._results.get(key)
+            if report is not None:
+                self._results.hits += 1
+                self.counters["results.hot"] += 1
+                return report.with_status(
+                    "hot", time.perf_counter() - start)
+            self._results.misses += 1
+            if self._store is not None:
+                record = self._store_index.get(key)
+                if record is not None:
+                    from repro.schema import quote_from_record
+
+                    report = quote_from_record(
+                        record, server_version=__version__)
+                    self._results.put(key, report)
+                    self.counters["results.store"] += 1
+                    self.counters["results.hot"] += 1
+                    return report.with_status(
+                        "hot", time.perf_counter() - start)
+            leader_future = self._inflight.get(key)
+            if leader_future is None:
+                leader_future = Future()
+                self._inflight[key] = leader_future
+                is_leader = True
+                enrolled_generation = self._generation
+            else:
+                is_leader = False
+                self.counters["results.coalesced"] += 1
+
+        if not is_leader:
+            report = leader_future.result()
+            return report.with_status(
+                "coalesced", time.perf_counter() - start)
+
+        try:
+            report = self._compute(query)
+        except BaseException as exc:
+            with self._lock:
+                self._inflight.pop(key, None)
+            leader_future.set_exception(exc)
+            raise
+        with self._lock:
+            # A re-registration while we computed may have changed what
+            # the circuit/library names mean; a result built from the
+            # old definitions must not enter any cache or the store.
+            still_fresh = (registry.generation() == enrolled_generation
+                           and self._generation == enrolled_generation)
+            if still_fresh:
+                self._results.put(key, report)
+            self._inflight.pop(key, None)
+            self.counters["results.cold"] += 1
+        leader_future.set_result(report)
+        if self._store is not None and still_fresh:
+            from repro.schema import store_record
+
+            record = store_record(query, report.result, report.elapsed_s)
+            self._store.append(record)
+            with self._lock:
+                if self._generation == enrolled_generation:
+                    self._store_index[key] = record
+        return report.with_status("cold", time.perf_counter() - start)
+
+    # -- the cold path -----------------------------------------------------
+
+    def _cached(self, cache: _LruCache, key: str,
+                build: Callable[[], Any]) -> Any:
+        """Engine-LRU lookup under the lock; build (slow) outside it.
+
+        Two threads may race to build the same entry; both builds are
+        deterministic and content-addressed, so the second ``put`` is
+        redundant rather than wrong (the same trade the disk cache in
+        :mod:`repro.cache` makes).
+        """
+        with self._lock:
+            value = cache.get(key)
+            if value is not None:
+                cache.hits += 1
+                return value
+            cache.misses += 1
+        value = build()
+        with self._lock:
+            cache.put(key, value)
+        return value
+
+    def _library(self, key: str, vdd: float):
+        """A characterized library, engine-LRU over the registry cache."""
+        content_key = stable_hash({"library": key, "vdd": vdd})
+        return self._cached(self._libraries, content_key,
+                            lambda: registry.cached_library(key, vdd))
+
+    def _netlist(self, query: PowerQuery, library):
+        """The mapped netlist of a query, LRU-keyed by what shapes it."""
+        config = query.config
+        content_key = stable_hash({
+            "circuit": query.circuit,
+            "library": query.library,
+            "vdd": config.vdd,
+            "synthesize": config.synthesize,
+            "mapper_cut_size": config.mapper_cut_size,
+            "mapper_cut_limit": config.mapper_cut_limit,
+            "mapper_area_rounds": config.mapper_area_rounds,
+        })
+
+        def build():
+            subject = synthesized_benchmark(query.circuit,
+                                            config.synthesize)
+            return map_subject(subject, library, config)
+
+        return self._cached(self._netlists, content_key, build)
+
+    def _compute(self, query: PowerQuery) -> PowerQuoteReport:
+        """Synthesize/map/estimate one canonicalized query (cold path).
+
+        Stage for stage the same calls as
+        :meth:`repro.api.Session.run`, so the result is bit-identical;
+        only the caching around the stages differs.
+        """
+        start = time.perf_counter()
+        config = query.config
+        library = self._library(query.library, config.vdd)
+        netlist = self._netlist(query, library)
+        flow = estimate_mapped(netlist, config, circuit=query.circuit,
+                               library=query.library)
+        return PowerQuoteReport.from_flow(
+            query, flow, server_version=__version__,
+            cache_status="cold",
+            elapsed_s=time.perf_counter() - start)
+
+    # -- registration passthroughs ----------------------------------------
+
+    @staticmethod
+    def register_blif_circuit(path: str, **kwargs):
+        """Register a BLIF netlist on the live engine (see
+        :func:`repro.registry.register_blif_circuit`)."""
+        return registry.register_blif_circuit(path, **kwargs)

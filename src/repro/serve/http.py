@@ -1,0 +1,160 @@
+"""The stdlib HTTP front of the estimation engine.
+
+A :class:`PowerServer` is a ``ThreadingHTTPServer`` bound to an
+:class:`~repro.serve.engine.Engine`; each request thread parses the
+:mod:`repro.schema` wire format and calls into the (thread-safe,
+coalescing) engine.  Endpoints:
+
+* ``POST /v1/estimate`` — body is a :class:`~repro.schema.PowerQuery`
+  JSON object (``config`` optional: the server's default applies);
+  response a :class:`~repro.schema.PowerQuoteReport` object.
+* ``GET /v1/circuits`` / ``/v1/libraries`` / ``/v1/backends`` —
+  discovery listings from the registries.
+* ``GET /v1/healthz`` — liveness: version, uptime, cache occupancy
+  and serve counters.
+
+Errors come back as ``{"error": "<message>"}`` with 400 (bad request:
+malformed JSON, unknown names, schema mismatch), 404 (unknown path or
+method) or 500 (unexpected failure).  Request logging goes to stderr
+(the BaseHTTPRequestHandler default) so ``repro serve ... 2>server.log``
+captures an access log.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro import __version__
+from repro.errors import ReproError
+from repro.schema import PowerQuery, SCHEMA_VERSION
+from repro.serve.engine import Engine
+
+#: Maximum accepted request-body size, bytes (a power query is <1 KiB;
+#: anything larger is a mistake, not a bigger query).
+MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; ``self.server`` is the :class:`PowerServer`."""
+
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def engine(self) -> Engine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body_json(self) -> Optional[Any]:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self.close_connection = True
+            self._send_error_json(400, "bad Content-Length header")
+            return None
+        if length <= 0:
+            self._send_error_json(400, "missing request body")
+            return None
+        if length > MAX_BODY_BYTES:
+            # The body is never read; a kept-alive connection would
+            # parse it as the next request line, so drop the link.
+            self.close_connection = True
+            self._send_error_json(400, "request body too large")
+            return None
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            self._send_error_json(400, f"bad JSON body: {exc}")
+            return None
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        path = self.path.split("?", 1)[0].rstrip("/")
+        try:
+            if path in ("/v1/healthz", "/healthz"):
+                payload = self.engine.stats()
+                payload["status"] = "ok"
+                payload["schema_version"] = SCHEMA_VERSION
+                self._send_json(200, payload)
+            elif path == "/v1/circuits":
+                self._send_json(200, {"circuits": self.engine.circuits()})
+            elif path == "/v1/libraries":
+                self._send_json(200, {"libraries": self.engine.libraries()})
+            elif path == "/v1/backends":
+                self._send_json(200, self.engine.backends())
+            else:
+                self._send_error_json(404, f"unknown path {path!r}")
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(500, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/v1/estimate":
+            self._send_error_json(404, f"unknown path {path!r}")
+            return
+        data = self._read_body_json()
+        if data is None:
+            return
+        try:
+            query = PowerQuery.from_dict(
+                data, default_config=self.engine.session.config)
+            report = self.engine.estimate(query)
+        except ReproError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        except Exception as exc:
+            self._send_error_json(500, str(exc))
+            return
+        self._send_json(200, report.to_dict())
+
+
+class PowerServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`Engine`.
+
+    ``port=0`` binds an OS-assigned free port (``.url`` reports the
+    real one) — how tests and the CI smoke job avoid collisions.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, engine: Engine,
+                 address: Tuple[str, int] = ("127.0.0.1", 0)):
+        super().__init__(address, _Handler)
+        self.engine = engine
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve(engine: Optional[Engine] = None, host: str = "127.0.0.1",
+          port: int = 0) -> PowerServer:
+    """Bind a :class:`PowerServer` (not yet serving).
+
+    The caller decides how to run it: ``serve_forever()`` for the CLI,
+    a background thread for tests/embedders::
+
+        server = serve(Engine(), port=8321)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        ...
+        server.shutdown()
+    """
+    return PowerServer(engine if engine is not None else Engine(),
+                       (host, port))

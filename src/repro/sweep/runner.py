@@ -31,9 +31,8 @@ from functools import lru_cache
 from typing import Any, Callable, Dict, Optional
 
 from repro.experiments.flow import (
-    CircuitFlowResult,
+    estimate_mapped,
     map_subject,
-    run_circuit_flow,
     synthesized_benchmark,
 )
 from repro.experiments.config import ExperimentConfig
@@ -64,18 +63,12 @@ def run_sweep_task(task: SweepTask) -> Dict[str, Any]:
     """Execute one sweep point: picklable task -> store record."""
     start = time.perf_counter()
     config = task.config
-    subject = synthesized_benchmark(task.circuit, config.synthesize)
-    library = cached_library(task.library, config.vdd)
     netlist = _mapped_netlist(
         task.circuit, task.library, config.vdd, config.synthesize,
         config.mapper_cut_size, config.mapper_cut_limit,
         config.mapper_area_rounds)
-    flow = run_circuit_flow(subject, library, config, netlist=netlist)
-    flow = CircuitFlowResult(
-        circuit=task.circuit, library=task.library,
-        gate_count=flow.gate_count, delay_s=flow.delay_s,
-        pd_w=flow.pd_w, ps_w=flow.ps_w, pg_w=flow.pg_w,
-        pt_w=flow.pt_w, edp_js=flow.edp_js)
+    flow = estimate_mapped(netlist, config, circuit=task.circuit,
+                           library=task.library)
     return record_for(task, flow, time.perf_counter() - start)
 
 

@@ -20,15 +20,15 @@ from repro.cache import stable_hash
 from repro.circuits.suite import benchmark_suite
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
-from repro.registry import PAPER_LIBRARIES, canonical_library
-
-#: Bump when the meaning of a task key changes (fields added to the
-#: hashed payload, estimation semantics, ...): old store entries are
-#: then simply never matched again.
-#:
-#: v2: ``ExperimentConfig`` gained the ``backend`` field (estimator
-#: backend selection), which is part of the hashed config payload.
-TASK_SCHEMA_VERSION = 2
+from repro.registry import (
+    PAPER_LIBRARIES,
+    canonical_circuit,
+    canonical_library,
+)
+from repro.schema import PowerQuery, TASK_SCHEMA_VERSION  # noqa: F401
+# TASK_SCHEMA_VERSION now lives in repro.schema (the wire-format
+# module); it is re-exported here because sweep code and stores have
+# always imported it from this module.
 
 #: Canonical library order (the paper's Table 1 column-block order).
 #: Any library registered with :mod:`repro.registry` — key or alias —
@@ -37,26 +37,20 @@ DEFAULT_LIBRARIES = PAPER_LIBRARIES
 
 
 @dataclass(frozen=True)
-class SweepTask:
+class SweepTask(PowerQuery):
     """One point of an expanded sweep: a (circuit, library, config) cell.
 
-    ``task_key`` is a deterministic content hash of everything that
-    determines the result, so identical points — across specs, runs
-    and machines — collide on purpose and are computed once.
+    A ``SweepTask`` *is* a :class:`repro.schema.PowerQuery` — the grid
+    point and the service request are the same triple, hashed the same
+    way — under its historical name.  ``task_key`` is a deterministic
+    content hash of everything that determines the result, so
+    identical points — across specs, runs, machines and the serving
+    engine's caches — collide on purpose and are computed once.
     """
-
-    circuit: str
-    library: str
-    config: ExperimentConfig
 
     @property
     def task_key(self) -> str:
-        return stable_hash({
-            "schema": TASK_SCHEMA_VERSION,
-            "circuit": self.circuit,
-            "library": self.library,
-            "config": self.config,
-        })
+        return self.query_key
 
 
 def _axis(values: Union[Sequence, Any], name: str) -> Tuple:
@@ -123,13 +117,15 @@ class SweepSpec:
             canonical_library(lib)
             for lib in _axis(self.libraries, "libraries")))
         object.__setattr__(self, "libraries", libraries)
-        circuits = _dedupe(tuple(self.circuits))
-        known = [spec.name for spec in benchmark_suite()]
-        unknown = sorted(set(circuits) - set(known))
+        from repro.registry import available_circuits, circuit_aliases
+        names = _dedupe(tuple(self.circuits))
+        unknown = sorted(set(names) - set(circuit_aliases()))
         if unknown:
             raise ExperimentError(
                 f"unknown circuits: {', '.join(unknown)}; "
-                f"choose from {', '.join(known)}")
+                f"choose from {', '.join(available_circuits())}")
+        circuits = _dedupe(tuple(canonical_circuit(name)
+                                 for name in names))
         object.__setattr__(self, "circuits", circuits)
         from repro.sim.backends import available_backends
         if self.backend not in available_backends():
@@ -147,7 +143,13 @@ class SweepSpec:
 
     @property
     def circuit_order(self) -> Tuple[str, ...]:
-        """The circuits actually swept, in Table 1 suite order."""
+        """The circuits actually swept.
+
+        An explicit ``circuits`` axis is kept in its given order
+        (canonicalized); the empty default means the paper's Table 1
+        suite.  Registered user circuits (e.g. BLIF netlists) are
+        valid axis values but never join the implicit default.
+        """
         if self.circuits:
             return self.circuits
         return tuple(spec.name for spec in benchmark_suite())

@@ -21,12 +21,12 @@ from __future__ import annotations
 
 import json
 import sqlite3
-from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.errors import ExperimentError
 from repro.experiments.flow import CircuitFlowResult
+from repro.schema import flow_from_record, store_record
 from repro.sweep.spec import SweepSpec, SweepTask
 
 #: Suffixes routed to the SQLite backend.
@@ -37,23 +37,16 @@ def record_for(task: SweepTask, flow: CircuitFlowResult,
                elapsed_s: float) -> Dict[str, Any]:
     """The stored form of one completed point.
 
-    ``result`` holds the raw :class:`CircuitFlowResult` floats; JSON
-    round-trips doubles exactly, so a record read back compares
-    bit-identically to the in-memory computation.
+    The layout is the shared wire format of :mod:`repro.schema`
+    (:func:`repro.schema.store_record`): the serving engine appends
+    and reads the very same records.
     """
-    return {
-        "task_key": task.task_key,
-        "circuit": task.circuit,
-        "library": task.library,
-        "config": task.config.to_dict(),
-        "result": asdict(flow),
-        "elapsed_s": elapsed_s,
-    }
+    return store_record(task, flow, elapsed_s)
 
 
 def flow_result(record: Dict[str, Any]) -> CircuitFlowResult:
     """Rehydrate the :class:`CircuitFlowResult` of a stored record."""
-    return CircuitFlowResult(**record["result"])
+    return flow_from_record(record)
 
 
 class ResultStore:

@@ -1,0 +1,219 @@
+"""The HTTP service: wire-format goldens, discovery endpoints, error
+mapping, and the acceptance anchor — ``POST /v1/estimate`` bit-identical
+to ``Session.run`` across the full paper grid."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import __version__
+from repro.api import Session
+from repro.circuits.suite import benchmark_suite
+from repro.experiments.config import ExperimentConfig
+from repro.schema import SCHEMA_VERSION, PowerQuery, PowerQuoteReport
+from repro.serve import Client, Engine, serve
+from tests.test_api import PRE_REDESIGN_GOLDEN
+
+
+@pytest.fixture(scope="module")
+def tiny_grid_config():
+    """Small enough that the full 12 x 3 grid stays test-suite friendly."""
+    return ExperimentConfig(n_patterns=128, state_patterns=128)
+
+
+@pytest.fixture(scope="module")
+def server(tiny_grid_config):
+    instance = serve(Engine(Session(tiny_grid_config)))
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+    thread.join(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return Client(server.url)
+
+
+class TestEstimateEndpoint:
+    def test_golden_locked_against_pre_redesign(self, client):
+        """The hard acceptance golden: service responses reproduce the
+        pre-redesign harness bit for bit at the golden config."""
+        config = ExperimentConfig(n_patterns=4096, state_patterns=4096)
+        for (circuit, library, gates, delay_s, pd_w, ps_w, pg_w, pt_w,
+             edp_js) in PRE_REDESIGN_GOLDEN:
+            report = client.estimate(circuit, library, config)
+            r = report.result
+            assert (r.gate_count, r.delay_s, r.pd_w, r.ps_w, r.pg_w,
+                    r.pt_w, r.edp_js) == (gates, delay_s, pd_w, ps_w,
+                                          pg_w, pt_w, edp_js), \
+                (circuit, library)
+            assert report.circuit == circuit
+            assert report.library == library
+
+    def test_full_paper_grid_bit_identical_to_session(
+            self, client, tiny_grid_config):
+        """All 12 paper circuits x 3 paper libraries through HTTP equal
+        ``Session.run`` exactly (the acceptance grid, at a pattern
+        budget CI can afford; equality is float-exact, so it holds at
+        any budget by the same determinism)."""
+        session = Session(tiny_grid_config)
+        for spec in benchmark_suite():
+            via_http = {
+                library: client.estimate(spec.name, library).result
+                for library in session.libraries
+            }
+            direct = session.run(spec.name)
+            assert via_http == direct, spec.name
+
+    def test_second_query_is_hot_with_identical_payload(self, client):
+        config = ExperimentConfig(n_patterns=4096, state_patterns=4096)
+        first = client.estimate("t481", "cmos", config)
+        second = client.estimate("t481", "cmos", config)
+        assert second.cache_status == "hot"
+        assert second.result == first.result
+        assert second.query_key == first.query_key
+
+    def test_configless_query_uses_server_default(self, client,
+                                                  tiny_grid_config):
+        report = client.estimate("t481", "generalized")
+        assert report.config == tiny_grid_config
+        again = client.estimate("t481", "generalized")
+        assert again.cache_status == "hot"
+
+    def test_provenance(self, client):
+        report = client.estimate("t481", "cmos")
+        assert report.server_version == __version__
+        assert report.schema_version == SCHEMA_VERSION
+        assert report.backend == "bitsim"
+        assert report.config_hash
+        assert len(report.query_key) == 32
+
+    def test_prepared_query_object(self, client, tiny_grid_config):
+        report = client.query(PowerQuery("i8", "cmos", tiny_grid_config))
+        assert report.circuit == "i8"
+        assert isinstance(report, PowerQuoteReport)
+
+
+class TestDiscoveryEndpoints:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["version"] == __version__
+        assert health["schema_version"] == SCHEMA_VERSION
+        assert "results" in health["caches"]
+
+    def test_circuits(self, client):
+        keys = {c["key"] for c in client.circuits()}
+        assert {"t481", "C6288", "des"} <= keys
+
+    def test_libraries(self, client):
+        keys = {entry["key"] for entry in client.libraries()}
+        assert {"cmos", "cntfet-generalized"} <= keys
+
+    def test_backends(self, client):
+        payload = client.backends()
+        assert "bitsim" in payload["backends"]
+
+
+class TestErrorMapping:
+    def _post_raw(self, server, body: bytes, path="/v1/estimate"):
+        request = urllib.request.Request(
+            f"{server.url}{path}", data=body,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def test_unknown_circuit_is_400(self, server):
+        status, payload = self._post_raw(
+            server, json.dumps({"circuit": "nope",
+                                "library": "cmos"}).encode())
+        assert status == 400
+        assert "unknown circuit" in payload["error"]
+
+    def test_malformed_json_is_400(self, server):
+        status, payload = self._post_raw(server, b"{not json")
+        assert status == 400
+        assert "bad JSON" in payload["error"]
+
+    def test_unknown_field_is_400(self, server):
+        status, payload = self._post_raw(
+            server, json.dumps({"circuit": "t481", "library": "cmos",
+                                "surprise": 1}).encode())
+        assert status == 400
+        assert "unknown PowerQuery" in payload["error"]
+
+    def test_newer_schema_is_400(self, server):
+        status, payload = self._post_raw(
+            server, json.dumps({"schema_version": SCHEMA_VERSION + 1,
+                                "circuit": "t481",
+                                "library": "cmos"}).encode())
+        assert status == 400
+        assert "schema version" in payload["error"]
+
+    def test_bad_content_length_is_400_not_a_dropped_socket(self, server):
+        import socket
+
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(b"POST /v1/estimate HTTP/1.1\r\n"
+                         b"Host: test\r\n"
+                         b"Content-Length: abc\r\n\r\n")
+            response = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+        assert response.startswith(b"HTTP/1.1 400")
+        assert b"Content-Length" in response
+
+    def test_unknown_path_is_404(self, server):
+        status, payload = self._post_raw(
+            server, b"{}", path="/v2/estimate")
+        assert status == 404
+
+    def test_oversize_body_is_400_and_closes(self, server):
+        """The server rejects the declared length without reading the
+        body and drops the connection (keep-alive would otherwise
+        parse the unread bytes as the next request)."""
+        import socket
+
+        from repro.serve.http import MAX_BODY_BYTES
+
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(
+                b"POST /v1/estimate HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode())
+            response = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break  # connection closed by the server, as required
+                response += chunk
+        assert response.startswith(b"HTTP/1.1 400")
+        assert b"too large" in response
+
+    def test_unknown_get_is_404_and_client_raises(self, client):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match="unknown path"):
+            client._request("/v1/nope")
+
+    def test_unreachable_server_raises_clearly(self):
+        from repro.errors import ExperimentError
+
+        dead = Client("http://127.0.0.1:9", timeout=2)
+        with pytest.raises(ExperimentError, match="cannot reach"):
+            dead.healthz()

@@ -144,6 +144,16 @@ class TestSessionTable1:
         assert "cntfet-hybrid-pass" in rendered
         assert "Improvement vs CMOS" in rendered
 
+    def test_alias_and_key_dedupe_in_benchmarks(self, tiny_config):
+        """A key and its alias are one circuit: the Average row must
+        not double-weight it."""
+        result = Session(tiny_config, libraries=["cmos"]).table1(
+            benchmarks=["t481", "t481"])
+        assert result.benchmark_order == ["t481"]
+        single = Session(tiny_config, libraries=["cmos"]).table1(
+            benchmarks=["t481"])
+        assert result.averages("cmos") == single.averages("cmos")
+
     def test_cmos_less_table_renders_and_guards_improvement(self,
                                                             tiny_config):
         session = Session(tiny_config, libraries=["hybrid", "generalized"])

@@ -1,8 +1,13 @@
 """Command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+BLIF_FIXTURE = (Path(__file__).parent / "circuits" / "data"
+                / "majority_parity.blif")
 
 
 class TestParser:
@@ -15,6 +20,22 @@ class TestParser:
             ["table1", "--fast", "--benchmarks", "t481,C1355"])
         assert args.fast
         assert args.benchmarks == "t481,C1355"
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_serve_and_query_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--fast", "--patterns", "4096"])
+        assert args.port == 0 and args.fast and args.patterns == 4096
+        args = build_parser().parse_args(
+            ["query", "t481", "cmos", "--url", "http://x:1", "--json"])
+        assert args.circuit == "t481" and args.json
 
 
 class TestCommands:
@@ -87,3 +108,96 @@ class TestRegistryCommands:
         out = capsys.readouterr().out
         assert '"cntfet-hybrid-pass"' in out
         assert '"spice-transient"' in out
+
+    def test_circuits_lists_registrations(self, capsys):
+        assert main(["circuits"]) == 0
+        out = capsys.readouterr().out
+        assert "C2670" in out and "t481" in out and "C1355" in out
+        assert "Table 1 benchmark" in out
+
+    def test_circuits_with_blif_registration(self, capsys):
+        from repro import registry
+
+        try:
+            assert main(["circuits", "--blif", str(BLIF_FIXTURE)]) == 0
+            out = capsys.readouterr().out
+            assert "majority_parity" in out
+            assert "[user circuit]" in out
+        finally:
+            registry.unregister_circuit("majority_parity",
+                                        missing_ok=True)
+
+    def test_sweep_spec_accepts_blif_circuit(self, capsys):
+        import json
+
+        from repro import registry
+
+        try:
+            assert main(["sweep", "spec", "--blif", str(BLIF_FIXTURE),
+                         "--circuits", "majority_parity,t481",
+                         "--libraries", "cmos"]) == 0
+            captured = capsys.readouterr()
+            # stdout must stay machine-readable: the registration note
+            # goes to stderr.
+            spec = json.loads(captured.out)
+            assert spec["circuits"] == ["majority_parity", "t481"]
+            assert "registered circuit" in captured.err
+        finally:
+            registry.unregister_circuit("majority_parity",
+                                        missing_ok=True)
+
+    def test_table1_runs_blif_benchmark(self, capsys):
+        from repro import registry
+
+        try:
+            assert main(["table1", "--fast", "--quiet",
+                         "--blif", str(BLIF_FIXTURE),
+                         "--benchmarks", "majority_parity"]) == 0
+            out = capsys.readouterr().out
+            assert "majority_parity" in out
+        finally:
+            registry.unregister_circuit("majority_parity",
+                                        missing_ok=True)
+
+
+class TestServeCommands:
+    def test_query_against_live_server(self, capsys, tiny_config):
+        import threading
+
+        from repro.api import Session
+        from repro.serve import Engine, serve
+
+        server = serve(Engine(Session(tiny_config)))
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            assert main(["query", "t481", "cmos", "--url", server.url,
+                         "--patterns", str(tiny_config.n_patterns),
+                         "--state-patterns",
+                         str(tiny_config.state_patterns)]) == 0
+            human = capsys.readouterr().out
+            assert "t481 on cmos" in human and "cache=cold" in human
+            assert main(["query", "t481", "cmos", "--url", server.url,
+                         "--patterns", str(tiny_config.n_patterns),
+                         "--state-patterns",
+                         str(tiny_config.state_patterns),
+                         "--json"]) == 0
+            import json
+
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["cache_status"] == "hot"
+            assert payload["result"]["gate_count"] > 0
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    def test_serve_unknown_backend_fails_at_startup(self):
+        with pytest.raises(SystemExit, match="unknown estimator backend"):
+            main(["serve", "--port", "0", "--backend", "bitsm"])
+
+    def test_query_unreachable_server_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main(["query", "t481", "cmos",
+                  "--url", "http://127.0.0.1:9", "--timeout", "2"])

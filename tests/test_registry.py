@@ -1,6 +1,7 @@
-"""The library registry: registration, aliases, discovery, vdd-aware
-construction, the hybrid pass-transistor demo library, and the
-deprecated flow shims."""
+"""The library and circuit registries: registration, aliases,
+discovery, vdd-aware construction, the hybrid pass-transistor demo
+library, the circuit suite as a registry view, and the deprecated flow
+shims."""
 
 import itertools
 
@@ -161,6 +162,168 @@ class TestHybridPassLibrary:
         record = store.records()[0]
         assert record["library"] == HYBRID_PASS
         assert record["result"]["pt_w"] > 0
+
+
+@pytest.fixture
+def toy_circuit():
+    """Register a toy circuit for one test and clean it up after."""
+    from repro.circuits.adders import ripple_adder_circuit
+
+    entry = registry.register_circuit(
+        "toy-adder", lambda: ripple_adder_circuit(3, name="toy-adder"),
+        aliases=("ta",), description="three-bit ripple adder",
+        function="Adder")
+    yield entry
+    registry.unregister_circuit("toy-adder", missing_ok=True)
+
+
+class TestCircuitRegistry:
+    def test_paper_benchmarks_registered(self):
+        keys = registry.available_circuits()
+        assert keys[0] == "C2670" and "t481" in keys and "C1355" in keys
+        assert registry.paper_benchmarks() == [
+            "C2670", "C1908", "C3540", "dalu", "C7552", "C6288",
+            "C5315", "des", "i10", "t481", "i8", "C1355"]
+
+    def test_suite_is_a_registry_view(self):
+        from repro.circuits.suite import benchmark_suite
+
+        suite = {spec.name for spec in benchmark_suite()}
+        assert suite == set(registry.paper_benchmarks())
+        for spec in benchmark_suite():
+            entry = registry.circuit_entry(spec.name)
+            assert entry.build is spec.build
+            assert dict(entry.paper) == spec.paper
+
+    def test_register_and_resolve(self, toy_circuit):
+        assert "toy-adder" in registry.available_circuits()
+        assert registry.canonical_circuit("ta") == "toy-adder"
+        aig = registry.build_circuit("ta")
+        assert aig.name == "toy-adder"
+        # User circuits never join the paper suite implicitly.
+        assert "toy-adder" not in registry.paper_benchmarks()
+
+    def test_cached_circuit_identity(self, toy_circuit):
+        a = registry.cached_circuit("ta")
+        b = registry.cached_circuit("toy-adder")
+        assert a is b
+        assert registry.build_circuit("ta") is not a
+
+    def test_unknown_circuit_raises_with_choices(self):
+        with pytest.raises(ExperimentError, match="unknown circuit"):
+            registry.canonical_circuit("no-such-circuit")
+        with pytest.raises(ExperimentError, match="choose from"):
+            registry.build_circuit("no-such-circuit")
+
+    def test_duplicate_and_alias_collisions(self, toy_circuit):
+        with pytest.raises(ExperimentError, match="already registered"):
+            registry.register_circuit("toy-adder", toy_circuit.build)
+        with pytest.raises(ExperimentError, match="already registered"):
+            registry.register_circuit("other", toy_circuit.build,
+                                      aliases=("ta",))
+        # Circuit and library namespaces are independent.
+        registry.register_circuit("cmos-like", toy_circuit.build,
+                                  aliases=("cmos",))
+        try:
+            assert registry.canonical_circuit("cmos") == "cmos-like"
+            assert registry.canonical_library("cmos") == CMOS
+        finally:
+            registry.unregister_circuit("cmos-like")
+
+    def test_replace_evicts_cached_build(self, toy_circuit):
+        before = registry.cached_circuit("toy-adder")
+        registry.register_circuit("toy-adder", toy_circuit.build,
+                                  aliases=("ta",), replace=True)
+        assert registry.cached_circuit("toy-adder") is not before
+
+    def test_unregister(self, toy_circuit):
+        registry.unregister_circuit("toy-adder")
+        assert "toy-adder" not in registry.available_circuits()
+        with pytest.raises(ExperimentError):
+            registry.unregister_circuit("toy-adder")
+        registry.unregister_circuit("toy-adder", missing_ok=True)
+
+    def test_factory_error_not_rewritten_as_unknown_name(self):
+        from repro.circuits.suite import build_benchmark
+
+        def broken():
+            raise ExperimentError("bad parameter")
+
+        registry.register_circuit("broken-factory", broken)
+        try:
+            with pytest.raises(ExperimentError, match="bad parameter"):
+                build_benchmark("broken-factory")
+            with pytest.raises(ExperimentError, match="unknown"):
+                build_benchmark("no-such-circuit")
+        finally:
+            registry.unregister_circuit("broken-factory")
+
+    def test_blif_snapshot_replays_in_workers(self, tiny_config):
+        """The spawn-start-method contract: a worker that re-imported
+        the registry rebuilds --blif circuits from the snapshot."""
+        from pathlib import Path
+
+        from repro.experiments.parallel import _worker_init
+
+        fixture = (Path(__file__).parent / "circuits" / "data"
+                   / "majority_parity.blif")
+        registry.register_blif_circuit(str(fixture), replace=True)
+        try:
+            snapshot = registry.blif_registrations()
+            assert [entry["key"] for entry in snapshot] \
+                == ["majority_parity"]
+            # Simulate the worker side: registration gone, replayed.
+            registry.unregister_circuit("majority_parity")
+            assert "majority_parity" not in registry.available_circuits()
+            _worker_init(snapshot)
+            assert "majority_parity" in registry.available_circuits()
+            aig = registry.build_circuit("majority_parity")
+            assert aig.pi_names == ["a", "b", "c"]
+        finally:
+            registry.unregister_circuit("majority_parity",
+                                        missing_ok=True)
+        assert registry.blif_registrations() == []
+
+    def test_blif_runs_under_spawn_pool(self, tiny_config):
+        """End to end under the spawn start method: a worker process
+        with a fresh interpreter serves a --blif Table 1 cell."""
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+        from pathlib import Path
+
+        from repro.experiments import parallel
+        from repro.experiments.table1 import run_table1_cell
+
+        fixture = (Path(__file__).parent / "circuits" / "data"
+                   / "majority_parity.blif")
+        registry.register_blif_circuit(str(fixture), replace=True)
+        config = tiny_config.scaled(256)
+        try:
+            direct = run_table1_cell(("majority_parity", CMOS, config))
+            with ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=multiprocessing.get_context("spawn"),
+                    initializer=parallel._worker_init,
+                    initargs=(registry.blif_registrations(),)) as pool:
+                via_spawn = pool.submit(
+                    run_table1_cell,
+                    ("majority_parity", CMOS, config)).result(timeout=300)
+        finally:
+            registry.unregister_circuit("majority_parity",
+                                        missing_ok=True)
+        assert via_spawn == direct
+
+    def test_runs_through_session_and_table1_cell(self, toy_circuit,
+                                                  tiny_config):
+        from repro.api import Session
+        from repro.experiments.table1 import run_table1_cell
+
+        flow = Session(tiny_config).run("ta", "cmos")
+        assert flow.circuit == "toy-adder"
+        cell = run_table1_cell(("toy-adder", CMOS, tiny_config))
+        assert cell.circuit == "toy-adder"
+        assert cell.gate_count == flow.gate_count
+        assert cell.pt_w == flow.pt_w
 
 
 class TestDeprecatedShims:

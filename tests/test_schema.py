@@ -1,0 +1,185 @@
+"""The versioned power-query wire schema: strict (de)serialization,
+key compatibility with sweep tasks, and the shared store-record shape."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
+from repro.experiments.flow import CircuitFlowResult
+from repro.schema import (
+    PowerQuery,
+    PowerQuoteReport,
+    SCHEMA_VERSION,
+    TASK_SCHEMA_VERSION,
+    flow_from_record,
+    quote_from_record,
+    store_record,
+)
+from repro.sweep.spec import SweepTask
+
+
+def _flow(**overrides):
+    base = dict(circuit="t481", library="cmos", gate_count=50,
+                delay_s=5.445543603246099e-10,
+                pd_w=3.0540394285714302e-06,
+                ps_w=2.392227760796267e-07,
+                pg_w=1.903500000000001e-08,
+                pt_w=3.7704031189367715e-06,
+                edp_js=2.053189458598528e-24)
+    base.update(overrides)
+    return CircuitFlowResult(**base)
+
+
+class TestPowerQuery:
+    def test_round_trip(self):
+        query = PowerQuery("t481", "cmos",
+                           ExperimentConfig(n_patterns=4096,
+                                            state_patterns=4096))
+        again = PowerQuery.from_dict(query.to_dict())
+        assert again == query
+        assert again.query_key == query.query_key
+
+    def test_query_key_equals_sweep_task_key(self):
+        """The service cache and the sweep store share keys by design."""
+        config = ExperimentConfig(vdd=0.8, n_patterns=2048,
+                                  state_patterns=2048)
+        query = PowerQuery("C1355", "cntfet-generalized", config)
+        task = SweepTask("C1355", "cntfet-generalized", config)
+        assert query.query_key == task.task_key
+        assert isinstance(task, PowerQuery)
+
+    def test_key_depends_on_every_determinant(self):
+        base = PowerQuery("t481", "cmos", PAPER_CONFIG)
+        assert PowerQuery("i8", "cmos", PAPER_CONFIG).query_key \
+            != base.query_key
+        assert PowerQuery("t481", "cntfet-generalized",
+                          PAPER_CONFIG).query_key != base.query_key
+        changed = ExperimentConfig(frequency=2.0e9)
+        assert PowerQuery("t481", "cmos", changed).query_key \
+            != base.query_key
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown PowerQuery"):
+            PowerQuery.from_dict({"circuit": "t481", "library": "cmos",
+                                  "circiut": "typo"})
+
+    def test_newer_schema_rejected(self):
+        with pytest.raises(ExperimentError, match="schema version"):
+            PowerQuery.from_dict({"schema_version": SCHEMA_VERSION + 1,
+                                  "circuit": "t481", "library": "cmos"})
+
+    def test_missing_config_takes_default(self):
+        default = ExperimentConfig(n_patterns=512, state_patterns=512)
+        query = PowerQuery.from_dict(
+            {"circuit": "t481", "library": "cmos"},
+            default_config=default)
+        assert query.config == default
+        bare = PowerQuery.from_dict({"circuit": "t481", "library": "cmos"})
+        assert bare.config == PAPER_CONFIG
+
+    def test_bad_subject_fields_rejected(self):
+        with pytest.raises(ExperimentError, match="non-empty string"):
+            PowerQuery.from_dict({"circuit": "", "library": "cmos"})
+        with pytest.raises(ExperimentError, match="non-empty string"):
+            PowerQuery.from_dict({"circuit": "t481", "library": 3})
+        with pytest.raises(ExperimentError, match="JSON object"):
+            PowerQuery.from_dict(["t481", "cmos"])
+
+
+class TestPowerQuoteReport:
+    def test_round_trip_is_bit_exact(self):
+        query = PowerQuery("t481", "cmos", PAPER_CONFIG)
+        report = PowerQuoteReport.from_flow(
+            query, _flow(), server_version="1.2.3", cache_status="cold",
+            elapsed_s=0.25)
+        # Through actual JSON text, as the HTTP layer would.
+        again = PowerQuoteReport.from_dict(
+            json.loads(json.dumps(report.to_dict())))
+        assert again == report
+        assert again.result == _flow()
+
+    def test_provenance_fields(self):
+        config = ExperimentConfig(n_patterns=4096, state_patterns=4096)
+        query = PowerQuery("t481", "cmos", config)
+        report = PowerQuoteReport.from_flow(query, _flow(),
+                                            server_version="x")
+        assert report.schema_version == SCHEMA_VERSION
+        assert report.backend == "bitsim"
+        assert report.query_key == query.query_key
+        assert report.config_hash
+        assert report.config == config
+
+    def test_with_status_validates(self):
+        report = PowerQuoteReport.from_flow(
+            PowerQuery("t481", "cmos"), _flow())
+        hot = report.with_status("hot", 0.001)
+        assert hot.cache_status == "hot"
+        assert hot.result == report.result
+        with pytest.raises(ExperimentError, match="cache_status"):
+            report.with_status("lukewarm", 0.0)
+
+    def test_unknown_fields_rejected(self):
+        data = PowerQuoteReport.from_flow(
+            PowerQuery("t481", "cmos"), _flow()).to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ExperimentError,
+                           match="unknown PowerQuoteReport"):
+            PowerQuoteReport.from_dict(data)
+
+    def test_missing_required_field_rejected(self):
+        data = PowerQuoteReport.from_flow(
+            PowerQuery("t481", "cmos"), _flow()).to_dict()
+        del data["result"]
+        with pytest.raises(ExperimentError, match="missing"):
+            PowerQuoteReport.from_dict(data)
+
+    def test_unknown_result_field_rejected_not_typeerror(self):
+        """A newer peer's extra result field must fail the strict
+        contract, not escape as a TypeError from the constructor."""
+        data = PowerQuoteReport.from_flow(
+            PowerQuery("t481", "cmos"), _flow()).to_dict()
+        data["result"]["p_novel_w"] = 1.0
+        with pytest.raises(ExperimentError, match="result fields"):
+            PowerQuoteReport.from_dict(data)
+        del data["result"]["p_novel_w"]
+        del data["result"]["pt_w"]
+        with pytest.raises(ExperimentError, match="missing fields"):
+            PowerQuoteReport.from_dict(data)
+
+    def test_malformed_record_result_rejected(self):
+        with pytest.raises(ExperimentError, match="JSON object"):
+            flow_from_record({"result": "oops"})
+
+
+class TestStoreRecordShape:
+    def test_matches_sweep_store_layout(self):
+        """store_record writes exactly what the sweep stores hold."""
+        from repro.sweep.store import record_for
+
+        config = ExperimentConfig(n_patterns=2048, state_patterns=2048)
+        task = SweepTask("t481", "cmos", config)
+        flow = _flow()
+        via_schema = store_record(task, flow, 1.5)
+        via_store = record_for(task, flow, 1.5)
+        assert via_schema == via_store
+        assert set(via_schema) == {"task_key", "circuit", "library",
+                                   "config", "result", "elapsed_s"}
+        assert via_schema["task_key"] == task.task_key
+        assert flow_from_record(via_schema) == flow
+
+    def test_quote_from_record(self):
+        config = ExperimentConfig(n_patterns=2048, state_patterns=2048)
+        record = store_record(PowerQuery("t481", "cmos", config),
+                              _flow(), 0.7)
+        quote = quote_from_record(record, server_version="v")
+        assert quote.cache_status == "hot"
+        assert quote.circuit == "t481"
+        assert quote.query_key == record["task_key"]
+        assert quote.result == _flow()
+
+    def test_task_schema_version_reexported(self):
+        from repro.sweep import spec
+
+        assert spec.TASK_SCHEMA_VERSION == TASK_SCHEMA_VERSION
