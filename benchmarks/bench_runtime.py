@@ -158,10 +158,26 @@ def bench_characterization() -> dict:
         start = time.perf_counter()
         warm_sim = warm()
         warm_time = time.perf_counter() - start
+
+    # The estimator's pattern-classified leakage tables (the batched
+    # per-cell cold build; direct construction bypasses every cache).
+    from repro.gates.ambipolar_library import generalized_cntfet_library
+    from repro.sim.estimator import _LeakageTables
+
+    leakage = {}
+    for name, build in (("cmos", cmos_library),
+                        ("generalized", generalized_cntfet_library)):
+        library = build()
+        start = time.perf_counter()
+        _LeakageTables(library)
+        leakage[f"leakage_tables_{name}_cold_s"] = (time.perf_counter()
+                                                    - start)
+
     return {"characterize_cmos_cold_s": cold_time,
             "characterize_cmos_warm_s": warm_time,
             "cold_spice_solves": cold_sim.solves,
-            "warm_spice_solves": warm_sim.solves}
+            "warm_spice_solves": warm_sim.solves,
+            **leakage}
 
 
 def _table1_digest(result) -> str:

@@ -249,6 +249,15 @@ class Session:
         spec with ``backend=...``/``libraries=...`` to vary those —
         the session's own config does not leak into the grid.
 
+        Pending points are grouped by *activity*
+        (:func:`repro.sweep.runner.activity_group_key`): each group —
+        one (circuit, library, mapping, pattern budget) — runs a
+        single bit-parallel simulation and re-prices every operating
+        point from it, bit-identically to executing the points one by
+        one.  Workers receive whole groups, so a frequency x fanout x
+        pricing-vdd grid costs one simulation per group no matter how
+        it is sharded.
+
         Args:
             spec: a :class:`~repro.sweep.spec.SweepSpec`.
             store: a :class:`~repro.sweep.store.ResultStore`, a path
@@ -265,9 +274,10 @@ class Session:
 
         from repro.sweep.runner import (
             SweepRunReport,
-            _chunksize,
+            _group_chunksize,
             _verbose_line as _sweep_line,
-            run_sweep_task,
+            group_tasks,
+            run_sweep_group,
         )
         from repro.sweep.store import (
             MemoryResultStore,
@@ -284,16 +294,21 @@ class Session:
         tasks = spec.expand()
         done_keys = store.keys()
         pending = [task for task in tasks if task.task_key not in done_keys]
-        jobs_effective = min(resolve_jobs(self.jobs), max(1, len(pending)))
+        groups = group_tasks(pending)
+        jobs_effective = min(resolve_jobs(self.jobs), max(1, len(groups)))
+        simulations = 0
 
-        def checkpoint(task, record) -> None:
-            store.append(record)
-            if verbose:
-                echo(_sweep_line(task, record))
+        def checkpoint(group, result) -> None:
+            nonlocal simulations
+            simulations += result["simulations"]
+            for task, record in zip(group, result["records"]):
+                store.append(record)
+                if verbose:
+                    echo(_sweep_line(task, record))
 
         parallel_map_stream(
-            run_sweep_task, pending, jobs=self.jobs,
-            chunksize=_chunksize(spec, len(pending), jobs_effective),
+            run_sweep_group, groups, jobs=self.jobs,
+            chunksize=_group_chunksize(len(groups), jobs_effective),
             callback=checkpoint)
 
         return SweepRunReport(
@@ -305,5 +320,7 @@ class Session:
             jobs_requested=0 if self.jobs is None else self.jobs,
             jobs_effective=jobs_effective,
             elapsed_s=time.perf_counter() - start,
+            groups=len(groups),
+            simulations=simulations,
             store=store,
         )

@@ -17,7 +17,8 @@ driven without writing Python:
   vdd x frequency x fanout x patterns x library x circuit with a
   resumable result store (see :mod:`repro.sweep`);
 * ``serve`` — the long-lived estimation server (:mod:`repro.serve`);
-* ``query`` — one power query against a running server.
+* ``query`` — one power query against a running server, or a whole
+  operating-point grid in one batched request (``--grid``).
 
 Libraries and circuits are resolved through :mod:`repro.registry`, so
 anything registered there — including third-party libraries and
@@ -349,6 +350,86 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+#: Axes ``repro query --grid`` may sweep, with their value parsers.
+#: These are the *pricing* axes: the server prices every point of the
+#: grid off one cached simulation.
+_GRID_AXES = {"vdd": float, "frequency": float, "fanout": int}
+
+
+def _parse_grid(values: List[str]):
+    """``--grid vdd=0.8,0.9,frequency=1e9,2e9`` -> ``{axis: tuple}``.
+
+    Each ``--grid`` argument holds one or more ``axis=v1,v2,...``
+    segments (a new segment starts wherever ``,name=`` appears, so the
+    flag reads naturally with commas); repeated flags merge.
+    """
+    import re
+
+    axes = {}
+    for text in values:
+        for part in re.split(r",(?=[A-Za-z_]+=)", text.strip()):
+            name, sep, csv = part.partition("=")
+            name = name.strip()
+            if not sep or name not in _GRID_AXES:
+                raise SystemExit(
+                    f"--grid axes are {', '.join(_GRID_AXES)} "
+                    f"(got {part!r})")
+            try:
+                parsed = tuple(_GRID_AXES[name](value)
+                               for value in csv.split(",") if value)
+            except ValueError:
+                raise SystemExit(f"bad --grid values in {part!r}")
+            if not parsed:
+                raise SystemExit(f"--grid axis {name!r} has no values")
+            axes[name] = tuple(dict.fromkeys(axes.get(name, ()) + parsed))
+    return axes
+
+
+def _cmd_query_grid(args, client) -> int:
+    """One batched ``/v1/estimate_batch`` round trip over a point grid."""
+    import json as json_module
+    from dataclasses import replace
+    from itertools import product
+
+    from repro.errors import ExperimentError
+    from repro.experiments.config import ExperimentConfig
+    from repro.schema import PowerQuery
+
+    axes = _parse_grid(args.grid)
+    base = _config_from_flags(args)
+    try:
+        if base is None:
+            # No local operating-point flags: anchor the grid on the
+            # *server's* default configuration.
+            base = ExperimentConfig.from_dict(
+                client.healthz()["default_config"])
+        queries = [
+            PowerQuery(circuit=args.circuit, library=args.library,
+                       config=replace(base, **dict(zip(axes, values))))
+            for values in product(*axes.values())]
+        reports = client.estimate_batch(queries)
+    except ExperimentError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json_module.dumps([r.to_dict() for r in reports], indent=2))
+        return 0
+    first = reports[0]
+    print(f"{first.circuit} on {first.library} [{first.backend}] "
+          f"via {args.url} — {len(reports)} operating points")
+    print(f"{'vdd/V':>7} {'f/GHz':>8} {'fanout':>6} {'PD/uW':>10} "
+          f"{'PS/uW':>10} {'PT/uW':>10} {'EDP/1e-24Js':>12} {'cache':>9}")
+    for report in reports:
+        r = report.result
+        c = report.config
+        print(f"{c.vdd:7.2f} {c.frequency / 1e9:8.3f} {c.fanout:6d} "
+              f"{r.pd_uw:10.3f} {r.ps_uw:10.4f} {r.pt_uw:10.3f} "
+              f"{r.edp_paper_units:12.3f} {report.cache_status:>9}")
+    cold = sum(1 for r in reports if r.cache_status == "cold")
+    print(f"  {cold} cold / {len(reports) - cold} warm, "
+          f"server={first.server_version}")
+    return 0
+
+
 def _cmd_query(args) -> int:
     import json as json_module
 
@@ -356,6 +437,8 @@ def _cmd_query(args) -> int:
     from repro.serve import Client
 
     client = Client(args.url, timeout=args.timeout)
+    if args.grid:
+        return _cmd_query_grid(args, client)
     try:
         report = client.estimate(args.circuit, args.library,
                                  _config_from_flags(args))
@@ -510,6 +593,13 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="S", help="request timeout in seconds")
     query.add_argument("--json", action="store_true",
                        help="print the raw PowerQuoteReport JSON")
+    query.add_argument("--grid", action="append", default=None,
+                       metavar="AXIS=V1,V2[,AXIS=...]",
+                       help="sweep the pricing axes (vdd, frequency, "
+                            "fanout) in one batched request, e.g. "
+                            "--grid vdd=0.8,0.9,frequency=1e9,2e9; the "
+                            "server prices the whole grid off one "
+                            "cached simulation (repeatable)")
     _add_config_flags(query)
     query.set_defaults(func=_cmd_query)
 

@@ -139,25 +139,24 @@ def map_subject(subject: Aig, library: Library,
     return map_aig(subject, library, options)
 
 
-def estimate_mapped(netlist: MappedNetlist,
-                    config: ExperimentConfig = PAPER_CONFIG,
-                    circuit: Optional[str] = None,
-                    library: Optional[str] = None) -> CircuitFlowResult:
-    """Estimate an already-mapped netlist (the tail of the pipeline).
+def flow_from_power_report(report: CircuitPowerReport,
+                           config: ExperimentConfig,
+                           circuit: Optional[str] = None,
+                           library: Optional[str] = None
+                           ) -> CircuitFlowResult:
+    """The single place a :class:`CircuitPowerReport` becomes a
+    :class:`CircuitFlowResult`.
 
-    This is the single place a :class:`CircuitPowerReport` becomes a
-    :class:`CircuitFlowResult`; the Table 1 grid, the sweep runner and
-    the :mod:`repro.serve` engine all finish here, which is what makes
+    The Table 1 grid, the per-point and grouped sweep runners and the
+    :mod:`repro.serve` engine all finish here, which is what makes
     their results comparable field for field.  ``circuit`` / ``library``
     override the reported names (callers that resolved a registry key
     report the canonical key, not the generator's internal name).
     """
     params = config.power_parameters
-    report: CircuitPowerReport = estimate_with_backend(
-        netlist, params, config)
     return CircuitFlowResult(
-        circuit=circuit if circuit is not None else netlist.name,
-        library=library if library is not None else netlist.library.name,
+        circuit=circuit if circuit is not None else report.circuit,
+        library=library if library is not None else report.library,
         gate_count=report.gate_count,
         delay_s=report.delay,
         pd_w=report.p_dynamic,
@@ -166,6 +165,19 @@ def estimate_mapped(netlist: MappedNetlist,
         pt_w=report.p_total,
         edp_js=energy_delay_product(report.p_total, report.delay, params),
     )
+
+
+def estimate_mapped(netlist: MappedNetlist,
+                    config: ExperimentConfig = PAPER_CONFIG,
+                    circuit: Optional[str] = None,
+                    library: Optional[str] = None) -> CircuitFlowResult:
+    """Estimate an already-mapped netlist (the tail of the pipeline)."""
+    report: CircuitPowerReport = estimate_with_backend(
+        netlist, config.power_parameters, config)
+    return flow_from_power_report(
+        report, config,
+        circuit=circuit if circuit is not None else netlist.name,
+        library=library if library is not None else netlist.library.name)
 
 
 def run_circuit_flow(aig: Aig, library: Library,

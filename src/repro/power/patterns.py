@@ -27,8 +27,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.errors import TopologyError
-from repro.gates.cells import Cell
+from repro.gates.cells import Cell, Stage
 from repro.gates.library import Library
 from repro.gates.topology import (
     Fet,
@@ -37,6 +39,7 @@ from repro.gates.topology import (
     Series,
     TransmissionGate,
     conduction,
+    network_support,
 )
 
 # Pattern trees: ("d",) a single off device; ("s", children...) series;
@@ -186,6 +189,102 @@ def count_on_devices(cell: Cell, values: Sequence[bool]) -> int:
 def _iter_leaves(network: Network):
     from repro.gates.topology import iter_leaves
     return iter_leaves(network)
+
+
+def _conduction_columns(network: Network,
+                        signals: Dict[str, np.ndarray]) -> np.ndarray:
+    """Conduction of a network under *every* signal assignment at once.
+
+    ``signals`` maps signal names to boolean columns (one element per
+    cell input vector); the result is the network's conduction column.
+    This is :func:`repro.gates.topology.conduction` batched over the
+    vector axis.
+    """
+    if isinstance(network, Fet):
+        column = signals[network.control.name]
+        if network.control.negated:
+            column = ~column
+        return column if network.polarity == "n" else ~column
+    if isinstance(network, TransmissionGate):
+        a = signals[network.a.name]
+        if network.a.negated:
+            a = ~a
+        b = signals[network.b.name]
+        if network.b.negated:
+            b = ~b
+        return (a ^ b) ^ network.invert
+    if isinstance(network, Series):
+        result = _conduction_columns(network.children[0], signals)
+        for child in network.children[1:]:
+            result = result & _conduction_columns(child, signals)
+        return result
+    if isinstance(network, Parallel):
+        result = _conduction_columns(network.children[0], signals)
+        for child in network.children[1:]:
+            result = result | _conduction_columns(child, signals)
+        return result
+    raise TopologyError(f"unknown network node {type(network).__name__}")
+
+
+def stage_vector_groups(cell: Cell) -> List[
+        Tuple[Stage, List[Tuple[Dict[str, bool], np.ndarray]]]]:
+    """Batch a cell's input vectors by each stage's local assignment.
+
+    For every stage of ``cell.all_stages()`` (in order) returns
+    ``(stage, groups)``, where each group is ``(assignment, vectors)``:
+    one concrete value combination of the stage's *support* signals and
+    the numpy index array of the cell input vectors producing it.
+    Every vector lands in exactly one group per stage, so a per-stage
+    quantity (an off pattern, an on-device count) evaluated once per
+    group covers all ``2^k`` vectors — the batched replacement for the
+    historical ``2^k x stage_patterns`` per-vector loop.  A stage
+    supported by ``j < k`` signals (complement inverters, chained
+    stages) needs at most ``2^j`` evaluations instead of ``2^k``.
+    """
+    n_vectors = 1 << cell.n_inputs
+    index = np.arange(n_vectors)
+    signals: Dict[str, np.ndarray] = {
+        pin: ((index >> i) & 1).astype(bool)
+        for i, pin in enumerate(cell.inputs)}
+    out: List[Tuple[Stage, List[Tuple[Dict[str, bool], np.ndarray]]]] = []
+    for stage in cell.all_stages():
+        support = sorted(network_support(stage.pulldown))
+        local = np.zeros(n_vectors, dtype=np.int64)
+        for bit, name in enumerate(support):
+            local |= signals[name].astype(np.int64) << bit
+        groups: List[Tuple[Dict[str, bool], np.ndarray]] = []
+        for value in np.unique(local):
+            assignment = {name: bool((int(value) >> bit) & 1)
+                          for bit, name in enumerate(support)}
+            groups.append((assignment, np.nonzero(local == value)[0]))
+        out.append((stage, groups))
+        signals[stage.name] = ~_conduction_columns(stage.pulldown, signals)
+    return out
+
+
+def stage_off_pattern(stage: Stage,
+                      assignment: Dict[str, bool]) -> LeakagePattern:
+    """The leakage pattern of one stage under one (partial) assignment.
+
+    The single-stage core of :func:`stage_patterns`: whichever of
+    {pull-up, pull-down} does not conduct is reduced.  ``assignment``
+    only needs to cover the stage's support signals.
+    """
+    if conduction(stage.pulldown, assignment):
+        off_network = stage.pullup
+    else:
+        off_network = stage.pulldown
+    return off_pattern(off_network, assignment)
+
+
+def stage_on_devices(stage: Stage, assignment: Dict[str, bool]) -> int:
+    """Fully-on device count of one stage (cf. :func:`count_on_devices`)."""
+    total = 0
+    for network in (stage.pulldown, stage.pullup):
+        for leaf in _iter_leaves(network):
+            if leaf.conducts(assignment):
+                total += 1
+    return total
 
 
 def cell_patterns(cell: Cell) -> Dict[Tuple[bool, ...], List[LeakagePattern]]:

@@ -31,7 +31,7 @@ rather than misparsed.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, fields, replace
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.cache import stable_hash
 from repro.errors import ExperimentError
@@ -54,6 +54,11 @@ TASK_SCHEMA_VERSION = 2
 
 #: ``cache_status`` values a service response may carry.
 CACHE_STATUSES = ("cold", "hot", "coalesced")
+
+#: Upper bound on queries in one ``/v1/estimate_batch`` request.  A
+#: batch is a convenience envelope, not a bulk-import channel; larger
+#: grids belong in a sweep store.
+MAX_BATCH_QUERIES = 1024
 
 
 def _reject_unknown(data: Dict[str, Any], known: set, what: str) -> None:
@@ -268,6 +273,65 @@ class PowerQuoteReport:
             cache_status=cache_status,
             elapsed_s=elapsed_s,
         )
+
+
+# -- batch envelopes -----------------------------------------------------------
+#
+# ``POST /v1/estimate_batch`` carries many queries in one versioned
+# envelope; the response mirrors it with one report per query, input
+# order.  The envelope is strict like the single-query forms: unknown
+# fields, newer schema versions, empty and oversized batches are all
+# rejected up front.
+
+
+def batch_request_payload(queries: List[PowerQuery]) -> Dict[str, Any]:
+    """The ``POST /v1/estimate_batch`` body for a list of queries."""
+    return {"schema_version": SCHEMA_VERSION,
+            "queries": [query.to_dict() for query in queries]}
+
+
+def queries_from_batch(data: Dict[str, Any],
+                       default_config: Optional[ExperimentConfig] = None
+                       ) -> List[PowerQuery]:
+    """Parse a batch request envelope into its queries (strict)."""
+    if not isinstance(data, dict):
+        raise ExperimentError(
+            f"a batch query must be a JSON object, got "
+            f"{type(data).__name__}")
+    _reject_unknown(data, {"schema_version", "queries"}, "batch query")
+    _check_schema_version(data, "batch query")
+    queries = data.get("queries")
+    if not isinstance(queries, list) or not queries:
+        raise ExperimentError(
+            "batch query field 'queries' must be a non-empty list")
+    if len(queries) > MAX_BATCH_QUERIES:
+        raise ExperimentError(
+            f"batch query carries {len(queries)} queries; the limit is "
+            f"{MAX_BATCH_QUERIES} — split the batch or run a sweep")
+    return [PowerQuery.from_dict(entry, default_config=default_config)
+            for entry in queries]
+
+
+def batch_response_payload(reports: List[PowerQuoteReport]
+                           ) -> Dict[str, Any]:
+    """The ``/v1/estimate_batch`` response body (one report per query)."""
+    return {"schema_version": SCHEMA_VERSION,
+            "reports": [report.to_dict() for report in reports]}
+
+
+def reports_from_batch(data: Dict[str, Any]) -> List[PowerQuoteReport]:
+    """Inverse of :func:`batch_response_payload` (strict)."""
+    if not isinstance(data, dict):
+        raise ExperimentError(
+            f"a batch response must be a JSON object, got "
+            f"{type(data).__name__}")
+    _reject_unknown(data, {"schema_version", "reports"}, "batch response")
+    _check_schema_version(data, "batch response")
+    reports = data.get("reports")
+    if not isinstance(reports, list):
+        raise ExperimentError(
+            "batch response field 'reports' must be a list")
+    return [PowerQuoteReport.from_dict(entry) for entry in reports]
 
 
 # -- the store record shape ----------------------------------------------------

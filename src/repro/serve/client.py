@@ -24,7 +24,13 @@ from typing import Any, Dict, List, Optional
 
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
-from repro.schema import PowerQuery, PowerQuoteReport, SCHEMA_VERSION
+from repro.schema import (
+    PowerQuery,
+    PowerQuoteReport,
+    SCHEMA_VERSION,
+    batch_request_payload,
+    reports_from_batch,
+)
 
 
 class Client:
@@ -91,6 +97,19 @@ class Client:
             payload["config"] = config.to_dict()
         return PowerQuoteReport.from_dict(
             self._request("/v1/estimate", payload))
+
+    def estimate_batch(self, queries: List[PowerQuery]
+                       ) -> List[PowerQuoteReport]:
+        """POST many queries to ``/v1/estimate_batch`` in one round trip.
+
+        The server groups the batch by activity (one simulation per
+        circuit/library/pattern-budget group, repriced per operating
+        point) and answers in input order — the wire twin of
+        :func:`repro.sim.estimator.estimate_many`.
+        """
+        return reports_from_batch(
+            self._request("/v1/estimate_batch",
+                          batch_request_payload(queries)))
 
     def circuits(self) -> List[Dict[str, Any]]:
         """The server's registered circuits (``/v1/circuits``)."""

@@ -13,7 +13,17 @@ config) triple, while keeping every expensive intermediate warm:
   mapper options), so changing only estimation knobs (frequency,
   fanout, pattern budget, backend) re-estimates without re-mapping;
 * **libraries** — characterized libraries per (key, vdd), fronting
-  the per-process registry cache with engine-level hit/miss counters.
+  the per-process registry cache with engine-level hit/miss counters;
+* **stats** — simulation statistics (the :mod:`repro.sim.activity`
+  LRU, content-addressed by netlist + pattern budget), so a
+  pricing-only requery — same circuit at a new frequency, fanout or
+  supply — does zero bit-parallel simulation work.  ``/healthz``
+  reports it as the ``stats`` cache with ``stats.hot`` /
+  ``stats.cold`` counters.
+
+Batch queries (``POST /v1/estimate_batch`` ->
+:meth:`Engine.estimate_batch`) are grouped server-side by activity so
+a grid of operating points over one circuit pays for one simulation.
 
 Identical queries that arrive *while one is still computing* are
 coalesced: the followers block on the leader's future and are answered
@@ -44,6 +54,10 @@ from repro.experiments.flow import (
     synthesized_benchmark,
 )
 from repro.schema import PowerQuery, PowerQuoteReport
+from repro.sim.activity import (
+    cache_info as activity_cache_info,
+    pricing_group_key,
+)
 from repro.sim.backends import available_backends
 
 #: Default LRU capacities.  Finished reports are tiny (a dataclass of
@@ -115,6 +129,10 @@ class Engine:
         self._generation = registry.generation()
         self.counters: Counter = Counter()
         self.started_monotonic = time.monotonic()
+        # The activity cache is process-wide; counters are reported
+        # relative to this engine's start, so /healthz approximates
+        # *its* traffic (other sessions in the process also move them).
+        self._stats_baseline = activity_cache_info()
         if store is None:
             self._store = None
             self._store_index: Dict[str, Any] = {}
@@ -170,7 +188,18 @@ class Engine:
     def stats(self) -> Dict[str, Any]:
         """Uptime, cache occupancy and counters (the ``/healthz``
         payload body)."""
+        activity = activity_cache_info()
+        baseline = self._stats_baseline
+        # Clamped at zero: the global counters can be reset under us
+        # (activity.clear_cache(reset_counters=True)), and negative
+        # health numbers help nobody.
+        stats_hot = max(0, activity["hits"] - baseline["hits"])
+        stats_cold = max(0, activity["simulations"]
+                         - baseline["simulations"])
         with self._lock:
+            counters = dict(self.counters)
+            counters["stats.hot"] = stats_hot
+            counters["stats.cold"] = stats_cold
             return {
                 "version": __version__,
                 "uptime_s": time.monotonic() - self.started_monotonic,
@@ -190,8 +219,13 @@ class Engine:
                                   "max": self._libraries.maxsize,
                                   "hits": self._libraries.hits,
                                   "misses": self._libraries.misses},
+                    "stats": {"size": activity["size"],
+                              "max": activity["max"],
+                              "hits": stats_hot,
+                              "misses": max(0, activity["misses"]
+                                            - baseline["misses"])},
                 },
-                "counters": dict(self.counters),
+                "counters": counters,
             }
 
     # -- query handling ----------------------------------------------------
@@ -304,6 +338,33 @@ class Engine:
                 if self._generation == enrolled_generation:
                     self._store_index[key] = record
         return report.with_status("cold", time.perf_counter() - start)
+
+    def estimate_batch(self, queries: List[PowerQuery]
+                       ) -> List[PowerQuoteReport]:
+        """Answer many queries, grouped so shared activity simulates once.
+
+        Queries are normalized, then served in activity-group order
+        (:func:`repro.sim.activity.pricing_group_key` — everything but
+        the pricing axes vdd/frequency/fanout): the first query of a
+        group pays the simulation, every following one is pure pricing
+        through the stats cache.  Results return in input order, each
+        with its own ``cache_status``/``elapsed_s``; a grid of N
+        operating points over one circuit therefore costs one
+        simulation, not N.
+        """
+        normalized = [self.normalize(query) for query in queries]
+        order = sorted(
+            range(len(normalized)),
+            key=lambda i: pricing_group_key(normalized[i].circuit,
+                                            normalized[i].library,
+                                            normalized[i].config))
+        reports: List[Optional[PowerQuoteReport]] = [None] * len(normalized)
+        for index in order:
+            reports[index] = self.estimate(normalized[index])
+        with self._lock:
+            self.counters["batch.requests"] += 1
+            self.counters["batch.queries"] += len(normalized)
+        return reports  # type: ignore[return-value]
 
     # -- the cold path -----------------------------------------------------
 

@@ -8,6 +8,12 @@ coalescing) engine.  Endpoints:
 * ``POST /v1/estimate`` — body is a :class:`~repro.schema.PowerQuery`
   JSON object (``config`` optional: the server's default applies);
   response a :class:`~repro.schema.PowerQuoteReport` object.
+* ``POST /v1/estimate_batch`` — body is a versioned envelope
+  ``{"schema_version": 1, "queries": [...]}`` of up to
+  :data:`repro.schema.MAX_BATCH_QUERIES` queries; the engine groups
+  them by activity so a grid of operating points over one circuit
+  simulates once, and the response mirrors the envelope with one
+  report per query in input order.
 * ``GET /v1/circuits`` / ``/v1/libraries`` / ``/v1/backends`` —
   discovery listings from the registries.
 * ``GET /v1/healthz`` — liveness: version, uptime, cache occupancy
@@ -28,10 +34,16 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro import __version__
 from repro.errors import ReproError
-from repro.schema import PowerQuery, SCHEMA_VERSION
+from repro.schema import (
+    PowerQuery,
+    SCHEMA_VERSION,
+    batch_response_payload,
+    queries_from_batch,
+)
 from repro.serve.engine import Engine
 
-#: Maximum accepted request-body size, bytes (a power query is <1 KiB;
+#: Maximum accepted request-body size, bytes (a full
+#: ``MAX_BATCH_QUERIES`` batch envelope stays well under this;
 #: anything larger is a mistake, not a bigger query).
 MAX_BODY_BYTES = 1 << 20
 
@@ -105,23 +117,29 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
         path = self.path.split("?", 1)[0].rstrip("/")
-        if path != "/v1/estimate":
+        if path not in ("/v1/estimate", "/v1/estimate_batch"):
             self._send_error_json(404, f"unknown path {path!r}")
             return
         data = self._read_body_json()
         if data is None:
             return
         try:
-            query = PowerQuery.from_dict(
-                data, default_config=self.engine.session.config)
-            report = self.engine.estimate(query)
+            if path == "/v1/estimate":
+                query = PowerQuery.from_dict(
+                    data, default_config=self.engine.session.config)
+                payload = self.engine.estimate(query).to_dict()
+            else:
+                queries = queries_from_batch(
+                    data, default_config=self.engine.session.config)
+                payload = batch_response_payload(
+                    self.engine.estimate_batch(queries))
         except ReproError as exc:
             self._send_error_json(400, str(exc))
             return
         except Exception as exc:
             self._send_error_json(500, str(exc))
             return
-        self._send_json(200, report.to_dict())
+        self._send_json(200, payload)
 
 
 class PowerServer(ThreadingHTTPServer):

@@ -9,7 +9,19 @@ leakage data as the library characterization.
 """
 
 from repro.sim.bitsim import BitParallelSimulator, SimulationStats
-from repro.sim.estimator import CircuitPowerReport, estimate_circuit_power
+from repro.sim.activity import (
+    activity_key,
+    netlist_activity_key,
+    pricing_group_key,
+    simulation_stats,
+)
+from repro.sim.estimator import (
+    BoundPricing,
+    CircuitPowerReport,
+    PricingModel,
+    estimate_circuit_power,
+    estimate_many,
+)
 from repro.sim.backends import (
     EstimatorBackend,
     available_backends,
@@ -20,8 +32,15 @@ from repro.sim.backends import (
 __all__ = [
     "BitParallelSimulator",
     "SimulationStats",
+    "activity_key",
+    "netlist_activity_key",
+    "pricing_group_key",
+    "simulation_stats",
+    "BoundPricing",
     "CircuitPowerReport",
+    "PricingModel",
     "estimate_circuit_power",
+    "estimate_many",
     "EstimatorBackend",
     "available_backends",
     "get_backend",

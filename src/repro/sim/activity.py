@@ -1,0 +1,263 @@
+"""The cached activity layer of power estimation.
+
+The Eq. 1-5 methodology factors into two halves: *activity extraction*
+(toggle counts and input-state histograms from the random-pattern
+bit-parallel simulation — expensive, a function of the mapped netlist
+and the pattern budget only) and *pricing* (closed-form arithmetic in
+VDD, frequency and the leakage tables — cheap).  This module owns the
+first half as a first-class cacheable artifact:
+
+* :func:`simulation_stats` returns the
+  :class:`~repro.sim.bitsim.SimulationStats` of a netlist, keyed by a
+  stable content hash of ``(netlist content, n_patterns, seed,
+  state_patterns)``.  Results are held in a per-process LRU and,
+  unless :mod:`repro.cache` persistence is disabled, on disk — a
+  frequency sweep, a repeated server query or a re-run of a benchmark
+  never re-simulates what any earlier run already measured.
+* :func:`netlist_activity_key` hashes exactly what the simulation
+  depends on: PI order, the gate list and each cell's truth table.
+  Two netlists mapped at different supplies usually hash equal (the
+  logic structure is the same; only timing and leakage differ), which
+  is what lets a VDD sweep share one simulation.
+* :func:`pricing_group_key` hashes everything *except* the pure
+  pricing axes (vdd, frequency, fanout) of a task/query — tasks that
+  collide on it share one simulation; the sweep runner and the serving
+  engine both group by it.
+
+The cache is content-addressed, so it never needs invalidating: any
+change to the netlist, the pattern budget or the seed produces a fresh
+key.  It is safe (if redundant) for two threads to race on the same
+cold key; both simulations are deterministic and identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from repro.cache import default_cache, stable_hash
+from repro.sim.bitsim import (
+    _WORD_BITS,
+    BitParallelSimulator,
+    DEFAULT_STATE_SAMPLE,
+    SimulationStats,
+)
+
+#: Disk-cache namespace for persisted simulation statistics.
+ACTIVITY_NAMESPACE = "activity"
+
+#: Version of the hashed key payload *and* the stored layout.  Bump on
+#: any change to either; old disk entries are then never read again.
+ACTIVITY_VERSION = 1
+
+#: Default capacity of the per-process stats LRU.  Entries are a few
+#: hundred KB for the largest benchmarks, so this bounds the cache to
+#: tens of MB worst case.
+DEFAULT_MAX_CACHED_STATS = 32
+
+#: Attribute name used to memoize a netlist's content key on the
+#: instance (mapped netlists are effectively immutable once built).
+_KEY_ATTR = "_repro_activity_key"
+
+
+def effective_state_patterns(n_patterns: int,
+                             state_patterns: Optional[int] = None) -> int:
+    """The state-histogram budget a simulation will actually use.
+
+    Mirrors the normalization of :meth:`BitParallelSimulator.run`
+    (default sample, cap at ``n_patterns``, rounding to whole 64-bit
+    words), so two requests that differ only in an immaterial way —
+    say 100 vs 128 state patterns — share one cache entry.
+    """
+    if state_patterns is None:
+        state_patterns = min(n_patterns, DEFAULT_STATE_SAMPLE)
+    state_patterns = min(state_patterns, n_patterns)
+    n_words = (n_patterns + _WORD_BITS - 1) // _WORD_BITS
+    state_words = min((state_patterns + _WORD_BITS - 1) // _WORD_BITS,
+                      n_words)
+    return min(state_words * _WORD_BITS, n_patterns)
+
+
+def netlist_activity_key(netlist) -> str:
+    """Content hash of everything the bit-parallel simulation sees.
+
+    PI order (the RNG assigns pattern words in that order), the gate
+    list (names key the state histograms; inputs/outputs wire the
+    evaluation) and each cell's logic function.  Library electricals —
+    capacitances, timing, leakage — are deliberately absent: they
+    price, they do not simulate.  The key is memoized on the netlist
+    instance.
+    """
+    cached = netlist.__dict__.get(_KEY_ATTR)
+    if cached is not None:
+        return cached
+    library = netlist.library
+    cell_names = sorted({gate.cell for gate in netlist.gates})
+    payload = {
+        "version": ACTIVITY_VERSION,
+        "pis": list(netlist.pi_names),
+        "gates": [[gate.name, gate.cell, list(gate.inputs), gate.output]
+                  for gate in netlist.gates],
+        "cells": {name: [library.cell(name).n_inputs,
+                         library.cell(name).truth_table]
+                  for name in cell_names},
+    }
+    key = stable_hash(payload)
+    netlist.__dict__[_KEY_ATTR] = key
+    return key
+
+
+def activity_key(netlist, n_patterns: int, seed: int = 2010,
+                 state_patterns: Optional[int] = None) -> str:
+    """The full cache key of one simulation request."""
+    return stable_hash({
+        "version": ACTIVITY_VERSION,
+        "netlist": netlist_activity_key(netlist),
+        "n_patterns": n_patterns,
+        "seed": seed,
+        "state_patterns": effective_state_patterns(n_patterns,
+                                                   state_patterns),
+    })
+
+
+def pricing_group_key(circuit: str, library: str, config) -> str:
+    """Hash of a task/query's activity-determining axes.
+
+    Everything of an :class:`~repro.experiments.config.ExperimentConfig`
+    except the pure pricing knobs (vdd, frequency, fanout): two sweep
+    tasks or service queries that collide here can share one simulation
+    — provided the mapped netlists also agree, which the runner checks
+    per supply via :func:`netlist_activity_key` (vdd can, rarely,
+    change the mapping).
+    """
+    return stable_hash({
+        "version": ACTIVITY_VERSION,
+        "circuit": circuit,
+        "library": library,
+        "synthesize": config.synthesize,
+        "mapper_cut_size": config.mapper_cut_size,
+        "mapper_cut_limit": config.mapper_cut_limit,
+        "mapper_area_rounds": config.mapper_area_rounds,
+        "n_patterns": config.n_patterns,
+        "seed": config.seed,
+        "state_patterns": effective_state_patterns(config.n_patterns,
+                                                   config.state_patterns),
+        "backend": config.backend,
+    })
+
+
+class _StatsCache:
+    """The process-wide LRU of simulation statistics (thread-safe)."""
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.simulations = 0
+        self._lock = threading.Lock()
+        self._data: "OrderedDict[str, SimulationStats]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[SimulationStats]:
+        with self._lock:
+            stats = self._data.get(key)
+            if stats is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return stats
+
+    def put(self, key: str, stats: SimulationStats) -> None:
+        with self._lock:
+            self._data[key] = stats
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def info(self) -> Dict[str, int]:
+        with self._lock:
+            return {"size": len(self._data), "max": self.maxsize,
+                    "hits": self.hits, "misses": self.misses,
+                    "disk_hits": self.disk_hits,
+                    "simulations": self.simulations}
+
+    def clear(self, reset_counters: bool = False) -> None:
+        with self._lock:
+            self._data.clear()
+            if reset_counters:
+                self.hits = self.misses = 0
+                self.disk_hits = self.simulations = 0
+
+
+_CACHE = _StatsCache(DEFAULT_MAX_CACHED_STATS)
+
+
+def cache_info() -> Dict[str, int]:
+    """Occupancy and hit/miss/simulation counters of the stats LRU."""
+    return _CACHE.info()
+
+
+def clear_cache(reset_counters: bool = False) -> None:
+    """Drop every cached entry (tests and memory-pressure escape hatch)."""
+    _CACHE.clear(reset_counters)
+
+
+def _valid_payload(payload: Any, netlist, n_patterns: int,
+                   state_patterns: int) -> bool:
+    """Structural check of a disk entry against the requesting netlist."""
+    if not isinstance(payload, dict):
+        return False
+    if payload.get("n_patterns") != n_patterns:
+        return False
+    if payload.get("n_state_patterns") != state_patterns:
+        return False
+    toggles = payload.get("toggles")
+    counts = payload.get("state_counts")
+    if not isinstance(toggles, dict) or not isinstance(counts, dict):
+        return False
+    library = netlist.library
+    for gate in netlist.gates:
+        entry = counts.get(gate.name)
+        size = 1 << library.cell(gate.cell).n_inputs
+        if not isinstance(entry, list) or len(entry) != size:
+            return False
+        if gate.output not in toggles:
+            return False
+    return all(name in toggles for name in netlist.pi_names)
+
+
+def simulation_stats(netlist, n_patterns: int, seed: int = 2010,
+                     state_patterns: Optional[int] = None
+                     ) -> SimulationStats:
+    """The (cached) simulation statistics of a mapped netlist.
+
+    Checks the per-process LRU, then the :mod:`repro.cache` disk store,
+    and only then runs the bit-parallel simulation.  The returned
+    object is shared — treat it as immutable.
+    """
+    key = activity_key(netlist, n_patterns, seed, state_patterns)
+    stats = _CACHE.get(key)
+    if stats is not None:
+        return stats
+    disk = default_cache()
+    payload = disk.get(ACTIVITY_NAMESPACE, key)
+    effective = effective_state_patterns(n_patterns, state_patterns)
+    if _valid_payload(payload, netlist, n_patterns, effective):
+        try:
+            stats = SimulationStats.from_payload(payload)
+        except (TypeError, ValueError, KeyError):
+            stats = None
+        if stats is not None:
+            with _CACHE._lock:
+                _CACHE.disk_hits += 1
+            _CACHE.put(key, stats)
+            return stats
+    stats = BitParallelSimulator(netlist).run(n_patterns, seed,
+                                              state_patterns)
+    with _CACHE._lock:
+        _CACHE.simulations += 1
+    disk.put(ACTIVITY_NAMESPACE, key, stats.to_payload())
+    _CACHE.put(key, stats)
+    return stats

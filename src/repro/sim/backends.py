@@ -39,7 +39,7 @@ import numpy as np
 from repro.cache import stable_hash
 from repro.errors import ExperimentError, SimulationError
 from repro.power.model import SHORT_CIRCUIT_FRACTION, PowerParameters
-from repro.sim.bitsim import BitParallelSimulator
+from repro.sim.activity import simulation_stats
 from repro.sim.estimator import (
     CircuitPowerReport,
     estimate_circuit_power,
@@ -215,13 +215,14 @@ class SpiceTransientBackend:
                 f"gates ({netlist.name!r} has {netlist.gate_count}); use "
                 f"the bitsim backend for large netlists")
         library = netlist.library
-        stats = BitParallelSimulator(netlist).run(
-            config.n_patterns, config.seed, config.state_patterns)
+        stats = simulation_stats(netlist, config.n_patterns, config.seed,
+                                 config.state_patterns)
 
         caps = switched_capacitance(netlist)
+        alphas = stats.toggle_rates([gate.output for gate in netlist.gates])
         p_dynamic = 0.0
-        for gate in netlist.gates:
-            alpha = stats.toggle_rate(gate.output)
+        for alpha, gate in zip(alphas, netlist.gates):
+            alpha = float(alpha)
             if alpha == 0.0:
                 continue
             loads = caps[gate.output] - library.output_capacitance(gate.cell)

@@ -18,7 +18,7 @@ Besides net values the simulator collects:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +28,10 @@ from repro.synth.sop import isop
 
 _WORD_BITS = 64
 _UINT64_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Default pattern budget of the leakage-state histogram (leakage
+#: averages converge much faster than activity estimates).
+DEFAULT_STATE_SAMPLE = 65_536
 
 
 @dataclass
@@ -47,6 +51,50 @@ class SimulationStats:
         if self.n_patterns < 2:
             return 0.0
         return self.toggles.get(net, 0) / (self.n_patterns - 1)
+
+    def toggle_rates(self, nets: Sequence[str]) -> np.ndarray:
+        """Vectorized :meth:`toggle_rate` over many nets at once.
+
+        Element ``i`` equals ``toggle_rate(nets[i])`` bit for bit (the
+        same int64 toggle count divided by the same denominator); the
+        pricing layer consumes whole-netlist activity as one array
+        instead of one dictionary lookup per gate.
+        """
+        if self.n_patterns < 2:
+            return np.zeros(len(nets))
+        counts = np.fromiter((self.toggles.get(net, 0) for net in nets),
+                             dtype=np.int64, count=len(nets))
+        return counts / (self.n_patterns - 1)
+
+    # -- persistence --------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Plain-JSON form (integers only, so the round trip is exact)."""
+        return {
+            "n_patterns": self.n_patterns,
+            "n_state_patterns": self.n_state_patterns,
+            "toggles": dict(self.toggles),
+            "state_counts": {name: counts.tolist()
+                             for name, counts in self.state_counts.items()},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SimulationStats":
+        """Inverse of :meth:`to_payload`.
+
+        Raises ``TypeError``/``ValueError`` on malformed payloads (the
+        activity cache treats either as a miss).
+        """
+        state_counts = {
+            str(name): np.asarray(counts, dtype=np.int64)
+            for name, counts in dict(payload["state_counts"]).items()}
+        return cls(
+            n_patterns=int(payload["n_patterns"]),
+            toggles={str(net): int(count)
+                     for net, count in dict(payload["toggles"]).items()},
+            state_counts=state_counts,
+            n_state_patterns=int(payload["n_state_patterns"]),
+        )
 
 
 def _popcount_words(words: np.ndarray) -> int:
@@ -107,7 +155,7 @@ class BitParallelSimulator:
         if n_patterns < 1:
             raise SimulationError("n_patterns must be >= 1")
         if state_patterns is None:
-            state_patterns = min(n_patterns, 65536)
+            state_patterns = min(n_patterns, DEFAULT_STATE_SAMPLE)
         state_patterns = min(state_patterns, n_patterns)
 
         netlist = self.netlist

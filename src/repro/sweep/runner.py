@@ -1,26 +1,33 @@
-"""Sharded, resumable execution of a sweep grid.
+"""Sharded, resumable execution of a sweep grid — grouped by activity.
 
 ``run_sweep`` is a thin wrapper over :meth:`repro.api.Session.sweep`,
 kept for its established signature.  The session expands the spec,
-drops every task whose key the store already holds, and fans the rest
-out over worker processes via
-:func:`repro.experiments.parallel.parallel_map_stream`.  Each finished
-point is appended to the store *as it completes* (grid order serially,
-completion order across workers — the store is key-addressed, so
-append order is irrelevant to resume), and a killed run therefore
-checkpoints everything completed so far; the next run picks up exactly
-where it stopped.
+drops every task whose key the store already holds, groups the rest by
+*activity* (:func:`activity_group_key`: everything that shapes the
+bit-parallel simulation — circuit, library, synthesis and mapper
+options, pattern budget, seed, backend — i.e. every axis except the
+pure pricing knobs vdd/frequency/fanout) and fans the groups out over
+worker processes via
+:func:`repro.experiments.parallel.parallel_map_stream`.
+
+Each group runs **one** bit-parallel simulation (one per distinct
+mapped-netlist hash, should the vdd axis ever change the mapping) and
+re-prices every operating point of the group through the vectorized
+:func:`repro.sim.estimator.estimate_many` — bit-identical to executing
+each point separately, which the runner tests assert.  Finished points
+are appended to the store *as their group completes* (grid order
+serially, completion order across workers — the store is
+key-addressed, so append order is irrelevant to resume), and a killed
+run therefore checkpoints every finished group; the next run picks up
+exactly where it stopped.
 
 Worker-side caching mirrors the Table 1 grid: benchmarks are built and
 synthesized once per process, libraries characterized once per process
 *per supply voltage* (the vdd axis re-characterizes timing and leakage
-through ``TechnologyParams.with_vdd`` — frequency, fanout and pattern
-budget are estimation-time knobs), and the mapped netlist of each
-(circuit, library, vdd, synthesize, mapper options) is cached so a
-sweep over the remaining axes maps once and only re-estimates.
-Mapping is deterministic, so the cached-netlist path is bit-identical
-to the full pipeline (the runner tests assert this against
-``reproduce_table1``).
+through ``TechnologyParams.with_vdd``), mapped netlists are cached per
+(circuit, library, vdd, synthesize, mapper options), and simulation
+statistics live in the :mod:`repro.sim.activity` LRU + disk cache, so
+even across groups and runs nothing simulates twice.
 """
 
 from __future__ import annotations
@@ -28,15 +35,22 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.flow import (
     estimate_mapped,
+    flow_from_power_report,
     map_subject,
     synthesized_benchmark,
 )
 from repro.experiments.config import ExperimentConfig
 from repro.registry import cached_library
+from repro.sim.activity import (
+    cache_info as activity_cache_info,
+    netlist_activity_key,
+    pricing_group_key,
+    simulation_stats,
+)
 from repro.sweep.spec import SweepSpec, SweepTask
 from repro.sweep.store import ResultStore, record_for
 
@@ -59,17 +73,109 @@ def _mapped_netlist(circuit: str, library_key: str, vdd: float,
     return map_subject(subject, library, options)
 
 
-def run_sweep_task(task: SweepTask) -> Dict[str, Any]:
-    """Execute one sweep point: picklable task -> store record."""
-    start = time.perf_counter()
+def _task_netlist(task: SweepTask):
+    """The mapped netlist of one task, from the per-process cache."""
     config = task.config
-    netlist = _mapped_netlist(
+    return _mapped_netlist(
         task.circuit, task.library, config.vdd, config.synthesize,
         config.mapper_cut_size, config.mapper_cut_limit,
         config.mapper_area_rounds)
-    flow = estimate_mapped(netlist, config, circuit=task.circuit,
+
+
+def run_sweep_task(task: SweepTask) -> Dict[str, Any]:
+    """Execute one sweep point: picklable task -> store record.
+
+    The per-point path; the grouped runner is bit-identical to it (and
+    asserted so in tests).  Activity still comes from the stats cache,
+    so even this path never re-simulates a budget it has seen.
+    """
+    start = time.perf_counter()
+    netlist = _task_netlist(task)
+    flow = estimate_mapped(netlist, task.config, circuit=task.circuit,
                            library=task.library)
     return record_for(task, flow, time.perf_counter() - start)
+
+
+# -- activity grouping --------------------------------------------------------
+
+def activity_group_key(task: SweepTask) -> str:
+    """Tasks sharing this key share one bit-parallel simulation.
+
+    Everything of the task except the pure pricing axes (vdd,
+    frequency, fanout); see
+    :func:`repro.sim.activity.pricing_group_key`.  Within a group the
+    vdd axis is additionally checked against the per-supply mapped
+    netlists' activity hashes — the rare supply point that maps to a
+    different structure is simulated separately.
+    """
+    return pricing_group_key(task.circuit, task.library, task.config)
+
+
+def group_tasks(tasks: Sequence[SweepTask]) -> List[List[SweepTask]]:
+    """Partition tasks into activity groups, preserving grid order."""
+    groups: "Dict[str, List[SweepTask]]" = {}
+    for task in tasks:
+        groups.setdefault(activity_group_key(task), []).append(task)
+    return list(groups.values())
+
+
+def run_sweep_group(tasks: Sequence[SweepTask]) -> Dict[str, Any]:
+    """Execute one activity group: one simulation, many pricings.
+
+    Returns ``{"records": [...], "simulations": n}`` with one store
+    record per task (task order) and the number of bit-parallel
+    simulations this call actually executed (0 when the activity cache
+    was already warm).  Non-bitsim backends fall back to the per-point
+    path — their estimates are not a closed-form pricing of shared
+    statistics — but still share the cached activity.
+    """
+    start = time.perf_counter()
+    simulated_before = activity_cache_info()["simulations"]
+    config = tasks[0].config
+    if config.backend != "bitsim":
+        records = [run_sweep_task(task) for task in tasks]
+        return {"records": records,
+                "simulations": (activity_cache_info()["simulations"]
+                                - simulated_before)}
+
+    from repro.sim.estimator import estimate_many
+
+    netlists = {}
+    for task in tasks:
+        vdd = task.config.vdd
+        if vdd not in netlists:
+            netlists[vdd] = _task_netlist(task)
+    # The vdd axis can (rarely) change the mapping; points whose
+    # netlist hashes differently get their own simulation.
+    subgroups: "Dict[str, List[SweepTask]]" = {}
+    for task in tasks:
+        key = netlist_activity_key(netlists[task.config.vdd])
+        subgroups.setdefault(key, []).append(task)
+
+    records: Dict[str, Dict[str, Any]] = {}
+    for subtasks in subgroups.values():
+        base = netlists[subtasks[0].config.vdd]
+        stats = simulation_stats(base, config.n_patterns, config.seed,
+                                 config.state_patterns)
+        points = [task.config.power_parameters for task in subtasks]
+        reports = estimate_many(base, stats, points, netlists=netlists)
+        for task, report in zip(subtasks, reports):
+            flow = flow_from_power_report(report, task.config,
+                                          circuit=task.circuit,
+                                          library=task.library)
+            records[task.task_key] = record_for(task, flow, 0.0)
+
+    # One wall-clock measurement, apportioned evenly: per-point times
+    # are not separable once the simulation is shared.
+    per_point = (time.perf_counter() - start) / max(1, len(tasks))
+    ordered = []
+    for task in tasks:
+        record = records[task.task_key]
+        record["elapsed_s"] = per_point
+        ordered.append(record)
+    return {"records": ordered,
+            "simulations": (activity_cache_info()["simulations"]
+                            - simulated_before)}
 
 
 @dataclass
@@ -85,14 +191,21 @@ class SweepRunReport:
     jobs_requested: int
     jobs_effective: int
     elapsed_s: float
+    #: Activity groups the executed points collapsed into.
+    groups: int = 0
+    #: Bit-parallel simulations actually executed (<= groups; less when
+    #: the activity cache was already warm).
+    simulations: int = 0
     #: The store the run appended to (handy for in-memory sessions).
     store: Optional[ResultStore] = field(default=None, repr=False,
                                          compare=False)
 
     def render(self) -> str:
-        """One greppable summary line (CI asserts on ``executed=``)."""
+        """One greppable summary line (CI asserts on ``executed=`` and
+        ``simulations=``)."""
         return (f"sweep {self.spec_hash[:12]}: total={self.total} "
                 f"cached={self.cached} executed={self.executed} "
+                f"groups={self.groups} simulations={self.simulations} "
                 f"jobs={self.jobs_effective} "
                 f"elapsed={self.elapsed_s:.1f}s store={self.store_path}")
 
@@ -106,13 +219,11 @@ def _verbose_line(task: SweepTask, record: Dict[str, Any]) -> str:
             f"({record['elapsed_s']:.2f}s)")
 
 
-def _chunksize(spec: SweepSpec, n_pending: int, n_workers: int) -> int:
-    """Group consecutive tasks of one netlist, bounded for balance."""
-    group = max(1, spec.points_per_netlist)
+def _group_chunksize(n_groups: int, n_workers: int) -> int:
+    """Groups per work unit: fair sharing with a little batching."""
     if n_workers <= 1:
-        return group
-    fair = max(1, -(-n_pending // (n_workers * 4)))
-    return max(1, min(group, fair))
+        return 1
+    return max(1, -(-n_groups // (n_workers * 4)))
 
 
 def run_sweep(spec: SweepSpec, store: ResultStore,

@@ -8,6 +8,7 @@ from repro.gates.cells import nfet, pfet
 from repro.gates.topology import conduction, dual, parallel, series
 from repro.power.patterns import (
     cell_patterns,
+    count_on_devices,
     library_patterns,
     off_pattern,
     stage_patterns,
@@ -140,3 +141,75 @@ class TestCellPatterns:
         xor2 = glib.cell("XOR2")
         patterns = stage_patterns(xor2, (False, False))
         assert len(patterns) == 3  # a#bar, b#bar, output stage
+
+
+class TestStageVectorGroups:
+    """The batched per-cell evaluation behind the vectorized leakage
+    tables: groups partition the vectors and agree with the per-vector
+    machinery on every cell of every library."""
+
+    def test_groups_partition_all_vectors(self, glib):
+        import numpy as np
+
+        from repro.power.patterns import stage_vector_groups
+
+        for cell in glib:
+            n_vectors = 1 << cell.n_inputs
+            for stage, groups in stage_vector_groups(cell):
+                seen = np.concatenate([vectors for _, vectors in groups])
+                assert sorted(seen.tolist()) == list(range(n_vectors))
+
+    def test_matches_per_vector_stage_patterns(self, glib, mlib):
+        from repro.power.patterns import (
+            stage_off_pattern,
+            stage_on_devices,
+            stage_vector_groups,
+        )
+
+        for library in (glib, mlib):
+            for cell in library:
+                per_vector = {}
+                on_counts = {}
+                for stage, groups in stage_vector_groups(cell):
+                    for assignment, vectors in groups:
+                        pattern = stage_off_pattern(stage, assignment)
+                        on = stage_on_devices(stage, assignment)
+                        for vector in vectors.tolist():
+                            per_vector.setdefault(vector, []).append(
+                                pattern.key)
+                            on_counts[vector] = on_counts.get(vector,
+                                                              0) + on
+                for vector in range(1 << cell.n_inputs):
+                    values = tuple(bool((vector >> i) & 1)
+                                   for i in range(cell.n_inputs))
+                    reference = [p.key
+                                 for p in stage_patterns(cell, values)]
+                    assert per_vector[vector] == reference, cell.name
+                    assert on_counts[vector] == count_on_devices(
+                        cell, values), cell.name
+
+
+class TestLeakageTablesBitIdentity:
+    def test_vectorized_build_matches_reference_loop(self, mlib):
+        """The batched `_LeakageTables` cold build reproduces the
+        historical 2^k x stage_patterns loop bit for bit."""
+        import numpy as np
+
+        from repro.power.pattern_sim import PatternSimulator
+        from repro.sim.estimator import _LeakageTables
+
+        tables = _LeakageTables(mlib)
+        simulator = PatternSimulator(mlib.tech)
+        ig_unit = mlib.tech.nmos.ig_on
+        for cell in mlib:
+            k = cell.n_inputs
+            off = np.zeros(1 << k)
+            gate = np.zeros(1 << k)
+            for vector in range(1 << k):
+                values = tuple(bool((vector >> i) & 1) for i in range(k))
+                off[vector] = sum(simulator.off_current(p)
+                                  for p in stage_patterns(cell, values))
+                gate[vector] = count_on_devices(cell, values) * ig_unit
+            assert np.array_equal(tables.i_off[cell.name], off), cell.name
+            assert np.array_equal(tables.i_gate[cell.name],
+                                  gate), cell.name

@@ -60,6 +60,30 @@ class TestEngineCaching:
         assert stats["netlists"]["hits"] == 1
         assert stats["libraries"]["hits"] == 1
 
+    def test_remap_free_requery_does_zero_bitsim_work(self, tiny_config):
+        """The regression lock for the activity split: a second query
+        that changes only pricing knobs (frequency here) must be served
+        from the stats cache — not one bit-parallel pattern simulated."""
+        from repro.sim import activity
+
+        activity.clear_cache(reset_counters=True)
+        engine = Engine(Session(tiny_config))
+        engine.estimate_request("t481", "cmos")
+        simulated = activity.cache_info()["simulations"]
+        assert simulated >= 1
+        requery = engine.estimate_request(
+            "t481", "cmos",
+            ExperimentConfig(frequency=2.0e9,
+                             n_patterns=tiny_config.n_patterns,
+                             state_patterns=tiny_config.state_patterns))
+        assert requery.cache_status == "cold"  # new result key...
+        assert activity.cache_info()["simulations"] == simulated  # ...no sim
+        counters = engine.stats()["counters"]
+        assert counters["stats.hot"] >= 1
+        assert counters["stats.cold"] >= 1
+        caches = engine.stats()["caches"]
+        assert caches["stats"]["hits"] >= 1
+
     def test_vdd_change_remaps(self, engine, tiny_config):
         engine.estimate_request("t481", "cmos")
         engine.estimate_request(
@@ -97,6 +121,70 @@ class TestEngineCaching:
         assert again.cache_status == "cold"
         # ... but the netlist/library layers still made it cheap.
         assert engine.stats()["caches"]["netlists"]["hits"] == 1
+
+
+class TestEngineBatch:
+    def test_batch_matches_single_queries_in_order(self, tiny_config):
+        from repro.schema import PowerQuery
+
+        engine = Engine(Session(tiny_config))
+        configs = [ExperimentConfig(frequency=f,
+                                    n_patterns=tiny_config.n_patterns,
+                                    state_patterns=tiny_config
+                                    .state_patterns)
+                   for f in (0.5e9, 1.0e9, 2.0e9)]
+        queries = [PowerQuery(circuit="t481", library="cmos",
+                              config=config) for config in configs]
+        reports = engine.estimate_batch(queries)
+        assert [r.config.frequency for r in reports] == \
+            [0.5e9, 1.0e9, 2.0e9]
+        for query, report in zip(queries, reports):
+            assert report.result == engine.estimate(query).result
+        counters = engine.stats()["counters"]
+        assert counters["batch.requests"] == 1
+        assert counters["batch.queries"] == 3
+
+    def test_batch_grid_simulates_once(self, tiny_config):
+        """The server-side grouping guarantee: an operating-point grid
+        over one circuit costs one bit-parallel simulation."""
+        from repro.schema import PowerQuery
+        from repro.sim import activity
+
+        activity.clear_cache(reset_counters=True)
+        engine = Engine(Session(tiny_config))
+        queries = [PowerQuery(circuit="t481", library="generalized",
+                              config=ExperimentConfig(
+                                  frequency=f, fanout=fo,
+                                  n_patterns=tiny_config.n_patterns,
+                                  state_patterns=tiny_config
+                                  .state_patterns))
+                   for f in (0.5e9, 1.0e9, 2.0e9) for fo in (1, 3)]
+        reports = engine.estimate_batch(queries)
+        assert len(reports) == 6
+        assert activity.cache_info()["simulations"] == 1
+        assert engine.stats()["counters"]["stats.cold"] == 1
+
+    def test_batch_interleaved_groups_still_group(self, tiny_config):
+        """Queries arriving interleaved across circuits are re-ordered
+        by activity group server-side (answers stay in input order)."""
+        from repro.schema import PowerQuery
+        from repro.sim import activity
+
+        activity.clear_cache(reset_counters=True)
+        engine = Engine(Session(tiny_config))
+        frequencies = (0.5e9, 1.0e9)
+        queries = [PowerQuery(circuit=circuit, library="cmos",
+                              config=ExperimentConfig(
+                                  frequency=f,
+                                  n_patterns=tiny_config.n_patterns,
+                                  state_patterns=tiny_config
+                                  .state_patterns))
+                   for f in frequencies
+                   for circuit in ("t481", "C1908")]
+        reports = engine.estimate_batch(queries)
+        assert [r.circuit for r in reports] == ["t481", "C1908",
+                                               "t481", "C1908"]
+        assert activity.cache_info()["simulations"] == 2
 
 
 class TestEngineCoalescing:
@@ -311,4 +399,7 @@ class TestEngineDiscovery:
         stats = engine.stats()
         assert stats["version"] == __version__
         assert stats["uptime_s"] >= 0
-        assert set(stats["caches"]) == {"results", "netlists", "libraries"}
+        assert set(stats["caches"]) == {"results", "netlists", "libraries",
+                                        "stats"}
+        assert "stats.hot" in stats["counters"]
+        assert "stats.cold" in stats["counters"]

@@ -100,6 +100,71 @@ class TestEstimateEndpoint:
         assert isinstance(report, PowerQuoteReport)
 
 
+class TestEstimateBatchEndpoint:
+    def test_batch_equals_single_queries(self, client, tiny_grid_config):
+        from dataclasses import replace
+
+        configs = [replace(tiny_grid_config, frequency=f)
+                   for f in (0.5e9, 1.0e9, 2.0e9)]
+        queries = [PowerQuery(circuit="t481", library="cmos",
+                              config=config) for config in configs]
+        reports = client.estimate_batch(queries)
+        assert len(reports) == 3
+        for query, report in zip(queries, reports):
+            single = client.query(query)
+            assert report.result == single.result
+            assert report.query_key == single.query_key
+            assert report.config.frequency == query.config.frequency
+
+    def test_config_less_batch_uses_server_default(self, client,
+                                                   tiny_grid_config,
+                                                   server):
+        payload = {"schema_version": SCHEMA_VERSION,
+                   "queries": [{"circuit": "t481", "library": "cmos"}]}
+        request = urllib.request.Request(
+            f"{server.url}/v1/estimate_batch",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request) as response:
+            data = json.loads(response.read())
+        assert data["schema_version"] == SCHEMA_VERSION
+        report = PowerQuoteReport.from_dict(data["reports"][0])
+        assert report.config == tiny_grid_config
+
+    def test_empty_and_malformed_batches_rejected(self, server):
+        for payload in ({"schema_version": SCHEMA_VERSION, "queries": []},
+                        {"schema_version": SCHEMA_VERSION,
+                         "queries": [], "extra": 1},
+                        {"schema_version": SCHEMA_VERSION}):
+            request = urllib.request.Request(
+                f"{server.url}/v1/estimate_batch",
+                data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"})
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 400
+
+    def test_oversized_batch_rejected(self, client):
+        from repro.errors import ExperimentError
+        from repro.schema import MAX_BATCH_QUERIES
+
+        queries = [PowerQuery(circuit="t481", library="cmos")
+                   ] * (MAX_BATCH_QUERIES + 1)
+        with pytest.raises(ExperimentError, match="limit"):
+            client.estimate_batch(queries)
+
+    def test_unknown_circuit_fails_the_whole_batch(self, client,
+                                                   tiny_grid_config):
+        from repro.errors import ExperimentError
+
+        queries = [PowerQuery(circuit="t481", library="cmos",
+                              config=tiny_grid_config),
+                   PowerQuery(circuit="nope", library="cmos",
+                              config=tiny_grid_config)]
+        with pytest.raises(ExperimentError, match="unknown circuit"):
+            client.estimate_batch(queries)
+
+
 class TestDiscoveryEndpoints:
     def test_healthz(self, client):
         health = client.healthz()

@@ -183,3 +183,68 @@ class TestStoreRecordShape:
         from repro.sweep import spec
 
         assert spec.TASK_SCHEMA_VERSION == TASK_SCHEMA_VERSION
+
+
+class TestBatchEnvelopes:
+    def _queries(self):
+        return [PowerQuery(circuit="t481", library="cmos"),
+                PowerQuery(circuit="C1908", library="generalized",
+                           config=ExperimentConfig(frequency=2.0e9))]
+
+    def test_request_round_trip(self):
+        from repro.schema import batch_request_payload, queries_from_batch
+
+        queries = self._queries()
+        payload = json.loads(json.dumps(batch_request_payload(queries)))
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert queries_from_batch(payload) == queries
+
+    def test_request_default_config_applies(self):
+        from repro.schema import queries_from_batch
+
+        fallback = ExperimentConfig(n_patterns=512, state_patterns=512)
+        payload = {"schema_version": SCHEMA_VERSION,
+                   "queries": [{"circuit": "t481", "library": "cmos"}]}
+        query, = queries_from_batch(payload, default_config=fallback)
+        assert query.config == fallback
+
+    def test_request_strictness(self):
+        from repro.schema import MAX_BATCH_QUERIES, queries_from_batch
+
+        with pytest.raises(ExperimentError, match="non-empty"):
+            queries_from_batch({"schema_version": SCHEMA_VERSION,
+                                "queries": []})
+        with pytest.raises(ExperimentError, match="unknown batch"):
+            queries_from_batch({"schema_version": SCHEMA_VERSION,
+                                "queries": [], "surprise": 1})
+        with pytest.raises(ExperimentError, match="schema version"):
+            queries_from_batch({"schema_version": SCHEMA_VERSION + 1,
+                                "queries": [{}]})
+        too_many = [{"circuit": "t481", "library": "cmos"}
+                    ] * (MAX_BATCH_QUERIES + 1)
+        with pytest.raises(ExperimentError, match="limit"):
+            queries_from_batch({"schema_version": SCHEMA_VERSION,
+                                "queries": too_many})
+        with pytest.raises(ExperimentError, match="JSON object"):
+            queries_from_batch([])
+
+    def test_response_round_trip_is_float_exact(self):
+        from repro.schema import (
+            batch_response_payload,
+            reports_from_batch,
+        )
+
+        reports = [PowerQuoteReport.from_flow(query, _flow())
+                   for query in self._queries()]
+        payload = json.loads(json.dumps(batch_response_payload(reports)))
+        assert reports_from_batch(payload) == reports
+
+    def test_response_strictness(self):
+        from repro.schema import reports_from_batch
+
+        with pytest.raises(ExperimentError, match="must be a list"):
+            reports_from_batch({"schema_version": SCHEMA_VERSION,
+                                "reports": {}})
+        with pytest.raises(ExperimentError, match="unknown batch"):
+            reports_from_batch({"schema_version": SCHEMA_VERSION,
+                                "reports": [], "surprise": 1})
