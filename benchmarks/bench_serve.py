@@ -9,7 +9,10 @@ batch path:
   netlist/library caches hold, only estimation reruns);
 * **warm** — the identical query again (result-cache hit);
 * **throughput** — sequential warm queries/s, in process and over HTTP
-  (loopback).
+  (loopback);
+* **overload** — shed rate and p50/p99 latency of admitted requests at
+  2x the admission limit (``max_inflight``), with an injected 10 ms
+  per-request hold so the offered load genuinely exceeds capacity.
 
 Results merge into ``BENCH_perf.json`` under the ``"serve"`` key (the
 rest of the file is whatever ``bench_runtime.py`` last wrote), so the
@@ -134,6 +137,94 @@ def bench_http(config, circuit: str, library: str) -> dict:
         thread.join(timeout=10)
 
 
+def bench_overload(config, circuit: str, library: str,
+                   quick: bool) -> dict:
+    """Admission control under 2x offered load.
+
+    Twice ``max_inflight`` client threads slam the server with
+    cache-busting queries (a fresh frequency per request) while an
+    ``engine.latency`` fault holds every admitted request on its slot
+    for a deterministic 10 ms.  Tracked numbers: the shed rate (429s /
+    offered) and the p50/p99 latency of the *admitted* requests —
+    load shedding is only worth its 429s if the requests it protects
+    stay fast.
+    """
+    from repro import faults
+    from repro.api import Session
+    from repro.errors import ServerError
+    from repro.serve import Client, Engine, serve
+
+    max_inflight = 4
+    workers = 2 * max_inflight
+    per_worker = 5 if quick else 25
+
+    engine = Engine(Session(config))
+    # Pay synthesis/characterization once so the measurement isolates
+    # the admission + pricing path.
+    engine.estimate_request(circuit, library)
+    faults.activate("engine.latency:times=inf,ms=10")
+    server = serve(engine, max_inflight=max_inflight)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    lock = threading.Lock()
+    latencies: list = []
+    counts = {"ok": 0, "shed": 0}
+
+    def slam(worker_index: int) -> None:
+        client = Client(server.url, retry=None)
+        for i in range(per_worker):
+            # A frequency nobody else asks for: every admitted request
+            # re-prices (holding its slot) instead of hitting the LRU.
+            frequency = 1.0e9 + 1.0e6 * (worker_index * per_worker + i + 1)
+            point = replace(config, frequency=frequency)
+            start = time.perf_counter()
+            try:
+                client.estimate(circuit, library, config=point)
+            except ServerError as error:
+                if error.status != 429:
+                    raise
+                with lock:
+                    counts["shed"] += 1
+                continue
+            elapsed = time.perf_counter() - start
+            with lock:
+                counts["ok"] += 1
+                latencies.append(elapsed)
+
+    try:
+        threads = [threading.Thread(target=slam, args=(index,))
+                   for index in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        faults.deactivate()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+    offered = counts["ok"] + counts["shed"]
+    assert counts["ok"] > 0, "overload shed every single request"
+    assert counts["shed"] > 0, (
+        f"no request shed at {workers} threads vs max_inflight="
+        f"{max_inflight}; admission control never engaged")
+    latencies.sort()
+    p99 = latencies[min(len(latencies) - 1, int(0.99 * len(latencies)))]
+    return {
+        "max_inflight": max_inflight,
+        "offered_threads": workers,
+        "offered_requests": offered,
+        "ok": counts["ok"],
+        "shed": counts["shed"],
+        "shed_rate": counts["shed"] / offered,
+        "p50_latency_s": latencies[len(latencies) // 2],
+        "p99_latency_s": p99,
+        "held_ms_per_request": 10.0,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -159,6 +250,8 @@ def main(argv=None) -> int:
         "n_patterns": config.n_patterns,
         "engine": bench_engine(config, circuit, "cntfet-generalized"),
         "http": bench_http(config, circuit, "cntfet-generalized"),
+        "overload": bench_overload(config, circuit, "cntfet-generalized",
+                                   quick=args.quick),
     }
 
     output = Path(args.output)

@@ -283,6 +283,7 @@ class Session:
             MemoryResultStore,
             ResultStore,
             open_store,
+            poison_record,
         )
 
         if store is None:
@@ -297,6 +298,8 @@ class Session:
         groups = group_tasks(pending)
         jobs_effective = min(resolve_jobs(self.jobs), max(1, len(groups)))
         simulations = 0
+        retried = 0
+        quarantined = 0
 
         def checkpoint(group, result) -> None:
             nonlocal simulations
@@ -306,10 +309,27 @@ class Session:
                 if verbose:
                     echo(_sweep_line(task, record))
 
+        def on_retry(group) -> None:
+            nonlocal retried
+            retried += len(group)
+
+        def on_poison(group, error) -> None:
+            # A group that keeps killing workers: quarantine its tasks
+            # in the store (flagged records, invisible to keys()/
+            # records()) so the rest of the grid still completes and a
+            # resume does not blindly re-crash on them.
+            nonlocal quarantined
+            quarantined += len(group)
+            for task in group:
+                store.append(poison_record(task.task_key, str(error)))
+                if verbose:
+                    echo(f"{task.circuit:6s} {task.library:20s} "
+                         f"QUARANTINED: {error}")
+
         parallel_map_stream(
             run_sweep_group, groups, jobs=self.jobs,
             chunksize=_group_chunksize(len(groups), jobs_effective),
-            callback=checkpoint)
+            callback=checkpoint, on_retry=on_retry, on_poison=on_poison)
 
         return SweepRunReport(
             spec_hash=spec.spec_hash,
@@ -322,5 +342,7 @@ class Session:
             elapsed_s=time.perf_counter() - start,
             groups=len(groups),
             simulations=simulations,
+            retried=retried,
+            quarantined=quarantined,
             store=store,
         )

@@ -1,12 +1,13 @@
 """Persistent on-disk characterization cache.
 
 SPICE-derived characterization data (pattern DC solutions, per-library
-leakage tables) is identical for identical technology parameters, so it
-is cached on disk keyed by a *stable content hash* of the inputs:
+leakage tables) and simulation statistics are identical for identical
+inputs, so they are cached on disk keyed by a *stable content hash*:
 change any field of :class:`~repro.devices.parameters.TechnologyParams`
-(or a cell definition, for leakage tables) and the key changes, which
-is the whole invalidation story — stale entries are simply never read
-again and are garbage-collected by :meth:`DiskCache.clear`.
+(or a cell definition, a netlist, a pattern budget) and the key
+changes, which is the whole invalidation story — stale entries are
+simply never read again and are garbage-collected by
+:meth:`DiskCache.clear`.
 
 Layout and configuration:
 
@@ -15,9 +16,25 @@ Layout and configuration:
   ``~/.cache/repro-ambipolar``;
 * ``REPRO_CACHE_DISABLE=1`` turns all persistence off (every ``get``
   misses, every ``put`` is a no-op) — useful for hermetic tests;
-* writes are atomic (temp file + ``os.replace``) and merge-on-write,
-  so concurrent processes can only lose a redundant update, never
-  corrupt an entry.
+* writes are atomic (temp file in the same directory + ``os.replace``)
+  and merge-on-write, so concurrent processes can only lose a
+  redundant update, never corrupt an entry.
+
+**Crash tolerance**: no byte read from disk is trusted.  Entries are
+written as a checksummed envelope (``{"__repro_cache__": 1, "sha256":
+..., "value": ...}``); reads verify the checksum and *quarantine*
+anything unparseable, truncated or mismatched — the file is moved
+aside to ``<root>/_quarantine/<namespace>/`` (for post-mortem) and the
+read reports a clean miss, so a process killed mid-anything can never
+poison future runs.  Envelope-less entries written by older builds are
+still readable (callers structurally validate payloads anyway).
+Quarantine/verification counters are exposed via :func:`cache_stats`
+and surface in the server's ``/healthz``.
+
+The read path carries the ``cache.corrupt_read`` fault-injection
+point (:mod:`repro.faults`): a chaos run can garble any read and
+assert that quarantine turns it into a recomputation, bit-identical
+to the clean path.
 """
 
 from __future__ import annotations
@@ -27,6 +44,8 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -35,6 +54,12 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 #: Environment variable disabling persistence entirely when set to a
 #: non-empty value other than "0".
 ENV_CACHE_DISABLE = "REPRO_CACHE_DISABLE"
+
+#: Version tag of the checksummed on-disk envelope.
+CACHE_FORMAT_VERSION = 1
+
+#: Directory (under the cache root) corrupt entries are moved to.
+QUARANTINE_DIRNAME = "_quarantine"
 
 _DEFAULT_ROOT = Path.home() / ".cache" / "repro-ambipolar"
 
@@ -69,6 +94,12 @@ def stable_hash(value: Any) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
 
 
+def _entry_checksum(value: Any) -> str:
+    """Checksum of an entry's *serialized* value, as stored on disk."""
+    payload = json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def cache_enabled() -> bool:
     """True unless ``REPRO_CACHE_DISABLE`` is set (and not \"0\")."""
     flag = os.environ.get(ENV_CACHE_DISABLE, "")
@@ -79,6 +110,38 @@ def cache_root() -> Path:
     """The configured cache root directory (may not exist yet)."""
     configured = os.environ.get(ENV_CACHE_DIR)
     return Path(configured) if configured else _DEFAULT_ROOT
+
+
+# Integrity counters are process-global (a DiskCache is constructed
+# fresh per call site so the environment is always current; counters
+# must outlive any one instance to be reportable in /healthz).
+_STATS_LOCK = threading.Lock()
+_STATS: Dict[str, int] = {"verified": 0, "legacy": 0, "quarantined": 0,
+                          "checksum_mismatch": 0, "unparseable": 0}
+
+
+def cache_stats() -> Dict[str, int]:
+    """Integrity counters of the disk cache (process lifetime).
+
+    ``verified`` — checksummed entries read and verified; ``legacy`` —
+    pre-envelope entries accepted as-is; ``quarantined`` — corrupt
+    entries moved aside (split into ``checksum_mismatch`` and
+    ``unparseable``).
+    """
+    with _STATS_LOCK:
+        return dict(_STATS)
+
+
+def reset_cache_stats() -> None:
+    """Zero the integrity counters (test isolation)."""
+    with _STATS_LOCK:
+        for key in _STATS:
+            _STATS[key] = 0
+
+
+def _count(key: str) -> None:
+    with _STATS_LOCK:
+        _STATS[key] += 1
 
 
 class DiskCache:
@@ -92,29 +155,81 @@ class DiskCache:
     def _path(self, namespace: str, key: str) -> Path:
         return self.root / namespace / f"{key}.json"
 
+    def _quarantine(self, path: Path, namespace: str, reason: str) -> None:
+        """Move a corrupt entry aside; never raise, never re-read it."""
+        _count("quarantined")
+        _count(reason)
+        target_dir = self.root / QUARANTINE_DIRNAME / namespace
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            # A nanosecond stamp keeps repeated quarantines of the same
+            # key from overwriting each other's evidence.
+            target = target_dir / f"{path.stem}.{time.time_ns()}{path.suffix}"
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def get(self, namespace: str, key: str) -> Optional[Any]:
-        """Load an entry, or None when absent/disabled/corrupt."""
+        """Load an entry, or None when absent/disabled/corrupt.
+
+        Corrupt or truncated entries are quarantined (moved aside and
+        counted) so they are a miss now *and* on every future read.
+        """
         if not self.enabled:
             return None
         path = self._path(namespace, key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                return json.load(handle)
-        except (OSError, ValueError):
+                text = handle.read()
+        except OSError:
             return None
+        from repro import faults
+
+        if faults.fire("cache.corrupt_read",
+                       context=f"{namespace}/{key}") is not None:
+            text = faults.corrupt(text)
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            self._quarantine(path, namespace, "unparseable")
+            return None
+        if (isinstance(payload, dict)
+                and payload.get("__repro_cache__") == CACHE_FORMAT_VERSION):
+            value = payload.get("value")
+            if payload.get("sha256") != _entry_checksum(value):
+                self._quarantine(path, namespace, "checksum_mismatch")
+                return None
+            _count("verified")
+            return value
+        # An entry from before the checksummed envelope: accepted, and
+        # rewritten with a checksum the next time its key is put().
+        _count("legacy")
+        return payload
 
     def put(self, namespace: str, key: str, value: Any) -> None:
-        """Atomically store an entry (no-op when disabled)."""
+        """Atomically store a checksummed entry (no-op when disabled).
+
+        The temp file lives in the destination directory so
+        ``os.replace`` is a same-filesystem atomic rename: a killed
+        process leaves either the old entry or the new one, never a
+        partial file under the real name.
+        """
         if not self.enabled:
             return
         path = self._path(namespace, key)
+        envelope = {"__repro_cache__": CACHE_FORMAT_VERSION,
+                    "sha256": _entry_checksum(value),
+                    "value": value}
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
                 dir=path.parent, prefix=f".{path.stem}.", suffix=".tmp")
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(value, handle, separators=(",", ":"))
+                    json.dump(envelope, handle, separators=(",", ":"))
                 os.replace(tmp_name, path)
             except BaseException:
                 try:

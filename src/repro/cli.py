@@ -322,6 +322,9 @@ def _add_config_flags(parser) -> None:
 
 
 def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
     from repro import __version__
     from repro.api import Session
     from repro.experiments.config import PAPER_CONFIG
@@ -337,16 +340,47 @@ def _cmd_serve(args) -> int:
             f"unknown estimator backend {config.backend!r}; choose "
             f"from {', '.join(available_backends())}")
     engine = Engine(Session(config), store=args.store)
-    server = serve(engine, host=args.host, port=args.port)
+    max_inflight = args.max_inflight if args.max_inflight > 0 else None
+    server = serve(engine, host=args.host, port=args.port,
+                   max_inflight=max_inflight, ready=False)
     print(f"repro-serve {__version__} listening on {server.url} "
           f"(backend={config.backend}, n_patterns={config.n_patterns})",
           flush=True)
+
+    # Graceful shutdown: stop admitting (readiness flips 503 so load
+    # balancers stop routing here), let in-flight requests finish up
+    # to --drain-timeout, flush the result store, exit 0.  The drain
+    # runs in its own thread because server.shutdown() deadlocks when
+    # called from the thread running serve_forever() — which is where
+    # Python delivers signals.
+    drained = threading.Event()
+
+    def drain(signame: str) -> None:
+        if drained.is_set():
+            return
+        drained.set()
+        print(f"{signame}: draining "
+              f"({server.inflight} request(s) in flight)", flush=True)
+        server.begin_drain()
+        if not server.wait_idle(timeout=args.drain_timeout):
+            print(f"drain timeout of {args.drain_timeout:g}s hit; "
+                  f"shutting down with requests in flight", flush=True)
+        engine.flush()
+        server.shutdown()
+
+    def on_signal(signum, frame):
+        threading.Thread(target=drain, name="drain",
+                         args=(signal.Signals(signum).name,),
+                         daemon=True).start()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    server.mark_ready()
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down")
     finally:
         server.server_close()
+    print("shutdown complete", flush=True)
     return 0
 
 
@@ -405,7 +439,8 @@ def _cmd_query_grid(args, client) -> int:
                 client.healthz()["default_config"])
         queries = [
             PowerQuery(circuit=args.circuit, library=args.library,
-                       config=replace(base, **dict(zip(axes, values))))
+                       config=replace(base, **dict(zip(axes, values))),
+                       deadline_ms=args.deadline_ms)
             for values in product(*axes.values())]
         reports = client.estimate_batch(queries)
     except ExperimentError as exc:
@@ -434,14 +469,17 @@ def _cmd_query(args) -> int:
     import json as json_module
 
     from repro.errors import ExperimentError
+    from repro.resilience import RetryPolicy
     from repro.serve import Client
 
-    client = Client(args.url, timeout=args.timeout)
+    retry = RetryPolicy(retries=args.retries) if args.retries > 0 else None
+    client = Client(args.url, timeout=args.timeout, retry=retry)
     if args.grid:
         return _cmd_query_grid(args, client)
     try:
         report = client.estimate(args.circuit, args.library,
-                                 _config_from_flags(args))
+                                 _config_from_flags(args),
+                                 deadline_ms=args.deadline_ms)
     except ExperimentError as exc:
         raise SystemExit(str(exc))
     if args.json:
@@ -580,6 +618,16 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="FILE",
                        help="register a BLIF netlist before serving "
                             "(repeatable)")
+    serve.add_argument("--max-inflight", type=int, default=32,
+                       metavar="N", dest="max_inflight",
+                       help="admission limit: estimate requests "
+                            "processed at once before shedding with "
+                            "429 (0 = unbounded; default %(default)s)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="S", dest="drain_timeout",
+                       help="seconds SIGTERM/SIGINT waits for in-flight "
+                            "requests before forcing shutdown "
+                            "(default %(default)s)")
     _add_config_flags(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -590,7 +638,19 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--url", default="http://127.0.0.1:8321",
                        help="server base URL (default %(default)s)")
     query.add_argument("--timeout", type=float, default=600.0,
-                       metavar="S", help="request timeout in seconds")
+                       metavar="S",
+                       help="per-attempt request timeout in seconds")
+    query.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="re-attempts on connection failures and "
+                            "429/503 shedding, with jittered "
+                            "exponential backoff (0 disables; "
+                            "default %(default)s)")
+    query.add_argument("--deadline-ms", type=float, default=None,
+                       metavar="MS", dest="deadline_ms",
+                       help="server-side deadline per query; an "
+                            "estimate that cannot finish in time "
+                            "fails fast with 504 instead of hogging "
+                            "the server")
     query.add_argument("--json", action="store_true",
                        help="print the raw PowerQuoteReport JSON")
     query.add_argument("--grid", action="append", default=None,

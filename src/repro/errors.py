@@ -54,3 +54,36 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class DeadlineExceeded(ReproError):
+    """A request's time budget ran out before the work finished.
+
+    Raised between pipeline stages (never mid-kernel), so an aborted
+    query has done no partial writes.  ``stage`` names the stage that
+    would have run next.
+    """
+
+    def __init__(self, message: str, stage: str = ""):
+        super().__init__(message)
+        self.stage = stage
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker process died (hard-killed, OOM, segfault) while
+    executing a task, and retries on fresh workers kept dying too."""
+
+
+class ServerError(ExperimentError):
+    """An estimation-server request failed.
+
+    Carries the HTTP ``status`` and the server's stable ``error.code``
+    so callers (the retrying client, benchmarks, tests) can branch on
+    the failure class instead of parsing messages.  ``status=0`` means
+    the server was never reached (connection-level failure).
+    """
+
+    def __init__(self, message: str, *, status: int = 0, code: str = ""):
+        super().__init__(message)
+        self.status = status
+        self.code = code

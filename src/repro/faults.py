@@ -1,0 +1,312 @@
+"""Deterministic fault injection for chaos testing.
+
+The resilience layer (deadlines, retries, load shedding, cache
+quarantine, worker-crash tolerance) is only trustworthy if its failure
+paths actually run, so production code carries a handful of *injection
+points* that fire faults on demand:
+
+* ``cache.corrupt_read`` — :meth:`repro.cache.DiskCache.get` garbles
+  the bytes it read from disk, exercising the checksum/quarantine
+  path;
+* ``worker.crash`` — a sweep worker process ``os._exit``\\ s before
+  executing a task group, exercising the crash-retry/poison path of
+  :func:`repro.experiments.parallel.parallel_map_stream` (never fires
+  in the main process — a chaos run must not kill the harness);
+* ``engine.latency`` — :class:`repro.serve.engine.Engine` sleeps
+  ``ms`` milliseconds before its pipeline stages, exercising
+  per-request deadlines and overload shedding;
+* ``http.drop`` — the HTTP handler closes the connection without a
+  response, exercising client retries.
+
+Faults are configured by the ``REPRO_FAULTS`` environment variable (or
+programmatically via :func:`activate`), a semicolon-separated list of
+clauses::
+
+    REPRO_FAULTS="worker.crash:times=1,match=C1908;engine.latency:ms=50,times=inf"
+
+Each clause is ``point[:option=value,...]`` with options
+
+* ``times`` — how often the fault fires (default 1; ``inf`` =
+  unlimited);
+* ``match`` — substring the injection context must contain (the
+  context is e.g. ``circuit/library`` for worker crashes,
+  ``namespace/key`` for cache reads);
+* ``ms`` — latency, for ``engine.latency``.
+
+Firing is **deterministic**, not probabilistic: the first ``times``
+matching calls fire, the rest do not — chaos tests can therefore
+assert exact outcomes (one crash, one corruption) and bit-identical
+results.  With ``REPRO_FAULTS_DIR`` set, fire tickets are claimed via
+``O_CREAT | O_EXCL`` files in that directory, so a budget of
+``times=1`` holds *across processes* (a crashed worker cannot re-arm
+its own fault) and every fired fault is appended to
+``<dir>/faults.log`` as a JSON line for post-mortem/CI artifacts.
+Without the directory, counting is per-process (each forked worker
+has its own budget — set the directory for multi-process chaos runs).
+
+The disabled path is one dict lookup against an empty rule table, so
+injection points are free in production.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ExperimentError
+
+#: Environment variable holding the fault spec (empty/unset = no faults).
+ENV_FAULTS = "REPRO_FAULTS"
+#: Environment variable naming the cross-process ticket/log directory.
+ENV_FAULTS_DIR = "REPRO_FAULTS_DIR"
+
+#: Every injection point production code calls into.
+FAULT_POINTS = (
+    "cache.corrupt_read",
+    "worker.crash",
+    "engine.latency",
+    "http.drop",
+)
+
+#: Marker appended by :func:`corrupt` — greppable in quarantined files.
+CORRUPTION_MARKER = "\x00REPRO-FAULT-CORRUPTED"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed clause of a fault spec."""
+
+    point: str
+    times: Optional[int] = 1   # None = unlimited
+    match: str = ""
+    ms: float = 0.0
+
+
+def _parse_clause(clause: str) -> FaultRule:
+    point, _, options_text = clause.partition(":")
+    point = point.strip()
+    if point not in FAULT_POINTS:
+        raise ExperimentError(
+            f"unknown fault point {point!r}; choose from "
+            f"{', '.join(FAULT_POINTS)}")
+    times: Optional[int] = 1
+    match = ""
+    ms = 0.0
+    if options_text:
+        for option in options_text.split(","):
+            name, sep, value = option.partition("=")
+            name = name.strip()
+            if not sep:
+                raise ExperimentError(
+                    f"bad fault option {option!r} in {clause!r} "
+                    f"(expected name=value)")
+            if name == "times":
+                times = None if value.strip() == "inf" else int(value)
+                if times is not None and times < 1:
+                    raise ExperimentError(
+                        f"fault times must be >= 1 or inf, got {value!r}")
+            elif name == "match":
+                match = value
+            elif name == "ms":
+                ms = float(value)
+                if ms < 0:
+                    raise ExperimentError(
+                        f"fault ms must be >= 0, got {value!r}")
+            else:
+                raise ExperimentError(
+                    f"unknown fault option {name!r} in {clause!r} "
+                    f"(options: times, match, ms)")
+    return FaultRule(point=point, times=times, match=match, ms=ms)
+
+
+def parse_spec(spec: str) -> Tuple[FaultRule, ...]:
+    """Parse a ``REPRO_FAULTS`` spec string into its rules."""
+    rules = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if clause:
+            rules.append(_parse_clause(clause))
+    return tuple(rules)
+
+
+class FaultPlan:
+    """A parsed fault spec plus its firing state.
+
+    Thread-safe; the per-rule budget is claimed under a lock (or, with
+    ``state_dir``, via exclusive ticket files shared by every process
+    reading the same spec).
+    """
+
+    def __init__(self, rules: Tuple[FaultRule, ...],
+                 state_dir: Optional[str] = None, *, spec: str = ""):
+        self.spec = spec
+        self.rules = rules
+        self.state_dir = state_dir
+        self.fired: List[Dict] = []
+        self._lock = threading.Lock()
+        self._counts: Dict[int, int] = {}
+        self._by_point: Dict[str, List[Tuple[int, FaultRule]]] = {}
+        for index, rule in enumerate(rules):
+            self._by_point.setdefault(rule.point, []).append((index, rule))
+
+    @classmethod
+    def from_spec(cls, spec: str,
+                  state_dir: Optional[str] = None) -> "FaultPlan":
+        return cls(parse_spec(spec), state_dir, spec=spec)
+
+    def active(self) -> bool:
+        return bool(self.rules)
+
+    # -- ticket claiming ---------------------------------------------------
+
+    def _claim_local(self, index: int, rule: FaultRule) -> bool:
+        with self._lock:
+            count = self._counts.get(index, 0)
+            if rule.times is not None and count >= rule.times:
+                return False
+            self._counts[index] = count + 1
+            return True
+
+    def _claim_shared(self, index: int, rule: FaultRule) -> bool:
+        """Claim one of the rule's ``times`` tickets via O_EXCL files."""
+        assert self.state_dir is not None
+        if rule.times is None:
+            return True
+        os.makedirs(self.state_dir, exist_ok=True)
+        for ticket in range(rule.times):
+            path = os.path.join(self.state_dir,
+                                f"ticket-{index}-{rule.point}-{ticket}")
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    def _log(self, entry: Dict) -> None:
+        self.fired.append(entry)
+        if self.state_dir is None:
+            return
+        try:
+            os.makedirs(self.state_dir, exist_ok=True)
+            line = json.dumps(entry, sort_keys=True) + "\n"
+            with open(os.path.join(self.state_dir, "faults.log"), "a",
+                      encoding="utf-8") as handle:
+                handle.write(line)
+        except OSError:
+            pass  # a fault log must never take the workload down with it
+
+    def fire(self, point: str, context: str = "") -> Optional[FaultRule]:
+        """Claim and log one firing of ``point``, or return None.
+
+        The first rule for the point whose ``match`` is a substring of
+        ``context`` (and whose budget is not exhausted) fires.
+        """
+        for index, rule in self._by_point.get(point, ()):
+            if rule.match and rule.match not in context:
+                continue
+            claimed = self._claim_shared(index, rule) \
+                if self.state_dir is not None \
+                else self._claim_local(index, rule)
+            if not claimed:
+                continue
+            self._log({"point": point, "context": context,
+                       "pid": os.getpid(), "ms": rule.ms,
+                       "time": time.time()})
+            return rule
+        return None
+
+
+#: The inert plan served when no faults are configured.
+_EMPTY_PLAN = FaultPlan((), None)
+
+_PLAN: Optional[FaultPlan] = None
+_PLAN_OVERRIDE: Optional[FaultPlan] = None
+_PLAN_LOCK = threading.Lock()
+
+
+def current_plan() -> FaultPlan:
+    """The active plan: a programmatic override, else ``REPRO_FAULTS``.
+
+    The environment is re-read whenever the spec or state directory
+    changed, so tests can monkeypatch the variables at any point; the
+    parsed plan (and its firing counters) is reused while they are
+    stable.
+    """
+    global _PLAN
+    if _PLAN_OVERRIDE is not None:
+        return _PLAN_OVERRIDE
+    spec = os.environ.get(ENV_FAULTS, "")
+    if not spec:
+        return _EMPTY_PLAN
+    state_dir = os.environ.get(ENV_FAULTS_DIR) or None
+    with _PLAN_LOCK:
+        if (_PLAN is None or _PLAN.spec != spec
+                or _PLAN.state_dir != state_dir):
+            _PLAN = FaultPlan.from_spec(spec, state_dir)
+        return _PLAN
+
+
+def activate(spec: str, state_dir: Optional[str] = None) -> FaultPlan:
+    """Install a programmatic plan that overrides the environment.
+
+    Returns the plan so callers can inspect ``plan.fired``.  Call
+    :func:`deactivate` to drop it (tests should do so in teardown).
+    """
+    global _PLAN_OVERRIDE
+    _PLAN_OVERRIDE = FaultPlan.from_spec(spec, state_dir)
+    return _PLAN_OVERRIDE
+
+
+def deactivate() -> None:
+    """Remove any programmatic override (environment faults resume)."""
+    global _PLAN_OVERRIDE
+    _PLAN_OVERRIDE = None
+
+
+# -- injection-point helpers ---------------------------------------------------
+
+def fire(point: str, context: str = "") -> Optional[FaultRule]:
+    """Fire ``point`` against the current plan (None when inactive)."""
+    return current_plan().fire(point, context)
+
+
+def sleep_latency(point: str, context: str = "") -> float:
+    """Sleep the rule's ``ms`` if ``point`` fires; returns seconds slept."""
+    rule = fire(point, context)
+    if rule is None or rule.ms <= 0:
+        return 0.0
+    seconds = rule.ms / 1000.0
+    time.sleep(seconds)
+    return seconds
+
+
+def corrupt(text: str) -> str:
+    """Deterministically garble cached text (truncate + marker).
+
+    The result is invalid JSON for any real cache entry, so the read
+    path sees exactly what a torn write or bad sector produces.
+    """
+    return text[: len(text) // 2] + CORRUPTION_MARKER
+
+
+def maybe_crash_worker(context: str = "") -> None:
+    """``worker.crash`` injection point: hard-exit a *worker* process.
+
+    Refuses to fire in the main process — a chaos spec must crash pool
+    workers, not the harness (or the server) running the sweep.
+    """
+    plan = current_plan()
+    if not plan.active():
+        return
+    if multiprocessing.current_process().name == "MainProcess":
+        return
+    if plan.fire("worker.crash", context) is not None:
+        # A real crash: no cleanup, no exception, no exit handlers.
+        os._exit(23)

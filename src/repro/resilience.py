@@ -1,0 +1,158 @@
+"""Resilience primitives: deadlines and retry policies.
+
+Shared by the serving stack (per-request deadlines enforced between
+engine pipeline stages, client retries against a flaky or overloaded
+server) and usable by any other caller that talks to something that
+can fail.
+
+* :class:`Deadline` — a monotonic time budget.  Cheap to check;
+  :meth:`Deadline.check` raises :class:`~repro.errors.DeadlineExceeded`
+  naming the stage that would have run past it.
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  *decorrelated jitter* (each sleep is uniform between the base and
+  3x the previous sleep, capped), the scheme that avoids retry
+  stampedes when many clients back off from one overloaded server.
+* :class:`RetryState` — one attempt sequence under a policy: tracks
+  attempts, honors server-provided ``Retry-After`` hints, and stops
+  when either the retry budget or the policy's total deadline runs
+  out.  The sleep and RNG are injectable so tests can assert backoff
+  bounds without waiting.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import DeadlineExceeded
+
+
+class Deadline:
+    """A wall-clock budget measured on the monotonic clock.
+
+    ``seconds=None`` means "no deadline": :meth:`remaining` returns
+    ``None`` and :meth:`check` never raises — callers can thread one
+    object through unconditionally.
+    """
+
+    __slots__ = ("seconds", "_expires_at")
+
+    def __init__(self, seconds: Optional[float] = None):
+        self.seconds = seconds
+        self._expires_at = None if seconds is None \
+            else time.monotonic() + seconds
+
+    @classmethod
+    def after_ms(cls, ms: Optional[float]) -> "Deadline":
+        """A deadline ``ms`` milliseconds from now (None = unbounded)."""
+        return cls(None if ms is None else ms / 1000.0)
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (may be negative); None when unbounded."""
+        if self._expires_at is None:
+            return None
+        return self._expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+    def check(self, stage: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired():
+            raise DeadlineExceeded(
+                f"deadline of {self.seconds * 1000:.0f}ms exceeded"
+                + (f" before stage {stage!r}" if stage else ""),
+                stage=stage)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and how long) to keep retrying a failed operation.
+
+    ``retries`` is the number of *re*-attempts after the first try.
+    ``deadline_s`` bounds the whole sequence including sleeps —
+    whichever budget runs out first ends the attempt.
+    """
+
+    retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    deadline_s: Optional[float] = None
+
+    def start(self, *, sleep: Callable[[float], None] = time.sleep,
+              rng: Optional[random.Random] = None) -> "RetryState":
+        """Begin one attempt sequence under this policy."""
+        return RetryState(self, sleep=sleep, rng=rng)
+
+
+class RetryState:
+    """The mutable state of one retry sequence.
+
+    Usage::
+
+        state = policy.start()
+        while True:
+            try:
+                return do_the_thing()
+            except TransientError:
+                if not state.retry():
+                    raise
+    """
+
+    def __init__(self, policy: RetryPolicy, *,
+                 sleep: Callable[[float], None] = time.sleep,
+                 rng: Optional[random.Random] = None):
+        self.policy = policy
+        self.attempts = 0            # completed (failed) attempts
+        self.sleeps: List[float] = []  # every backoff actually slept
+        self.deadline = Deadline(policy.deadline_s)
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self._previous = policy.backoff_base_s
+
+    def backoff(self) -> float:
+        """Next decorrelated-jitter delay (does not sleep)."""
+        delay = self._rng.uniform(self.policy.backoff_base_s,
+                                  self._previous * 3)
+        delay = min(self.policy.backoff_cap_s, delay)
+        self._previous = max(delay, self.policy.backoff_base_s)
+        return delay
+
+    def retry(self, retry_after_s: Optional[float] = None) -> bool:
+        """Account one failure; sleep and return True if allowed to retry.
+
+        ``retry_after_s`` (a server's ``Retry-After`` hint) overrides
+        the computed backoff, still capped by the policy.  Returns
+        False — without sleeping — when the retry budget or the total
+        deadline is exhausted, in which case the caller should raise.
+        """
+        self.attempts += 1
+        if self.attempts > self.policy.retries:
+            return False
+        delay = self.backoff() if retry_after_s is None \
+            else min(max(retry_after_s, 0.0), self.policy.backoff_cap_s)
+        remaining = self.deadline.remaining()
+        if remaining is not None and delay >= remaining:
+            return False  # sleeping would outlive the total budget
+        self.sleeps.append(delay)
+        if delay > 0:
+            self._sleep(delay)
+        return True
+
+
+def parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Parse an HTTP ``Retry-After`` header value (seconds form only).
+
+    HTTP-date forms are rare from our own server and simply ignored
+    (the caller falls back to its computed backoff).
+    """
+    if value is None:
+        return None
+    try:
+        seconds = float(value.strip())
+    except ValueError:
+        return None
+    return seconds if seconds >= 0 else None

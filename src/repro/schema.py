@@ -116,6 +116,11 @@ class PowerQuery:
     circuit: str
     library: str
     config: ExperimentConfig = PAPER_CONFIG
+    #: Optional per-request time budget, milliseconds.  Enforced by the
+    #: serving engine *between* pipeline stages; deliberately excluded
+    #: from ``query_key`` — it bounds the serving of the answer, it
+    #: does not change the answer.
+    deadline_ms: Optional[float] = None
 
     @property
     def query_key(self) -> str:
@@ -128,12 +133,15 @@ class PowerQuery:
 
     def to_dict(self) -> Dict[str, Any]:
         """Strict plain-JSON form (the ``POST /v1/estimate`` body)."""
-        return {
+        payload = {
             "schema_version": SCHEMA_VERSION,
             "circuit": self.circuit,
             "library": self.library,
             "config": self.config.to_dict(),
         }
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any],
@@ -152,13 +160,21 @@ class PowerQuery:
                 f"a power query must be a JSON object, got "
                 f"{type(data).__name__}")
         _reject_unknown(data, {"schema_version", "circuit", "library",
-                               "config"}, "PowerQuery")
+                               "config", "deadline_ms"}, "PowerQuery")
         _check_schema_version(data, "PowerQuery")
         for name in ("circuit", "library"):
             if not isinstance(data.get(name), str) or not data[name]:
                 raise ExperimentError(
                     f"power query field {name!r} must be a non-empty "
                     f"string")
+        deadline_ms = data.get("deadline_ms")
+        if deadline_ms is not None:
+            if (isinstance(deadline_ms, bool)
+                    or not isinstance(deadline_ms, (int, float))
+                    or deadline_ms <= 0):
+                raise ExperimentError(
+                    f"power query field 'deadline_ms' must be a positive "
+                    f"number, got {deadline_ms!r}")
         config_data = data.get("config")
         if config_data is None:
             config = default_config if default_config is not None \
@@ -166,7 +182,7 @@ class PowerQuery:
         else:
             config = ExperimentConfig.from_dict(config_data)
         return cls(circuit=data["circuit"], library=data["library"],
-                   config=config)
+                   config=config, deadline_ms=deadline_ms)
 
 
 @dataclass(frozen=True)

@@ -9,21 +9,44 @@ Speaks the :mod:`repro.schema` wire format against a running
     report = client.estimate("t481", "generalized")
     print(report.result.pt_uw, report.cache_status)
 
-Server-side failures (unknown circuit, schema mismatch, ...) surface
-as :class:`~repro.errors.ExperimentError` carrying the server's
-``error`` message; transport failures (nothing listening, timeouts)
-surface as :class:`~repro.errors.ExperimentError` naming the URL.
+**Failure model.**  Server-side failures surface as
+:class:`~repro.errors.ServerError` carrying the HTTP ``status`` and
+the server's stable ``error.code`` (``bad_request``, ``overloaded``,
+``deadline_exceeded``, ...); transport failures (nothing listening,
+connection reset, timeout) surface as :class:`ServerError` with
+``status=0``.  :class:`ServerError` subclasses the historical
+:class:`~repro.errors.ExperimentError`, so existing handlers keep
+working.
+
+**Retries.**  Every endpoint here is idempotent (estimates are
+deterministic and content-addressed), so the client transparently
+retries exactly the failures where a retry can help:
+
+* connection-level failures (``status=0``): the request may never
+  have reached the server;
+* 429 (shed by admission control) and 503 (draining/warming): the
+  server explicitly asked for a retry, and its ``Retry-After`` hint
+  is honored (capped by the policy's backoff cap).
+
+Everything else (400, 404, 413, 504, 500) fails fast — retrying a
+malformed query or a blown deadline cannot succeed.  Backoff is
+exponential with decorrelated jitter (:class:`repro.resilience
+.RetryPolicy`), and the policy's ``deadline_s`` bounds the *whole*
+attempt sequence including sleeps.  ``retry=None`` disables retries.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import ExperimentError
+from repro.errors import ServerError
 from repro.experiments.config import ExperimentConfig
+from repro.resilience import RetryPolicy, RetryState, parse_retry_after
 from repro.schema import (
     PowerQuery,
     PowerQuoteReport,
@@ -32,22 +55,56 @@ from repro.schema import (
     reports_from_batch,
 )
 
+#: HTTP statuses the server sends when a retry is expected to help.
+RETRYABLE_STATUSES = (429, 503)
+
+#: The default client retry policy: two re-attempts, 50 ms base
+#: backoff, 2 s cap, no total deadline beyond the per-attempt timeout.
+DEFAULT_RETRY = RetryPolicy()
+
+
+def _error_fields(payload: Any) -> Dict[str, str]:
+    """Code and message from a structured (or legacy) error body."""
+    if isinstance(payload, dict):
+        error = payload.get("error")
+        if isinstance(error, dict):
+            return {"code": str(error.get("code", "")),
+                    "message": str(error.get("message", ""))}
+        if isinstance(error, str):  # pre-0.5 servers
+            return {"code": "", "message": error}
+    return {"code": "", "message": str(payload)}
+
 
 class Client:
     """One service endpoint (``base_url`` like ``http://host:port``).
 
-    ``timeout`` is generous by default: a cold paper-config query is a
-    real synthesis + 640 K-pattern estimation.
+    ``timeout`` is the *per-attempt* socket timeout — generous by
+    default, because a cold paper-config query is a real synthesis +
+    640 K-pattern estimation.  ``retry`` is the
+    :class:`~repro.resilience.RetryPolicy` for transient failures
+    (None = fail on the first error).  ``sleep`` and ``rng`` are
+    injectable so tests can assert backoff behavior without waiting.
     """
 
-    def __init__(self, base_url: str, timeout: float = 600.0):
+    def __init__(self, base_url: str, timeout: float = 600.0,
+                 retry: Optional[RetryPolicy] = DEFAULT_RETRY,
+                 sleep: Callable[[float], None] = time.sleep,
+                 rng: Optional[random.Random] = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry
+        self._sleep = sleep
+        self._rng = rng
+        #: The RetryState of the most recent request (None before the
+        #: first, or with retries disabled) — tests and benchmarks
+        #: read ``attempts`` / ``sleeps`` off it.
+        self.last_retry_state: Optional[RetryState] = None
 
     # -- transport ---------------------------------------------------------
 
-    def _request(self, path: str,
-                 payload: Optional[Dict[str, Any]] = None) -> Any:
+    def _request_once(self, path: str,
+                      payload: Optional[Dict[str, Any]],
+                      timeout: float) -> Any:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
@@ -57,19 +114,56 @@ class Client:
         request = urllib.request.Request(url, data=data, headers=headers)
         try:
             with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
+                                        timeout=timeout) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
+            # HTTPError subclasses URLError: catch it first.
             try:
-                message = json.loads(exc.read().decode("utf-8"))["error"]
+                fields = _error_fields(
+                    json.loads(exc.read().decode("utf-8")))
             except Exception:
-                message = f"HTTP {exc.code}"
-            raise ExperimentError(
-                f"server at {self.base_url}: {message}") from None
-        except urllib.error.URLError as exc:
-            raise ExperimentError(
-                f"cannot reach estimation server at {url}: "
-                f"{exc.reason}") from None
+                fields = {"code": "", "message": f"HTTP {exc.code}"}
+            error = ServerError(
+                f"server at {self.base_url}: {fields['message']}"
+                + (f" [{fields['code']}]" if fields["code"] else ""),
+                status=exc.code, code=fields["code"])
+            error.retry_after_s = parse_retry_after(
+                exc.headers.get("Retry-After"))
+            raise error from None
+        except (urllib.error.URLError, ConnectionError, OSError) as exc:
+            reason = getattr(exc, "reason", exc)
+            error = ServerError(
+                f"cannot reach estimation server at {url}: {reason}",
+                status=0, code="connection")
+            error.retry_after_s = None
+            raise error from None
+
+    def _request(self, path: str,
+                 payload: Optional[Dict[str, Any]] = None) -> Any:
+        state = None
+        if self.retry is not None:
+            state = self.retry.start(sleep=self._sleep, rng=self._rng)
+        self.last_retry_state = state
+        while True:
+            timeout = self.timeout
+            if state is not None:
+                remaining = state.deadline.remaining()
+                if remaining is not None:
+                    if remaining <= 0:
+                        raise ServerError(
+                            f"retry deadline exhausted before reaching "
+                            f"{self.base_url}{path}",
+                            status=0, code="deadline")
+                    timeout = min(timeout, remaining)
+            try:
+                return self._request_once(path, payload, timeout)
+            except ServerError as exc:
+                retryable = (exc.status == 0
+                             or exc.status in RETRYABLE_STATUSES)
+                if state is None or not retryable:
+                    raise
+                if not state.retry(getattr(exc, "retry_after_s", None)):
+                    raise
 
     # -- endpoints ---------------------------------------------------------
 
@@ -79,14 +173,15 @@ class Client:
             self._request("/v1/estimate", query.to_dict()))
 
     def estimate(self, circuit: str, library: str,
-                 config: Optional[ExperimentConfig] = None
-                 ) -> PowerQuoteReport:
+                 config: Optional[ExperimentConfig] = None,
+                 deadline_ms: Optional[float] = None) -> PowerQuoteReport:
         """Estimate one (circuit, library) cell.
 
         ``config=None`` sends a config-less query: the *server's*
         default configuration applies (so repeated bare queries hit
         the same cache entry regardless of the client's local
-        defaults).
+        defaults).  ``deadline_ms`` bounds the request server-side
+        (504 ``deadline_exceeded`` on expiry).
         """
         payload: Dict[str, Any] = {
             "schema_version": SCHEMA_VERSION,
@@ -95,6 +190,8 @@ class Client:
         }
         if config is not None:
             payload["config"] = config.to_dict()
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
         return PowerQuoteReport.from_dict(
             self._request("/v1/estimate", payload))
 
@@ -124,5 +221,23 @@ class Client:
         return self._request("/v1/backends")
 
     def healthz(self) -> Dict[str, Any]:
-        """The server's liveness/stats payload (``/v1/healthz``)."""
+        """The server's full stats payload (``/v1/healthz``)."""
         return self._request("/v1/healthz")
+
+    def live(self) -> Dict[str, Any]:
+        """The liveness probe (``/v1/healthz/live``)."""
+        return self._request("/v1/healthz/live")
+
+    def ready(self) -> bool:
+        """The readiness probe: True iff the server is accepting work.
+
+        Deliberately unretried (a 503 here *is* the answer, not a
+        transient failure).
+        """
+        try:
+            self._request_once("/v1/healthz/ready", None, self.timeout)
+            return True
+        except ServerError as exc:
+            if exc.status == 503:
+                return False
+            raise

@@ -40,14 +40,16 @@ from __future__ import annotations
 import threading
 import time
 from collections import Counter, OrderedDict
-from concurrent.futures import Future
+from concurrent.futures import Future, TimeoutError as FutureTimeout
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
-from repro import __version__, registry
+from repro import __version__, faults, registry
 from repro.api import Session
-from repro.cache import stable_hash
+from repro.cache import cache_stats, stable_hash
+from repro.errors import DeadlineExceeded
 from repro.experiments.config import ExperimentConfig
+from repro.resilience import Deadline
 from repro.experiments.flow import (
     estimate_mapped,
     map_subject,
@@ -224,9 +226,27 @@ class Engine:
                               "hits": stats_hot,
                               "misses": max(0, activity["misses"]
                                             - baseline["misses"])},
+                    # Disk-cache integrity (process lifetime):
+                    # quarantined > 0 means corrupt entries were found,
+                    # moved aside and transparently recomputed.
+                    "disk": cache_stats(),
                 },
                 "counters": counters,
             }
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a serve counter (thread-safe; shows in /healthz)."""
+        with self._lock:
+            self.counters[name] += amount
+
+    def flush(self) -> None:
+        """Flush durable state (the result store) to disk.
+
+        Called by the server's graceful-shutdown path after the last
+        in-flight request drains; safe to call at any time.
+        """
+        if self._store is not None:
+            self._store.flush()
 
     # -- query handling ----------------------------------------------------
 
@@ -242,7 +262,8 @@ class Engine:
         return PowerQuery(
             circuit=registry.canonical_circuit(query.circuit),
             library=registry.canonical_library(query.library),
-            config=config)
+            config=config,
+            deadline_ms=query.deadline_ms)
 
     def estimate_request(self, circuit: str, library: str,
                          config: Optional[ExperimentConfig] = None
@@ -252,70 +273,104 @@ class Engine:
             circuit=circuit, library=library,
             config=config if config is not None else self.session.config))
 
-    def estimate(self, query: PowerQuery) -> PowerQuoteReport:
+    def estimate(self, query: PowerQuery,
+                 deadline: Optional[Deadline] = None) -> PowerQuoteReport:
         """Answer one query, warm where possible.
 
         The returned report's ``cache_status`` says how it was served:
         ``"hot"`` (result cache or store), ``"coalesced"`` (attached to
         an identical in-flight computation) or ``"cold"`` (computed
         now).  ``elapsed_s`` is the serving time of *this* call.
+
+        The query's ``deadline_ms`` (or an explicit ``deadline``)
+        bounds the call: the budget is checked *between* pipeline
+        stages — never mid-kernel — and on expiry the call raises
+        :class:`~repro.errors.DeadlineExceeded` having written nothing.
+        ``deadline_ms`` is excluded from ``query_key``, so concurrent
+        identical queries with different budgets still coalesce; a
+        follower whose own budget outlives a leader that timed out
+        simply retries as the new leader.
         """
         start = time.perf_counter()
         query = self.normalize(query)
+        if deadline is None:
+            deadline = Deadline.after_ms(query.deadline_ms)
         key = query.query_key
 
-        with self._lock:
-            # A (re/un)registration may have changed what a name means;
-            # every name-keyed warm entry is then suspect — including
-            # stored records (their task_key hashes the *name*).  The
-            # store itself is last-write-wins, so recomputed answers
-            # simply overwrite the stale lines.
-            if registry.generation() != self._generation:
-                self._results.clear()
-                self._netlists.clear()
-                self._libraries.clear()
-                self._store_index.clear()
-                self._generation = registry.generation()
-                self.counters["caches.invalidated"] += 1
-            report = self._results.get(key)
-            if report is not None:
-                self._results.hits += 1
-                self.counters["results.hot"] += 1
-                return report.with_status(
-                    "hot", time.perf_counter() - start)
-            self._results.misses += 1
-            if self._store is not None:
-                record = self._store_index.get(key)
-                if record is not None:
-                    from repro.schema import quote_from_record
-
-                    report = quote_from_record(
-                        record, server_version=__version__)
-                    self._results.put(key, report)
-                    self.counters["results.store"] += 1
+        while True:
+            with self._lock:
+                # A (re/un)registration may have changed what a name
+                # means; every name-keyed warm entry is then suspect —
+                # including stored records (their task_key hashes the
+                # *name*).  The store itself is last-write-wins, so
+                # recomputed answers simply overwrite the stale lines.
+                if registry.generation() != self._generation:
+                    self._results.clear()
+                    self._netlists.clear()
+                    self._libraries.clear()
+                    self._store_index.clear()
+                    self._generation = registry.generation()
+                    self.counters["caches.invalidated"] += 1
+                report = self._results.get(key)
+                if report is not None:
+                    self._results.hits += 1
                     self.counters["results.hot"] += 1
                     return report.with_status(
                         "hot", time.perf_counter() - start)
-            leader_future = self._inflight.get(key)
-            if leader_future is None:
-                leader_future = Future()
-                self._inflight[key] = leader_future
-                is_leader = True
-                enrolled_generation = self._generation
-            else:
-                is_leader = False
-                self.counters["results.coalesced"] += 1
+                self._results.misses += 1
+                if self._store is not None:
+                    record = self._store_index.get(key)
+                    if record is not None:
+                        from repro.schema import quote_from_record
 
-        if not is_leader:
-            report = leader_future.result()
+                        report = quote_from_record(
+                            record, server_version=__version__)
+                        self._results.put(key, report)
+                        self.counters["results.store"] += 1
+                        self.counters["results.hot"] += 1
+                        return report.with_status(
+                            "hot", time.perf_counter() - start)
+                leader_future = self._inflight.get(key)
+                if leader_future is None:
+                    leader_future = Future()
+                    self._inflight[key] = leader_future
+                    is_leader = True
+                    enrolled_generation = self._generation
+                else:
+                    is_leader = False
+                    self.counters["results.coalesced"] += 1
+
+            if is_leader:
+                break
+            try:
+                report = leader_future.result(
+                    timeout=deadline.remaining())
+            except FutureTimeout:
+                with self._lock:
+                    self.counters["deadline.exceeded"] += 1
+                raise DeadlineExceeded(
+                    "deadline exceeded while coalesced behind an "
+                    "identical in-flight query", stage="coalesce")
+            except DeadlineExceeded:
+                # The *leader's* budget ran out, not necessarily ours.
+                # The leader already removed itself from _inflight, so
+                # looping re-enters the lock and (budget permitting)
+                # makes us the new leader.
+                if deadline.expired():
+                    with self._lock:
+                        self.counters["deadline.exceeded"] += 1
+                    raise
+                continue
             return report.with_status(
                 "coalesced", time.perf_counter() - start)
 
         try:
-            report = self._compute(query)
+            report = self._compute(query, deadline)
         except BaseException as exc:
             with self._lock:
                 self._inflight.pop(key, None)
+                if isinstance(exc, DeadlineExceeded):
+                    self.counters["deadline.exceeded"] += 1
             leader_future.set_exception(exc)
             raise
         with self._lock:
@@ -414,17 +469,27 @@ class Engine:
 
         return self._cached(self._netlists, content_key, build)
 
-    def _compute(self, query: PowerQuery) -> PowerQuoteReport:
+    def _compute(self, query: PowerQuery,
+                 deadline: Optional[Deadline] = None) -> PowerQuoteReport:
         """Synthesize/map/estimate one canonicalized query (cold path).
 
         Stage for stage the same calls as
         :meth:`repro.api.Session.run`, so the result is bit-identical;
-        only the caching around the stages differs.
+        only the caching around the stages differs.  The deadline is
+        checked before each stage (characterize, map, estimate): an
+        expired budget aborts before starting the next stage, so an
+        aborted query has made no partial writes.
         """
         start = time.perf_counter()
+        if deadline is None:
+            deadline = Deadline()
+        faults.sleep_latency("engine.latency", context=query.circuit)
         config = query.config
+        deadline.check("characterize")
         library = self._library(query.library, config.vdd)
+        deadline.check("map")
         netlist = self._netlist(query, library)
+        deadline.check("estimate")
         flow = estimate_mapped(netlist, config, circuit=query.circuit,
                                library=query.library)
         return PowerQuoteReport.from_flow(

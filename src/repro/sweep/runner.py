@@ -129,6 +129,14 @@ def run_sweep_group(tasks: Sequence[SweepTask]) -> Dict[str, Any]:
     path — their estimates are not a closed-form pricing of shared
     statistics — but still share the cached activity.
     """
+    from repro import faults
+
+    # Chaos injection: a worker.crash rule hard-kills this process
+    # before any work (and before any store write) when a task of the
+    # group matches — no-ops in the main process and when inactive.
+    for task in tasks:
+        faults.maybe_crash_worker(f"{task.circuit}/{task.library}")
+
     start = time.perf_counter()
     simulated_before = activity_cache_info()["simulations"]
     config = tasks[0].config
@@ -196,16 +204,21 @@ class SweepRunReport:
     #: Bit-parallel simulations actually executed (<= groups; less when
     #: the activity cache was already warm).
     simulations: int = 0
+    #: Task re-executions after a worker crash (0 on a clean run).
+    retried: int = 0
+    #: Tasks that kept crashing workers and were poisoned in the store.
+    quarantined: int = 0
     #: The store the run appended to (handy for in-memory sessions).
     store: Optional[ResultStore] = field(default=None, repr=False,
                                          compare=False)
 
     def render(self) -> str:
-        """One greppable summary line (CI asserts on ``executed=`` and
-        ``simulations=``)."""
+        """One greppable summary line (CI asserts on ``executed=``,
+        ``simulations=`` and ``quarantined=``)."""
         return (f"sweep {self.spec_hash[:12]}: total={self.total} "
                 f"cached={self.cached} executed={self.executed} "
                 f"groups={self.groups} simulations={self.simulations} "
+                f"retried={self.retried} quarantined={self.quarantined} "
                 f"jobs={self.jobs_effective} "
                 f"elapsed={self.elapsed_s:.1f}s store={self.store_path}")
 

@@ -74,8 +74,44 @@ class ResultStore:
                 return record
         return None
 
+    def flush(self) -> None:
+        """Ensure appended records are durable.
+
+        Both persistent backends write through on every append (the
+        JSONL handle is opened, written and closed per record; SQLite
+        commits per statement), so the base implementation is a no-op —
+        it exists so graceful shutdown can flush any store uniformly.
+        """
+
+    def poison_keys(self) -> Set[str]:
+        """Task keys quarantined as poison (see :func:`poison_record`)."""
+        return {record["task_key"] for record in self.all_records()
+                if record.get("poison")}
+
+    def all_records(self) -> List[Dict[str, Any]]:
+        """Every stored record *including* poison markers.
+
+        :meth:`records` (and therefore :meth:`keys`) exclude poison
+        records so result consumers never mistake a quarantine marker
+        for a completed point.
+        """
+        raise NotImplementedError
+
     def __len__(self) -> int:
         return len(self.keys())
+
+
+def poison_record(task_key: str, reason: str,
+                  crashes: int = 0) -> Dict[str, Any]:
+    """A quarantine marker for a task that kept crashing workers.
+
+    Stored alongside result records (same key space) but flagged with
+    ``"poison": True`` so :meth:`ResultStore.records`/``keys`` skip it;
+    resume logic can see *why* a point is absent and operators can
+    clear the marker to retry.
+    """
+    return {"task_key": task_key, "poison": True,
+            "reason": reason, "crashes": crashes}
 
 
 class MemoryResultStore(ResultStore):
@@ -92,9 +128,14 @@ class MemoryResultStore(ResultStore):
         self._records: Dict[str, Dict[str, Any]] = {}
 
     def keys(self) -> Set[str]:
-        return set(self._records)
+        return {key for key, record in self._records.items()
+                if not record.get("poison")}
 
     def records(self) -> List[Dict[str, Any]]:
+        return [record for record in self._records.values()
+                if not record.get("poison")]
+
+    def all_records(self) -> List[Dict[str, Any]]:
         return list(self._records.values())
 
     def append(self, record: Dict[str, Any]) -> None:
@@ -127,9 +168,13 @@ class JsonlResultStore(ResultStore):
         return out
 
     def keys(self) -> Set[str]:
-        return {record["task_key"] for record in self._lines()}
+        return {record["task_key"] for record in self.records()}
 
     def records(self) -> List[Dict[str, Any]]:
+        return [record for record in self.all_records()
+                if not record.get("poison")]
+
+    def all_records(self) -> List[Dict[str, Any]]:
         by_key: Dict[str, Dict[str, Any]] = {}
         for record in self._lines():
             by_key[record["task_key"]] = record
@@ -159,11 +204,13 @@ class SqliteResultStore(ResultStore):
         return sqlite3.connect(self.path)
 
     def keys(self) -> Set[str]:
-        with self._connect() as conn:
-            rows = conn.execute("SELECT task_key FROM sweep_results")
-            return {row[0] for row in rows}
+        return {record["task_key"] for record in self.records()}
 
     def records(self) -> List[Dict[str, Any]]:
+        return [record for record in self.all_records()
+                if not record.get("poison")]
+
+    def all_records(self) -> List[Dict[str, Any]]:
         with self._connect() as conn:
             rows = conn.execute(
                 "SELECT record FROM sweep_results ORDER BY rowid")

@@ -1,0 +1,122 @@
+"""Chaos suite: sweeps under injected faults.
+
+The contract under test is the resilience tentpole's headline claim:
+with ``REPRO_FAULTS`` firing (workers hard-killed mid-grid), the sweep
+still completes and its stored records are **bit-identical** to a
+clean run — retries are invisible to the numbers.
+
+Fault budgets are shared across worker processes through
+``REPRO_FAULTS_DIR`` ticket files; without it every fresh worker would
+re-read the env and crash again, turning a one-shot fault into a
+poison pill (which is exactly what the quarantine test exploits, via
+``times=inf``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.api import Session
+from repro.experiments import parallel as parallel_module
+from repro.sweep.spec import SweepSpec
+
+
+def _tiny_spec() -> SweepSpec:
+    # 2 activity groups (one per library) x 2 pricing points each.
+    return SweepSpec(circuits=("t481",),
+                     libraries=("cmos", "cntfet-conventional"),
+                     frequency=(1.0e9, 2.0e9),
+                     n_patterns=(256,), state_patterns=256)
+
+
+def _by_key(report):
+    """Stored records keyed by task, with wall-clock noise dropped."""
+    records = {}
+    for record in report.store.records():
+        record = dict(record)
+        record.pop("elapsed_s", None)
+        records[record["task_key"]] = record
+    return records
+
+
+@pytest.fixture(autouse=True)
+def chaos_env(monkeypatch):
+    """Two visible CPUs (the pool path must run on 1-CPU CI) and no
+    leftover fault plan from other tests."""
+    monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 2)
+    monkeypatch.delenv(faults.ENV_FAULTS, raising=False)
+    monkeypatch.delenv(faults.ENV_FAULTS_DIR, raising=False)
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+class TestCrashChaos:
+    def test_worker_crash_is_bit_identical_to_clean_run(
+            self, tmp_path, monkeypatch):
+        clean = Session(jobs=1).sweep(_tiny_spec())
+        assert clean.retried == 0 and clean.quarantined == 0
+
+        state_dir = tmp_path / "faults"
+        state_dir.mkdir()
+        monkeypatch.setenv(faults.ENV_FAULTS, "worker.crash:times=1")
+        monkeypatch.setenv(faults.ENV_FAULTS_DIR, str(state_dir))
+        chaotic = Session(jobs=2).sweep(_tiny_spec())
+
+        assert chaotic.retried >= 1
+        assert chaotic.quarantined == 0
+        assert chaotic.executed == clean.executed == 4
+        assert _by_key(chaotic) == _by_key(clean)
+        assert "quarantined=0" in chaotic.render()
+
+        # The kill is on the record: one worker.crash line in the
+        # shared fault log, written by the process that died.
+        entries = [json.loads(line) for line in
+                   (state_dir / "faults.log").read_text().splitlines()]
+        assert [e["point"] for e in entries] == ["worker.crash"]
+        assert "t481/" in entries[0]["context"]
+
+    def test_persistent_crasher_is_quarantined_not_fatal(
+            self, monkeypatch):
+        # The cmos group kills every worker that ever touches it —
+        # including the final single-worker isolation run — so its
+        # tasks must end up poisoned while the other library's points
+        # complete normally.
+        monkeypatch.setenv(faults.ENV_FAULTS,
+                           "worker.crash:times=inf,match=cmos")
+        report = Session(jobs=2).sweep(_tiny_spec())
+
+        assert report.quarantined == 2
+        assert "quarantined=2" in report.render()
+        store = report.store
+        done = {record["task_key"] for record in store.records()}
+        assert len(done) == 2
+        assert all(record["library"] == "cntfet-conventional"
+                   for record in store.records())
+        poisoned = store.poison_keys()
+        assert len(poisoned) == 2 and not (poisoned & done)
+        poison = [record for record in store.all_records()
+                  if record.get("poison")]
+        assert all("quarantined" in record["reason"]
+                   for record in poison)
+
+    def test_quarantine_does_not_block_a_resumed_clean_run(
+            self, monkeypatch):
+        # A resume against the same store with the fault gone: the
+        # poisoned keys are invisible to keys(), so the clean run
+        # executes them and the grid finally completes in full.
+        monkeypatch.setenv(faults.ENV_FAULTS,
+                           "worker.crash:times=inf,match=cmos")
+        first = Session(jobs=2).sweep(_tiny_spec())
+        assert first.quarantined == 2
+
+        monkeypatch.delenv(faults.ENV_FAULTS)
+        resumed = Session(jobs=1).sweep(_tiny_spec(), store=first.store)
+        assert resumed.executed == 2  # just the formerly poisoned pair
+        assert resumed.quarantined == 0
+        assert len(resumed.store.keys()) == 4
+        assert _by_key(resumed) == _by_key(Session(jobs=1).sweep(
+            _tiny_spec()))

@@ -1,0 +1,141 @@
+"""Graceful shutdown of the real server process.
+
+These tests exercise ``python -m repro serve`` as an actual OS
+process: SIGTERM must drain (finish what is in flight, refuse new
+work) and exit 0 — the contract a supervisor like systemd or
+Kubernetes relies on to roll the service without dropping requests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _get(url: str, timeout: float = 2.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _wait_ready(base: str, proc, timeout_s: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out = proc.stdout.read() if proc.stdout else ""
+            raise AssertionError(
+                f"server exited early ({proc.returncode}): {out}")
+        try:
+            if _get(f"{base}/v1/healthz/ready")["status"] == "ready":
+                return
+        except (urllib.error.URLError, OSError, ConnectionError):
+            pass  # 503 while warming arrives here as HTTPError
+        time.sleep(0.05)
+    raise AssertionError("server never became ready")
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A real ``repro serve`` subprocess; yields (proc, base_url)."""
+    procs = []
+
+    def start(*extra_args, env_extra=None):
+        port = _free_port()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC
+        env.pop("REPRO_FAULTS", None)
+        env.pop("REPRO_FAULTS_DIR", None)
+        env.update(env_extra or {})
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--host", "127.0.0.1", "--port", str(port),
+             "--patterns", "64", "--state-patterns", "64",
+             *extra_args],
+            cwd=REPO_ROOT, env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True)
+        procs.append(proc)
+        base = f"http://127.0.0.1:{port}"
+        _wait_ready(base, proc)
+        return proc, base
+
+    yield start
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+class TestSigterm:
+    def test_idle_sigterm_drains_and_exits_zero(self, server):
+        proc, base = server()
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+        out = proc.stdout.read()
+        assert "SIGTERM: draining" in out
+        assert "shutdown complete" in out
+
+    def test_sigterm_finishes_inflight_request_first(self, server):
+        # An engine.latency fault holds one request open long enough
+        # to SIGTERM around it; the request must still answer 200.
+        proc, base = server(
+            env_extra={"REPRO_FAULTS": "engine.latency:ms=1500,times=1"})
+
+        outcome = {}
+
+        def query():
+            body = json.dumps({"circuit": "t481",
+                               "library": "cmos"}).encode("utf-8")
+            request = urllib.request.Request(
+                f"{base}/v1/estimate", data=body,
+                headers={"Content-Type": "application/json"})
+            try:
+                with urllib.request.urlopen(request, timeout=90) as resp:
+                    outcome["status"] = resp.status
+                    outcome["body"] = json.loads(resp.read())
+            except Exception as exc:  # surfaced by the main thread
+                outcome["error"] = exc
+
+        worker = threading.Thread(target=query)
+        worker.start()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if _get(f"{base}/v1/healthz")["inflight"] >= 1:
+                break
+            time.sleep(0.02)
+        else:
+            raise AssertionError("request never showed up in flight")
+
+        proc.send_signal(signal.SIGTERM)
+        # While draining, readiness flips and new work is refused.
+        try:
+            payload = _get(f"{base}/v1/healthz/ready")
+            assert not payload.get("ready", True)
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 503
+
+        worker.join(timeout=90)
+        assert proc.wait(timeout=90) == 0
+        assert outcome.get("status") == 200, outcome
+        assert outcome["body"]["circuit"] == "t481"
+        out = proc.stdout.read()
+        assert "draining (1 request(s) in flight)" in out
+        assert "shutdown complete" in out

@@ -194,10 +194,10 @@ class TestEngineCoalescing:
         entered = threading.Event()
         original = engine._compute
 
-        def slow_compute(query):
+        def slow_compute(query, deadline=None):
             entered.set()
             release.wait(timeout=30)
-            return original(query)
+            return original(query, deadline)
 
         engine._compute = slow_compute
         results = {}
@@ -338,8 +338,8 @@ class TestEngineInvalidation:
             "racy", lambda: ripple_adder_circuit(3, name="racy"))
         original = engine._compute
 
-        def compute_and_rereg(query):
-            report = original(query)
+        def compute_and_rereg(query, deadline=None):
+            report = original(query, deadline)
             # The re-registration lands while the leader is "still
             # computing" (before it re-takes the engine lock).
             registry.register_circuit(
@@ -400,6 +400,7 @@ class TestEngineDiscovery:
         assert stats["version"] == __version__
         assert stats["uptime_s"] >= 0
         assert set(stats["caches"]) == {"results", "netlists", "libraries",
-                                        "stats"}
+                                        "stats", "disk"}
+        assert set(stats["caches"]["disk"]) >= {"verified", "quarantined"}
         assert "stats.hot" in stats["counters"]
         assert "stats.cold" in stats["counters"]

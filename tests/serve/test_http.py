@@ -202,19 +202,20 @@ class TestErrorMapping:
             server, json.dumps({"circuit": "nope",
                                 "library": "cmos"}).encode())
         assert status == 400
-        assert "unknown circuit" in payload["error"]
+        assert payload["error"]["code"] == "bad_request"
+        assert "unknown circuit" in payload["error"]["message"]
 
     def test_malformed_json_is_400(self, server):
         status, payload = self._post_raw(server, b"{not json")
         assert status == 400
-        assert "bad JSON" in payload["error"]
+        assert "bad JSON" in payload["error"]["message"]
 
     def test_unknown_field_is_400(self, server):
         status, payload = self._post_raw(
             server, json.dumps({"circuit": "t481", "library": "cmos",
                                 "surprise": 1}).encode())
         assert status == 400
-        assert "unknown PowerQuery" in payload["error"]
+        assert "unknown PowerQuery" in payload["error"]["message"]
 
     def test_newer_schema_is_400(self, server):
         status, payload = self._post_raw(
@@ -222,7 +223,7 @@ class TestErrorMapping:
                                 "circuit": "t481",
                                 "library": "cmos"}).encode())
         assert status == 400
-        assert "schema version" in payload["error"]
+        assert "schema version" in payload["error"]["message"]
 
     def test_bad_content_length_is_400_not_a_dropped_socket(self, server):
         import socket
@@ -246,7 +247,7 @@ class TestErrorMapping:
             server, b"{}", path="/v2/estimate")
         assert status == 404
 
-    def test_oversize_body_is_400_and_closes(self, server):
+    def test_oversize_body_is_413_and_closes(self, server):
         """The server rejects the declared length without reading the
         body and drops the connection (keep-alive would otherwise
         parse the unread bytes as the next request)."""
@@ -267,8 +268,8 @@ class TestErrorMapping:
                 if not chunk:
                     break  # connection closed by the server, as required
                 response += chunk
-        assert response.startswith(b"HTTP/1.1 400")
-        assert b"too large" in response
+        assert response.startswith(b"HTTP/1.1 413")
+        assert b"payload_too_large" in response
 
     def test_unknown_get_is_404_and_client_raises(self, client):
         from repro.errors import ExperimentError

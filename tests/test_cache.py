@@ -156,3 +156,99 @@ class TestLeakageTablesPersistence:
     def test_in_memory_reuse_per_library_instance(self, mlib):
         first = _LeakageTables.for_library(mlib)
         assert _LeakageTables.for_library(mlib) is first
+
+
+class TestCacheIntegrity:
+    """Checksummed envelopes, quarantine, and the corrupt-read fault."""
+
+    def _cache(self, tmp_path):
+        from repro.cache import reset_cache_stats
+
+        reset_cache_stats()
+        return DiskCache(root=tmp_path, enabled=True)
+
+    def test_entries_are_checksummed_envelopes(self, tmp_path):
+        import json
+
+        cache = self._cache(tmp_path)
+        cache.put("ns", "key", {"x": 1})
+        payload = json.loads((tmp_path / "ns" / "key.json").read_text())
+        assert payload["__repro_cache__"] == 1
+        assert len(payload["sha256"]) == 64
+        assert payload["value"] == {"x": 1}
+
+    def test_truncated_entry_is_clean_miss_and_quarantined(self, tmp_path):
+        """A write killed mid-file must read as a miss, move the debris
+        aside, and never poison a future read (the satellite
+        regression test)."""
+        from repro.cache import QUARANTINE_DIRNAME, cache_stats
+
+        cache = self._cache(tmp_path)
+        cache.put("ns", "key", {"big": list(range(100))})
+        path = tmp_path / "ns" / "key.json"
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # torn write
+        assert cache.get("ns", "key") is None
+        assert not path.exists()  # moved aside, not re-read forever
+        quarantined = list((tmp_path / QUARANTINE_DIRNAME / "ns").iterdir())
+        assert len(quarantined) == 1
+        stats = cache_stats()
+        assert stats["quarantined"] == 1
+        assert stats["unparseable"] == 1
+        # The miss is clean: a recompute can re-put and read back.
+        cache.put("ns", "key", {"big": [1]})
+        assert cache.get("ns", "key") == {"big": [1]}
+
+    def test_checksum_mismatch_is_quarantined(self, tmp_path):
+        import json
+
+        from repro.cache import cache_stats
+
+        cache = self._cache(tmp_path)
+        cache.put("ns", "key", {"x": 1})
+        path = tmp_path / "ns" / "key.json"
+        payload = json.loads(path.read_text())
+        payload["value"] = {"x": 2}  # bit-flipped value, stale checksum
+        path.write_text(json.dumps(payload))
+        assert cache.get("ns", "key") is None
+        assert cache_stats()["checksum_mismatch"] == 1
+
+    def test_legacy_entry_still_readable(self, tmp_path):
+        import json
+
+        from repro.cache import cache_stats
+
+        cache = self._cache(tmp_path)
+        path = tmp_path / "ns" / "key.json"
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"old": "format"}))  # pre-envelope
+        assert cache.get("ns", "key") == {"old": "format"}
+        assert cache_stats()["legacy"] == 1
+        assert cache_stats()["quarantined"] == 0
+
+    def test_verified_reads_are_counted(self, tmp_path):
+        from repro.cache import cache_stats
+
+        cache = self._cache(tmp_path)
+        cache.put("ns", "key", [1, 2])
+        cache.get("ns", "key")
+        cache.get("ns", "key")
+        assert cache_stats()["verified"] == 2
+
+    def test_corrupt_read_fault_triggers_quarantine(self, tmp_path):
+        from repro import faults
+        from repro.cache import cache_stats
+
+        cache = self._cache(tmp_path)
+        cache.put("ns", "key", {"x": 1})
+        cache.put("ns", "other", {"y": 2})
+        faults.activate("cache.corrupt_read:times=1,match=ns/key")
+        try:
+            assert cache.get("ns", "key") is None  # garbled once
+            assert cache.get("ns", "other") == {"y": 2}  # no match
+            assert cache_stats()["quarantined"] == 1
+            # The budget is spent: a recompute survives.
+            cache.put("ns", "key", {"x": 1})
+            assert cache.get("ns", "key") == {"x": 1}
+        finally:
+            faults.deactivate()

@@ -1,0 +1,153 @@
+"""The fault-injection harness (repro.faults): spec grammar,
+deterministic budgets, cross-process tickets, and the injection-point
+helpers production code calls."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro import faults
+from repro.errors import ExperimentError
+from repro.faults import FaultPlan, FaultRule, parse_spec
+
+
+@pytest.fixture(autouse=True)
+def clean_plan():
+    """Every test starts and ends without a programmatic override."""
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+class TestSpecGrammar:
+    def test_single_clause_defaults(self):
+        (rule,) = parse_spec("cache.corrupt_read")
+        assert rule == FaultRule("cache.corrupt_read", times=1,
+                                 match="", ms=0.0)
+
+    def test_full_clause(self):
+        (rule,) = parse_spec("engine.latency:times=inf,match=C1908,ms=50")
+        assert rule.times is None
+        assert rule.match == "C1908"
+        assert rule.ms == 50.0
+
+    def test_multiple_clauses(self):
+        rules = parse_spec("worker.crash:times=2;http.drop")
+        assert [r.point for r in rules] == ["worker.crash", "http.drop"]
+
+    def test_empty_spec_is_no_rules(self):
+        assert parse_spec("") == ()
+        assert parse_spec(" ; ") == ()
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown fault point"):
+            parse_spec("cache.explode")
+
+    def test_bad_options_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown fault option"):
+            parse_spec("http.drop:prob=0.5")
+        with pytest.raises(ExperimentError, match="name=value"):
+            parse_spec("http.drop:times")
+        with pytest.raises(ExperimentError, match=">= 1 or inf"):
+            parse_spec("http.drop:times=0")
+        with pytest.raises(ExperimentError, match=">= 0"):
+            parse_spec("engine.latency:ms=-1")
+
+
+class TestDeterministicBudgets:
+    def test_times_bounds_firing_exactly(self):
+        plan = FaultPlan.from_spec("http.drop:times=2")
+        assert plan.fire("http.drop") is not None
+        assert plan.fire("http.drop") is not None
+        assert plan.fire("http.drop") is None
+        assert len(plan.fired) == 2
+
+    def test_inf_never_exhausts(self):
+        plan = FaultPlan.from_spec("http.drop:times=inf")
+        for _ in range(10):
+            assert plan.fire("http.drop") is not None
+
+    def test_match_filters_on_context(self):
+        plan = FaultPlan.from_spec("worker.crash:match=C1908,times=inf")
+        assert plan.fire("worker.crash", "t481/cmos") is None
+        assert plan.fire("worker.crash", "C1908/cmos") is not None
+
+    def test_unlisted_point_never_fires(self):
+        plan = FaultPlan.from_spec("http.drop")
+        assert plan.fire("cache.corrupt_read") is None
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan.from_spec(
+            "engine.latency:match=a,ms=10;engine.latency:ms=20")
+        assert plan.fire("engine.latency", "xyz").ms == 20
+        assert plan.fire("engine.latency", "abc").ms == 10
+
+
+class TestCrossProcessTickets:
+    def test_shared_budget_claimed_once(self, tmp_path):
+        spec = "cache.corrupt_read:times=1"
+        plan_a = FaultPlan.from_spec(spec, str(tmp_path))
+        plan_b = FaultPlan.from_spec(spec, str(tmp_path))
+        # Two plans (standing in for two processes) share one ticket.
+        assert plan_a.fire("cache.corrupt_read") is not None
+        assert plan_b.fire("cache.corrupt_read") is None
+
+    def test_fired_faults_logged_as_jsonl(self, tmp_path):
+        plan = FaultPlan.from_spec("http.drop:times=2", str(tmp_path))
+        plan.fire("http.drop", "a")
+        plan.fire("http.drop", "b")
+        log = tmp_path / "faults.log"
+        entries = [json.loads(line)
+                   for line in log.read_text().splitlines()]
+        assert [e["context"] for e in entries] == ["a", "b"]
+        assert all(e["point"] == "http.drop" for e in entries)
+        assert all(e["pid"] == os.getpid() for e in entries)
+
+
+class TestPlanSelection:
+    def test_no_env_means_inert(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_FAULTS, raising=False)
+        assert not faults.current_plan().active()
+        assert faults.fire("http.drop") is None
+
+    def test_env_spec_is_parsed_and_cached(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_FAULTS, "http.drop:times=1")
+        plan = faults.current_plan()
+        assert plan.active()
+        assert faults.current_plan() is plan  # stable while env stable
+        monkeypatch.setenv(faults.ENV_FAULTS, "http.drop:times=2")
+        assert faults.current_plan() is not plan
+
+    def test_activate_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_FAULTS, "http.drop:times=inf")
+        plan = faults.activate("cache.corrupt_read:times=1")
+        assert faults.current_plan() is plan
+        assert faults.fire("http.drop") is None
+        assert faults.fire("cache.corrupt_read") is not None
+        faults.deactivate()
+        assert faults.fire("http.drop") is not None
+
+
+class TestInjectionHelpers:
+    def test_corrupt_is_deterministic_and_unparseable(self):
+        text = json.dumps({"__repro_cache__": 1, "value": [1, 2, 3]})
+        garbled = faults.corrupt(text)
+        assert garbled == faults.corrupt(text)
+        assert faults.CORRUPTION_MARKER in garbled
+        with pytest.raises(ValueError):
+            json.loads(garbled)
+
+    def test_sleep_latency_sleeps_only_when_fired(self):
+        faults.activate("engine.latency:ms=1,times=1")
+        assert faults.sleep_latency("engine.latency") == pytest.approx(0.001)
+        assert faults.sleep_latency("engine.latency") == 0.0
+
+    def test_maybe_crash_worker_refuses_in_main_process(self):
+        faults.activate("worker.crash:times=inf")
+        assert multiprocessing.current_process().name == "MainProcess"
+        faults.maybe_crash_worker("anything")  # must not kill the suite
+        assert faults.current_plan().fired == []

@@ -1,0 +1,105 @@
+"""Deadlines and retry policies (repro.resilience)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import DeadlineExceeded
+from repro.resilience import (
+    Deadline,
+    RetryPolicy,
+    parse_retry_after,
+)
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        deadline = Deadline(None)
+        assert deadline.remaining() is None
+        assert not deadline.expired()
+        deadline.check("anything")  # must not raise
+
+    def test_bounded_counts_down(self):
+        deadline = Deadline(10.0)
+        remaining = deadline.remaining()
+        assert 0 < remaining <= 10.0
+
+    def test_expired_raises_with_stage(self):
+        deadline = Deadline.after_ms(0.0001)
+        while not deadline.expired():
+            pass
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("map")
+        assert excinfo.value.stage == "map"
+        assert "map" in str(excinfo.value)
+
+    def test_after_ms_none_is_unbounded(self):
+        assert Deadline.after_ms(None).remaining() is None
+        assert Deadline.after_ms(250).seconds == pytest.approx(0.25)
+
+
+class TestRetryState:
+    def _state(self, policy, sleeps):
+        return policy.start(sleep=sleeps.append, rng=random.Random(7))
+
+    def test_retry_budget_is_bounded(self):
+        sleeps = []
+        state = self._state(RetryPolicy(retries=2), sleeps)
+        assert state.retry()
+        assert state.retry()
+        assert not state.retry()  # third failure exhausts retries=2
+        assert state.attempts == 3
+        assert len(sleeps) == 2
+
+    def test_backoff_stays_within_decorrelated_jitter_bounds(self):
+        policy = RetryPolicy(retries=10, backoff_base_s=0.05,
+                             backoff_cap_s=2.0)
+        sleeps = []
+        state = self._state(policy, sleeps)
+        previous = policy.backoff_base_s
+        for _ in range(10):
+            assert state.retry()
+            delay = sleeps[-1]
+            assert policy.backoff_base_s <= delay <= policy.backoff_cap_s
+            assert delay <= max(previous * 3, policy.backoff_base_s)
+            previous = max(delay, policy.backoff_base_s)
+
+    def test_retry_after_hint_overrides_backoff(self):
+        sleeps = []
+        state = self._state(RetryPolicy(retries=3, backoff_cap_s=2.0),
+                            sleeps)
+        assert state.retry(retry_after_s=0.7)
+        assert sleeps == [0.7]
+        # ... but is still capped by the policy.
+        assert state.retry(retry_after_s=99.0)
+        assert sleeps[-1] == 2.0
+
+    def test_total_deadline_stops_retrying(self):
+        # A deadline shorter than any possible backoff: the first
+        # retry would outlive it, so no sleep happens at all.
+        policy = RetryPolicy(retries=5, backoff_base_s=0.2,
+                             deadline_s=0.05)
+        sleeps = []
+        state = self._state(policy, sleeps)
+        assert not state.retry()
+        assert sleeps == []
+
+    def test_sleeps_are_recorded(self):
+        sleeps = []
+        state = self._state(RetryPolicy(retries=2), sleeps)
+        state.retry()
+        assert state.sleeps == sleeps
+
+
+class TestParseRetryAfter:
+    def test_seconds_forms(self):
+        assert parse_retry_after("1") == 1.0
+        assert parse_retry_after(" 0.5 ") == 0.5
+        assert parse_retry_after("0") == 0.0
+
+    def test_invalid_forms_are_none(self):
+        assert parse_retry_after(None) is None
+        assert parse_retry_after("Wed, 21 Oct 2026 07:28:00 GMT") is None
+        assert parse_retry_after("-3") is None
