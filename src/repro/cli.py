@@ -68,7 +68,8 @@ def _cmd_table1(args) -> int:
                 f"unknown estimator backend {args.backend!r}; choose "
                 f"from {', '.join(available_backends())}")
         config = replace(config, backend=args.backend)
-    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    benchmarks = (list(_circuit_values(args.benchmarks))
+                  if args.benchmarks else None)
     result = reproduce_table1(config, benchmarks=benchmarks,
                               verbose=not args.quiet, jobs=args.jobs)
     print(result.render())
@@ -184,6 +185,24 @@ def _csv_values(text: str, cast):
     return tuple(cast(part) for part in text.split(",") if part)
 
 
+def _circuit_values(text: str):
+    """Split a circuits axis on commas — except inside a family spec's
+    parentheses: ``t481,synth:rand(gates=5,seed=1)`` is two values."""
+    parts, current, depth = [], [], 0
+    for char in text:
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+            continue
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth = max(0, depth - 1)
+        current.append(char)
+    parts.append("".join(current))
+    return tuple(part for part in parts if part)
+
+
 def _parse_bool_axis(text: str):
     """``on`` / ``off`` / ``both`` -> synthesize axis tuple."""
     axis = {"on": (True,), "off": (False,), "both": (True, False)}
@@ -202,7 +221,7 @@ def _spec_from_args(args):
         "frequency": (args.frequency, lambda text: _csv_values(text, float)),
         "fanout": (args.fanout, lambda text: _csv_values(text, int)),
         "n_patterns": (args.patterns, lambda text: _csv_values(text, int)),
-        "circuits": (args.circuits, lambda text: _csv_values(text, str)),
+        "circuits": (args.circuits, _circuit_values),
         "libraries": (args.libraries, lambda text: _csv_values(text, str)),
         "synthesize": (args.synthesize, _parse_bool_axis),
         "seed": (args.seed, int),
@@ -293,7 +312,8 @@ def _config_from_flags(args):
     for flag, field in (("vdd", "vdd"), ("frequency", "frequency"),
                         ("fanout", "fanout"), ("patterns", "n_patterns"),
                         ("state_patterns", "state_patterns"),
-                        ("seed", "seed"), ("backend", "backend")):
+                        ("seed", "seed"), ("backend", "backend"),
+                        ("sim_kernel", "sim_kernel")):
         value = getattr(args, flag)
         if value is not None:
             overrides[field] = value
@@ -319,6 +339,11 @@ def _add_config_flags(parser) -> None:
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--backend", default=None, metavar="NAME",
                         help="estimator backend (default bitsim)")
+    parser.add_argument("--sim-kernel", default=None, metavar="NAME",
+                        dest="sim_kernel",
+                        help="bit-parallel kernel: auto, gate or array "
+                             "(bit-identical; auto picks array for "
+                             "large netlists)")
 
 
 def _cmd_serve(args) -> int:
@@ -511,7 +536,10 @@ def _add_axis_flags(parser, with_spec: bool = True) -> None:
     parser.add_argument("--patterns", default=None, metavar="N1,N2,...",
                         help="random-pattern budgets (default 640000)")
     parser.add_argument("--circuits", default=None, metavar="A,B,...",
-                        help="benchmark subset (default: all 12)")
+                        help="benchmark subset (default: all 12); "
+                             "family specs like synth:rand(gates=5000,"
+                             "seed=1) are accepted (commas inside "
+                             "parentheses do not split)")
     parser.add_argument("--libraries", default=None, metavar="L1,L2,...",
                         help="registered library keys or aliases (see "
                              "'repro libraries'; default: the paper's "

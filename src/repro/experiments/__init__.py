@@ -10,7 +10,7 @@
 """
 
 from repro.experiments.config import ExperimentConfig, PAPER_CONFIG
-from repro.experiments.flow import CircuitFlowResult, run_circuit_flow, three_libraries
+from repro.experiments.flow import CircuitFlowResult, run_circuit_flow
 from repro.experiments.table1 import Table1Result, reproduce_table1
 from repro.experiments.library_power import (
     LibraryStudyResult,
@@ -30,7 +30,6 @@ __all__ = [
     "PAPER_CONFIG",
     "CircuitFlowResult",
     "run_circuit_flow",
-    "three_libraries",
     "Table1Result",
     "reproduce_table1",
     "LibraryStudyResult",

@@ -6,14 +6,14 @@ onto genlib-characterized libraries, and finally power is estimated on
 the mapped netlists by the config-selected estimator backend (the
 paper's random-pattern bitsim by default).
 
-Libraries are resolved through :mod:`repro.registry`; the historical
-``three_libraries`` / ``cached_libraries`` helpers remain as deprecated
-shims over it.
+Libraries are resolved through :mod:`repro.registry`
+(:func:`repro.registry.build_library` / :func:`~repro.registry.paper_libraries`
+replaced the historical ``three_libraries`` / ``cached_libraries``
+helpers, whose deprecation shims have been removed).
 """
 
 from __future__ import annotations
 
-import warnings
 import weakref
 from dataclasses import dataclass
 from functools import lru_cache
@@ -29,36 +29,6 @@ from repro.synth.mapper import MappingOptions, map_aig
 from repro.synth.netlist import MappedNetlist
 from repro.synth.scripts import resyn2rs
 from repro import registry
-
-
-def three_libraries(vdd: Optional[float] = None) -> Dict[str, Library]:
-    """Deprecated: the three Table 1 libraries, freshly built.
-
-    Use :func:`repro.registry.build_library` (or
-    :func:`repro.registry.paper_libraries` for the cached trio); the
-    registry is where libraries — including ones registered after the
-    fact — live now.
-    """
-    warnings.warn(
-        "three_libraries() is deprecated; use repro.registry."
-        "build_library()/paper_libraries() instead",
-        DeprecationWarning, stacklevel=2)
-    return {key: registry.build_library(key, vdd)
-            for key in registry.PAPER_LIBRARIES}
-
-
-def cached_libraries(vdd: Optional[float] = None) -> Dict[str, Library]:
-    """Deprecated: the three Table 1 libraries, cached per process.
-
-    Use :func:`repro.registry.cached_library` /
-    :func:`repro.registry.paper_libraries`; this shim returns the very
-    same objects the registry cache holds.
-    """
-    warnings.warn(
-        "cached_libraries() is deprecated; use repro.registry."
-        "cached_library()/paper_libraries() instead",
-        DeprecationWarning, stacklevel=2)
-    return registry.paper_libraries(vdd)
 
 
 @lru_cache(maxsize=None)

@@ -152,12 +152,6 @@ def verbose_cell_line(flow: CircuitFlowResult) -> str:
             f"PT={flow.pt_uw:8.2f}uW EDP={flow.edp_paper_units:8.2f}")
 
 
-#: Deprecated underscore spellings, kept for one release: external code
-#: imported these before they were promoted to the public API.
-_run_table1_cell = run_table1_cell
-_verbose_line = verbose_cell_line
-
-
 def reproduce_table1(config: ExperimentConfig = PAPER_CONFIG,
                      benchmarks: Optional[List[str]] = None,
                      verbose: bool = False,

@@ -33,6 +33,7 @@ registered right now.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -255,8 +256,8 @@ def cached_library(name: str, vdd: Optional[float] = None) -> Library:
 def paper_libraries(vdd: Optional[float] = None) -> Dict[str, Library]:
     """The three libraries of the paper's Table 1 comparison, by key.
 
-    Cached per process per vdd — the modern spelling of the deprecated
-    ``repro.experiments.flow.cached_libraries``.
+    Cached per process per vdd (the replacement for the removed
+    ``repro.experiments.flow.cached_libraries`` shim).
     """
     return {key: cached_library(key, vdd) for key in PAPER_LIBRARIES}
 
@@ -292,6 +293,9 @@ class CircuitEntry:
     description: str = ""
     function: str = ""
     paper: Optional[Mapping[str, Any]] = field(default=None, hash=False)
+    #: Key of the circuit family this entry was instantiated from
+    #: (``None`` for directly registered circuits).
+    family: Optional[str] = None
 
 
 _CIRCUITS = _Registry("circuit")
@@ -360,12 +364,25 @@ def circuit_entry(name: str) -> CircuitEntry:
 
 
 def canonical_circuit(name: str) -> str:
-    """Resolve a circuit key or alias to its canonical key.
+    """Resolve a circuit key, alias or family spec to its canonical key.
+
+    A family spec — ``family(param=value,...)``, e.g.
+    ``synth:rand(gates=50000,seed=7)`` — resolves through the circuit
+    *family* registry: the spec is parsed, normalized (defaults merged,
+    parameters in declaration order) and the normalized spelling is
+    registered as an ordinary circuit on first use, so it then flows
+    through Session / sweep / serve / CLI like any named benchmark.
 
     Raises :class:`ExperimentError` naming the known spellings when the
-    name is not registered.
+    name is not registered (and the known families for a spec naming an
+    unknown family).
     """
-    return _CIRCUITS.canonical(name)
+    known = _CIRCUITS.names.get(name)
+    if known is not None:
+        return known
+    if is_family_spec(name):
+        return resolve_family_spec(name)
+    return _CIRCUITS.canonical(name)  # raises with the known spellings
 
 
 def build_circuit(name: str) -> "Aig":
@@ -394,6 +411,253 @@ def paper_benchmarks() -> List[str]:
     registration order — the 12-benchmark suite of the paper."""
     return [key for key, entry in _CIRCUITS.entries.items()
             if entry.paper is not None]
+
+
+# -- circuit families ----------------------------------------------------------
+#
+# A circuit *family* is a parametric generator: one registration, an
+# unbounded set of circuits.  Any spelling of the form
+# ``family(param=value,...)`` is accepted wherever a circuit name is;
+# it normalizes to a canonical spec string (every parameter explicit,
+# declaration order) which becomes the circuit's registry key — and,
+# because task/query keys content-hash the circuit name, the full
+# parameterization is hashed into every cached result automatically.
+#
+# Instance registration is content-addressed (the key *is* the
+# parameters), so it deliberately does NOT bump the registry
+# generation: resolving a new spec must not flush a serving engine's
+# warm caches.  Re-registering or removing the family itself does bump,
+# and purges every instance derived from it.
+
+#: ``family(args)`` — family keys may contain ``:`` (``synth:rand``),
+#: dots and dashes; the argument list never nests parentheses.
+_FAMILY_SPEC_RE = re.compile(
+    r"^(?P<family>[A-Za-z0-9_.:\-]+)\((?P<args>[^()]*)\)$")
+
+#: Parameter values that are bare words must stay unambiguous inside
+#: the spec grammar (no separators, no parens, no ``=``).
+_FAMILY_VALUE_RE = re.compile(r"^[A-Za-z0-9_.+\-]+$")
+
+
+@dataclass(frozen=True)
+class CircuitFamilyEntry:
+    """One registered circuit family: key, factory and its parameters.
+
+    ``factory(**params) -> Aig`` must be deterministic in its
+    parameters; ``defaults`` fixes both the accepted parameter names,
+    their types (a spec value is coerced to the default's type) and the
+    canonical parameter order of normalized spec strings.
+    """
+
+    key: str
+    factory: Callable[..., "Aig"]
+    defaults: Tuple[Tuple[str, Any], ...]
+    aliases: Tuple[str, ...] = ()
+    description: str = ""
+    function: str = ""
+
+
+_FAMILIES = _Registry("circuit family")
+
+
+def register_circuit_family(key: str, factory: Callable[..., "Aig"], *,
+                            defaults: Mapping[str, Any],
+                            aliases: Tuple[str, ...] = (),
+                            description: str = "",
+                            function: str = "",
+                            replace: bool = False) -> CircuitFamilyEntry:
+    """Register a parametric circuit family under ``key``.
+
+    Args:
+        key: family name as written in specs (``synth:rand``).
+        factory: ``factory(**params) -> Aig``; deterministic per
+            parameter set.
+        defaults: full parameter set with default values, in the order
+            normalized specs spell them.  A spec may override any
+            subset; unknown names are rejected and values are coerced
+            to the default's type.
+        aliases: additional accepted family spellings.
+        description: one line for CLI listings.
+        function: the "Function" column of instantiated circuits.
+        replace: allow re-registering (every instance circuit derived
+            from the old registration is purged).
+
+    Raises:
+        ExperimentError: on name collisions (unless ``replace``) or
+            unusable defaults.
+    """
+    for name, value in dict(defaults).items():
+        if _spec_value(value) is None:
+            raise ExperimentError(
+                f"circuit family {key!r}: default {name}={value!r} "
+                f"cannot be spelled in a spec string (use int, float, "
+                f"bool or a plain word)")
+    entry = CircuitFamilyEntry(
+        key=key, factory=factory, defaults=tuple(dict(defaults).items()),
+        aliases=tuple(aliases), description=description, function=function)
+    if replace and key in _FAMILIES.entries:
+        _purge_family_instances(key)
+    _FAMILIES.add(entry, replace=replace)
+    _bump_generation()
+    return entry
+
+
+def unregister_circuit_family(key: str, missing_ok: bool = False) -> None:
+    """Remove a family and every instance circuit derived from it."""
+    if _FAMILIES.remove(key, missing_ok=missing_ok) is None:
+        return
+    _purge_family_instances(key)
+    _bump_generation()
+
+
+def _purge_family_instances(key: str) -> None:
+    instances = [entry.key for entry in _CIRCUITS.entries.values()
+                 if entry.family == key]
+    for instance in instances:
+        _CIRCUITS.remove(instance, missing_ok=True)
+        _CIRCUIT_CACHE.pop(instance, None)
+
+
+def available_circuit_families() -> List[str]:
+    """Canonical keys of every registered family, registration order."""
+    return list(_FAMILIES.entries)
+
+
+def circuit_family_entry(name: str) -> CircuitFamilyEntry:
+    """The registration entry behind a family key or alias."""
+    return _FAMILIES.entries[_FAMILIES.canonical(name)]
+
+
+def is_family_spec(name: str) -> bool:
+    """True when ``name`` is spelled as a family spec (``f(...)``).
+
+    Purely syntactic — the family may still be unknown or the
+    parameters invalid; :func:`parse_family_spec` decides that.
+    """
+    return _FAMILY_SPEC_RE.match(name) is not None
+
+
+def _spec_value(value: Any) -> Optional[str]:
+    """The spec-string spelling of a parameter value (None: unspellable).
+
+    ``repr`` for floats (round-trips doubles exactly, matching
+    :mod:`repro.cache` hashing), ``true``/``false`` for bools, decimal
+    for ints, the bare word for strings.
+    """
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str) and _FAMILY_VALUE_RE.match(value):
+        return value
+    return None
+
+
+def _parse_value(family: str, name: str, text: str, default: Any) -> Any:
+    """Coerce one ``name=text`` spec argument to the default's type."""
+    try:
+        if isinstance(default, bool):
+            lowered = text.lower()
+            if lowered in ("true", "1"):
+                return True
+            if lowered in ("false", "0"):
+                return False
+            raise ValueError(text)
+        if isinstance(default, int):
+            return int(text, 10)
+        if isinstance(default, float):
+            return float(text)
+    except ValueError:
+        raise ExperimentError(
+            f"circuit family spec {family!r}: parameter {name}={text!r} "
+            f"is not a valid {type(default).__name__}") from None
+    if not _FAMILY_VALUE_RE.match(text):
+        raise ExperimentError(
+            f"circuit family spec {family!r}: parameter {name}={text!r} "
+            f"contains characters the spec grammar cannot round-trip")
+    return text
+
+
+def parse_family_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """Parse ``family(k=v,...)`` into (canonical family key, parameters).
+
+    The returned parameters are the *full* set: the family's defaults
+    overlaid with the spec's explicit arguments, coerced to the
+    defaults' types.  Unknown families, unknown or repeated parameter
+    names and malformed values raise :class:`ExperimentError`.
+    """
+    match = _FAMILY_SPEC_RE.match(spec)
+    if match is None:
+        raise ExperimentError(
+            f"malformed circuit family spec {spec!r}; expected "
+            f"family(param=value,...)")
+    family = _FAMILIES.canonical(match.group("family"))
+    defaults = dict(_FAMILIES.entries[family].defaults)
+    params = dict(defaults)
+    seen = set()
+    args = match.group("args").strip()
+    for item in args.split(",") if args else ():
+        name, sep, text = item.partition("=")
+        name = name.strip()
+        text = text.strip()
+        if not sep or not name or not text:
+            raise ExperimentError(
+                f"circuit family spec {spec!r}: malformed argument "
+                f"{item.strip()!r}; expected param=value")
+        if name not in defaults:
+            raise ExperimentError(
+                f"circuit family {family!r} has no parameter {name!r}; "
+                f"choose from {', '.join(defaults)}")
+        if name in seen:
+            raise ExperimentError(
+                f"circuit family spec {spec!r}: parameter {name!r} "
+                f"given twice")
+        seen.add(name)
+        params[name] = _parse_value(family, name, text, defaults[name])
+    return family, params
+
+
+def normalize_family_spec(spec: str) -> str:
+    """The canonical spelling of a family spec.
+
+    Every parameter explicit, declaration order, canonical family key —
+    so any two spellings of the same circuit normalize (and hash)
+    identically, and a later change of a family *default* cannot
+    silently change what a stored result's key meant.
+    """
+    family, params = parse_family_spec(spec)
+    entry = _FAMILIES.entries[family]
+    args = ",".join(f"{name}={_spec_value(params[name])}"
+                    for name, _ in entry.defaults)
+    return f"{family}({args})"
+
+
+def resolve_family_spec(spec: str) -> str:
+    """Resolve a spec to its canonical circuit key, registering the
+    instance circuit on first use.
+
+    The instance registration is content-addressed (the normalized
+    spec *is* the parameters), so it does not bump the registry
+    generation — warm caches keyed by other names stay valid.
+    """
+    family, params = parse_family_spec(spec)
+    entry = _FAMILIES.entries[family]
+    canonical = normalize_family_spec(spec)
+    if canonical not in _CIRCUITS.names:
+        def build(entry=entry, params=params):
+            return entry.factory(**params)
+
+        instance = CircuitEntry(
+            key=canonical, build=build,
+            description=(entry.description or f"{family} family")
+            + " instance",
+            function=entry.function, family=family)
+        _CIRCUITS.add(instance, replace=True)
+        _CIRCUIT_CACHE.pop(canonical, None)
+        # Deliberately no _bump_generation() here (see docstring).
+    return canonical
 
 
 #: BLIF registrations made in this process: canonical key -> the
@@ -523,8 +787,10 @@ register_library(
     description="hybrid pass-transistor ambipolar demo library "
                 "(after Hu et al., arXiv:2002.01932)")
 
-# The 12 paper benchmarks register themselves on import; importing the
-# suite here makes `import repro.registry` alone see them.  This import
-# must stay last: the suite module imports the registration functions
-# above from this (then partially-initialized) module.
+# The 12 paper benchmarks and the built-in circuit families register
+# themselves on import; importing them here makes `import
+# repro.registry` alone see them.  These imports must stay last: both
+# modules import the registration functions above from this (then
+# partially-initialized) module.
+from repro.circuits import families as _families  # noqa: E402,F401
 from repro.circuits import suite as _suite  # noqa: E402,F401

@@ -231,8 +231,20 @@ class Engine:
                     # moved aside and transparently recomputed.
                     "disk": cache_stats(),
                 },
+                "sim": self._sim_stats(),
                 "counters": counters,
             }
+
+    def _sim_stats(self) -> Dict[str, Any]:
+        """Kernel-selection policy and cumulative per-kernel throughput
+        counters (part of the ``/healthz`` payload)."""
+        from repro.sim.kernels import AUTO_ARRAY_THRESHOLD, kernel_counters
+
+        return {
+            "default_kernel": self.session.config.sim_kernel,
+            "auto_array_threshold": AUTO_ARRAY_THRESHOLD,
+            "kernels": kernel_counters(),
+        }
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment a serve counter (thread-safe; shows in /healthz)."""

@@ -39,7 +39,6 @@ from typing import Any, Dict, Optional
 from repro.cache import default_cache, stable_hash
 from repro.sim.bitsim import (
     _WORD_BITS,
-    BitParallelSimulator,
     DEFAULT_STATE_SAMPLE,
     SimulationStats,
 )
@@ -229,13 +228,17 @@ def _valid_payload(payload: Any, netlist, n_patterns: int,
 
 
 def simulation_stats(netlist, n_patterns: int, seed: int = 2010,
-                     state_patterns: Optional[int] = None
-                     ) -> SimulationStats:
+                     state_patterns: Optional[int] = None,
+                     kernel: str = "auto") -> SimulationStats:
     """The (cached) simulation statistics of a mapped netlist.
 
     Checks the per-process LRU, then the :mod:`repro.cache` disk store,
-    and only then runs the bit-parallel simulation.  The returned
-    object is shared — treat it as immutable.
+    and only then runs the bit-parallel simulation with the selected
+    kernel (:func:`repro.sim.kernels.run_simulation`).  ``kernel`` is
+    execution policy only — the gate and array kernels are
+    bit-identical, so it is deliberately absent from the cache key and
+    a warm entry answers every kernel's request.  The returned object
+    is shared — treat it as immutable.
     """
     key = activity_key(netlist, n_patterns, seed, state_patterns)
     stats = _CACHE.get(key)
@@ -254,8 +257,10 @@ def simulation_stats(netlist, n_patterns: int, seed: int = 2010,
                 _CACHE.disk_hits += 1
             _CACHE.put(key, stats)
             return stats
-    stats = BitParallelSimulator(netlist).run(n_patterns, seed,
-                                              state_patterns)
+    from repro.sim.kernels import run_simulation
+
+    stats = run_simulation(netlist, n_patterns, seed, state_patterns,
+                           kernel=kernel)
     with _CACHE._lock:
         _CACHE.simulations += 1
     disk.put(ACTIVITY_NAMESPACE, key, stats.to_payload())

@@ -1,0 +1,444 @@
+"""Levelized struct-of-arrays bit-parallel simulation.
+
+The per-gate simulator (:mod:`repro.sim.bitsim`) walks the netlist one
+cell instance at a time in Python — fine at paper scale (a few thousand
+gates), a hard floor at the 10^5–10^6-gate synthetic netlists the
+scaling studies need.  This module refactors the mapped netlist into a
+struct-of-arrays form and evaluates it level by level:
+
+* every net gets an integer index (PIs first, then gate outputs in
+  topological order) and all net values live in one
+  ``(n_nets, n_words)`` uint64 matrix;
+* gates are grouped by ``(logic level, cell)``; one group evaluates as
+  a handful of whole-matrix numpy bitwise ops over its gathered fanin
+  rows — the Python interpreter touches ``(level, cell, cube, var)``
+  tuples, never individual gates;
+* toggle counting and the input-state histograms run vectorized over
+  the whole matrix (the histogram in memory-bounded pattern x gate
+  chunks).
+
+Every operation is exact integer/bitwise arithmetic on the same
+tail-masked words, drawn from the same per-PI RNG stream, so
+:meth:`ArraySimulator.run` is **bit-identical** to
+:meth:`BitParallelSimulator.run` — same toggle counts, same state
+histograms, same ``SimulationStats`` — which the property tests and the
+12-benchmark identity test assert.  Kernel choice is therefore pure
+performance policy (:mod:`repro.sim.kernels`), invisible to cache keys
+and stored results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.bitsim import (
+    _UINT64_ALL_ONES,
+    _WORD_BITS,
+    DEFAULT_STATE_SAMPLE,
+    SimulationStats,
+)
+from repro.synth.netlist import MappedNetlist
+from repro.synth.sop import isop
+
+#: Attribute memoizing the levelized form on the netlist instance
+#: (mapped netlists are effectively immutable once built).
+_ARRAYS_ATTR = "_repro_levelized"
+
+#: Word budget of the deepest AND-tree level of one state-histogram
+#: work chunk (8 bytes/word, so the transient stays at tens of MB
+#: regardless of netlist size).
+_STATE_CHUNK_ELEMS = 1 << 23
+
+#: Row chunk of the vectorized toggle count (bounds the XOR/popcount
+#: temporaries to a few MB at any netlist size).
+_TOGGLE_CHUNK_ROWS = 4096
+
+
+@dataclass(frozen=True)
+class _LevelGroup:
+    """All gates of one cell type within one logic level."""
+
+    cell_id: int
+    #: Net indices of the gate outputs, shape (g,).
+    outputs: np.ndarray
+    #: Net indices of the gate fanins, shape (g, k); column = pin.
+    fanins: np.ndarray
+
+
+@dataclass(frozen=True)
+class _CellGroup:
+    """All gates of one cell type across the whole netlist."""
+
+    cell_id: int
+    #: Positions into the netlist gate list, shape (g,).
+    gate_positions: np.ndarray
+    #: Net indices of the gate fanins, shape (g, k).
+    fanins: np.ndarray
+
+
+class LevelizedNetlist:
+    """The struct-of-arrays / levelized form of one mapped netlist.
+
+    Net index space: PI ``i`` is net ``i``; the output of gate ``j``
+    (netlist order) is net ``n_pis + j``.  Cell identities are small
+    ints into ``cell_names``; ISOP covers are precomputed per cell.
+    """
+
+    def __init__(self, netlist: MappedNetlist):
+        netlist.validate()
+        self.netlist = netlist
+        library = netlist.library
+
+        self.n_pis = len(netlist.pi_names)
+        self.n_gates = len(netlist.gates)
+        self.n_nets = self.n_pis + self.n_gates
+        #: Net name per net index (PIs, then gate outputs).
+        self.net_names: List[str] = list(netlist.pi_names)
+        self.net_names.extend(gate.output for gate in netlist.gates)
+        self.gate_names: List[str] = [gate.name for gate in netlist.gates]
+
+        net_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.net_names)}
+
+        #: Distinct cells in first-seen order; covers/arity per cell id.
+        #: A cover cube is held both packed (mask, phases) and expanded
+        #: to its (var, positive) literal list for the evaluation loop.
+        self.cell_names: List[str] = []
+        self.covers: List[List[Tuple[int, int]]] = []
+        self.cube_literals: List[List[List[Tuple[int, bool]]]] = []
+        self.arity: List[int] = []
+        cell_ids: Dict[str, int] = {}
+        cell_of = np.empty(self.n_gates, dtype=np.intp)
+        for j, gate in enumerate(netlist.gates):
+            cid = cell_ids.get(gate.cell)
+            if cid is None:
+                cell = library.cell(gate.cell)
+                cid = cell_ids[gate.cell] = len(self.cell_names)
+                self.cell_names.append(gate.cell)
+                cubes = isop(cell.truth_table, cell.n_inputs)
+                self.covers.append([(c.mask, c.phases) for c in cubes])
+                self.cube_literals.append(
+                    [[(var, bool((c.phases >> var) & 1))
+                      for var in range(cell.n_inputs)
+                      if (c.mask >> var) & 1]
+                     for c in cubes])
+                self.arity.append(cell.n_inputs)
+            cell_of[j] = cid
+
+        # Flat struct-of-arrays connectivity: all fanin net indices in
+        # gate order, plus a pin-count-padded (n_gates, kmax) matrix
+        # (rows repeat their last fanin, which is maximum- and
+        # gather-neutral) for whole-netlist level computation.
+        ks = np.fromiter((len(gate.inputs) for gate in netlist.gates),
+                         dtype=np.intp, count=self.n_gates)
+        arity_arr = np.asarray(self.arity, dtype=np.intp)
+        bad = np.flatnonzero(arity_arr[cell_of] != ks) if self.n_gates \
+            else np.asarray([], dtype=np.intp)
+        if bad.size:
+            gate = netlist.gates[int(bad[0])]
+            raise SimulationError(
+                f"gate {gate.name}: {len(gate.inputs)} connections "
+                f"for {gate.cell} "
+                f"({library.cell(gate.cell).n_inputs} pins)")
+        pins = np.fromiter(
+            (net_index[net] for gate in netlist.gates
+             for net in gate.inputs),
+            dtype=np.intp, count=int(ks.sum()))
+        offsets = np.zeros(self.n_gates + 1, dtype=np.intp)
+        np.cumsum(ks, out=offsets[1:])
+        kmax = int(ks.max()) if self.n_gates else 0
+        if kmax:
+            columns = np.minimum(np.arange(kmax, dtype=np.intp),
+                                 ks[:, None] - 1)
+            fan_pad = pins[offsets[:-1, None] + columns]
+        else:
+            fan_pad = np.zeros((self.n_gates, 0), dtype=np.intp)
+
+        # Logic levels: PIs are level 0, a gate is one past its deepest
+        # fanin.  Computed in topological-order blocks: within a block
+        # the update is iterated to its (shallow) internal fixpoint, so
+        # the whole pass costs O(pins) numpy work plus one iteration
+        # per level of internal depth — no per-gate Python loop.
+        level = np.zeros(self.n_nets, dtype=np.int64)
+        if self.n_gates and kmax:
+            block = 4096
+            for a in range(0, self.n_gates, block):
+                b = min(a + block, self.n_gates)
+                rows = fan_pad[a:b]
+                outs = np.arange(self.n_pis + a, self.n_pis + b)
+                previous = None
+                while True:
+                    candidate = level[rows].max(axis=1) + 1
+                    if previous is not None and np.array_equal(
+                            candidate, previous):
+                        break
+                    level[outs] = candidate
+                    previous = candidate
+        elif self.n_gates:
+            level[self.n_pis:] = 1
+
+        # Gates of one (level, cell) pair have no data dependencies
+        # among each other and evaluate as one group; boundaries come
+        # from one stable lexsort, members stay in gate order.
+        gate_levels = level[self.n_pis:]
+        max_level = int(gate_levels.max()) if self.n_gates else 0
+        #: Evaluation schedule: per level (ascending), the cell groups.
+        self.schedule: List[List[_LevelGroup]] = [
+            [] for _ in range(max_level)]
+        if self.n_gates:
+            order = np.lexsort((cell_of, gate_levels))
+            sorted_levels = gate_levels[order]
+            sorted_cells = cell_of[order]
+            breaks = np.flatnonzero(np.diff(sorted_levels)
+                                    | np.diff(sorted_cells))
+            starts = np.concatenate(([0], breaks + 1))
+            ends = np.concatenate((breaks + 1, [self.n_gates]))
+            for start, end in zip(starts, ends):
+                members = order[start:end]
+                cell_id = int(sorted_cells[start])
+                self.schedule[int(sorted_levels[start]) - 1].append(
+                    _LevelGroup(
+                        cell_id=cell_id,
+                        outputs=members + self.n_pis,
+                        fanins=fan_pad[members, :arity_arr[cell_id]]))
+
+        #: Histogram grouping: gates by cell across all levels.
+        self.cell_groups: List[_CellGroup] = []
+        if self.n_gates:
+            order = np.argsort(cell_of, kind="stable")
+            sorted_cells = cell_of[order]
+            breaks = np.flatnonzero(np.diff(sorted_cells))
+            starts = np.concatenate(([0], breaks + 1))
+            ends = np.concatenate((breaks + 1, [self.n_gates]))
+            for start, end in zip(starts, ends):
+                members = order[start:end]
+                cell_id = int(sorted_cells[start])
+                self.cell_groups.append(_CellGroup(
+                    cell_id=cell_id,
+                    gate_positions=members,
+                    fanins=fan_pad[members, :arity_arr[cell_id]]))
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.schedule)
+
+
+def levelized(netlist: MappedNetlist) -> LevelizedNetlist:
+    """The (instance-memoized) levelized form of a mapped netlist."""
+    cached = netlist.__dict__.get(_ARRAYS_ATTR)
+    if cached is None:
+        cached = LevelizedNetlist(netlist)
+        netlist.__dict__[_ARRAYS_ATTR] = cached
+    return cached
+
+
+class ArraySimulator:
+    """Levelized array twin of :class:`BitParallelSimulator`.
+
+    Same constructor and :meth:`run` contract; the returned
+    :class:`SimulationStats` is bit-identical to the per-gate path for
+    every ``(n_patterns, seed, state_patterns)``.
+    """
+
+    def __init__(self, netlist: MappedNetlist):
+        self.netlist = netlist
+        self.arrays = levelized(netlist)
+
+    def run(self, n_patterns: int, seed: int = 2010,
+            state_patterns: Optional[int] = None) -> SimulationStats:
+        """Simulate ``n_patterns`` seeded random patterns (see
+        :meth:`BitParallelSimulator.run`)."""
+        if n_patterns < 1:
+            raise SimulationError("n_patterns must be >= 1")
+        if state_patterns is None:
+            state_patterns = min(n_patterns, DEFAULT_STATE_SAMPLE)
+        state_patterns = min(state_patterns, n_patterns)
+
+        arrays = self.arrays
+        n_words = (n_patterns + _WORD_BITS - 1) // _WORD_BITS
+        tail_bits = n_patterns - (n_words - 1) * _WORD_BITS
+        tail_mask = (_UINT64_ALL_ONES if tail_bits == _WORD_BITS
+                     else np.uint64((1 << tail_bits) - 1))
+
+        values = np.zeros((arrays.n_nets, n_words), dtype=np.uint64)
+        # Identical RNG stream to the per-gate path: one draw of
+        # n_words words per PI, in pi_names order, tail-masked.
+        rng = np.random.default_rng(seed)
+        for i in range(arrays.n_pis):
+            words = rng.integers(0, 2**64, size=n_words, dtype=np.uint64)
+            words[-1] &= tail_mask
+            values[i] = words
+
+        for level in arrays.schedule:
+            for group in level:
+                self._evaluate_group(group, values, tail_mask)
+
+        totals = self._count_toggles(values, n_patterns)
+        toggles = {name: int(totals[i])
+                   for i, name in enumerate(arrays.net_names)}
+        state_counts, state_patterns = self._state_histogram(
+            values, n_patterns, state_patterns, n_words)
+        return SimulationStats(
+            n_patterns=n_patterns,
+            toggles=toggles,
+            state_counts=state_counts,
+            n_state_patterns=state_patterns,
+        )
+
+    # -- core evaluation -----------------------------------------------------
+
+    def _evaluate_group(self, group: _LevelGroup, values: np.ndarray,
+                        tail_mask: np.uint64) -> None:
+        """Evaluate all gates of one (level, cell) group at once.
+
+        Exactly the cube loop of ``BitParallelSimulator._evaluate_gate``
+        lifted one axis: ``ins[:, var]`` is the whole group's pin
+        ``var``, and the AND/OR word ops run over ``(g, n_words)``
+        blocks instead of ``(n_words,)`` vectors.
+        """
+        cover = self.arrays.cube_literals[group.cell_id]
+        ins = values[group.fanins]  # (g, k, n_words) gather
+        g, _, n_words = ins.shape
+        inverted = np.bitwise_not(ins)  # one pass, shared by all cubes
+        result = np.zeros((g, n_words), dtype=np.uint64)
+        term = np.empty((g, n_words), dtype=np.uint64)
+        for literals in cover:
+            if not literals:  # tautology cube: constant-one cell
+                result[...] = _UINT64_ALL_ONES
+                continue
+            var, positive = literals[0]
+            term[...] = ins[:, var] if positive else inverted[:, var]
+            for var, positive in literals[1:]:
+                np.bitwise_and(
+                    term, ins[:, var] if positive else inverted[:, var],
+                    out=term)
+            np.bitwise_or(result, term, out=result)
+        result[:, -1] &= tail_mask
+        values[group.outputs] = result
+
+    # -- statistics ----------------------------------------------------------
+
+    @staticmethod
+    def _count_toggles(values: np.ndarray, n_patterns: int) -> np.ndarray:
+        """Per-net toggle counts, vectorized over the whole matrix.
+
+        Row ``i`` equals ``BitParallelSimulator._count_toggles`` of net
+        ``i`` exactly (same popcounts, same cross-word boundary bits,
+        same phantom-tail subtraction — all small exact integers).
+        """
+        n_nets, n_words = values.shape
+        totals = np.zeros(n_nets, dtype=np.int64)
+        if n_patterns < 2:
+            return totals
+        mask63 = np.uint64((1 << (_WORD_BITS - 1)) - 1)
+        one = np.uint64(1)
+        for start in range(0, n_nets, _TOGGLE_CHUNK_ROWS):
+            rows = values[start:start + _TOGGLE_CHUNK_ROWS]
+            within = (rows ^ (rows >> one)) & mask63
+            part = np.bitwise_count(within).sum(axis=1, dtype=np.int64)
+            if n_words > 1:
+                high = rows[:, :-1] >> np.uint64(_WORD_BITS - 1)
+                low = rows[:, 1:] & one
+                part += (high ^ low).sum(axis=1, dtype=np.int64)
+            totals[start:start + _TOGGLE_CHUNK_ROWS] = part
+        tail_bits = n_patterns - (n_words - 1) * _WORD_BITS
+        if tail_bits < _WORD_BITS:
+            last_real = (values[:, -1] >> np.uint64(tail_bits - 1)) & one
+            totals -= last_real.astype(np.int64)
+        return totals
+
+    def _state_histogram(self, values: np.ndarray, n_patterns: int,
+                         state_patterns: int, n_words: int
+                         ) -> Tuple[Dict[str, np.ndarray], int]:
+        """Per-gate input-vector histograms over the state sample.
+
+        Whole-word normalization as in the per-gate path.  The counting
+        never unpacks patterns to bytes: the number of sample patterns
+        on which a gate's k inputs spell the state ``s`` is the
+        popcount of the AND of its k input words, each complemented
+        where ``s`` has a 0 bit — computed for all ``2^k`` states as a
+        binary AND-tree (:meth:`_histogram_chunk`), vectorized over all
+        gates of a cell.  Each count is the exact cardinality of a
+        pattern subset, so the result equals the per-gate path's
+        pattern-by-pattern bincount bit for bit.
+        """
+        arrays = self.arrays
+        state_words = min(
+            (state_patterns + _WORD_BITS - 1) // _WORD_BITS, n_words)
+        state_patterns = min(state_words * _WORD_BITS, n_patterns)
+
+        # Valid-pattern mask over the state window: all ones except the
+        # (possible) partial last word.  AND-tree roots start from it so
+        # complemented inputs cannot pick up phantom patterns from the
+        # masked-to-zero tail region.
+        base = np.full(state_words, _UINT64_ALL_ONES, dtype=np.uint64)
+        last_bits = state_patterns - (state_words - 1) * _WORD_BITS
+        if last_bits < _WORD_BITS:
+            base[-1] = np.uint64((1 << last_bits) - 1)
+        window = values[:, :state_words]
+
+        state_counts: Dict[str, np.ndarray] = {}
+        for group in arrays.cell_groups:
+            k = arrays.arity[group.cell_id]
+            n_group = len(group.gate_positions)
+            counts = np.empty((n_group, 1 << k), dtype=np.int64)
+            # The deepest tree level holds 2^(k-1) arrays of
+            # (gate chunk, state_words) words; bound their total size.
+            per_gate = max(1, (1 << max(0, k - 1)) * state_words)
+            gate_chunk = max(1, _STATE_CHUNK_ELEMS // per_gate)
+            for g0 in range(0, n_group, gate_chunk):
+                g1 = min(g0 + gate_chunk, n_group)
+                self._histogram_chunk(window, group.fanins[g0:g1], k,
+                                      base, state_patterns, counts[g0:g1])
+            for row, position in enumerate(group.gate_positions):
+                state_counts[arrays.gate_names[position]] = counts[row]
+        return state_counts, state_patterns
+
+    @staticmethod
+    def _histogram_chunk(window: np.ndarray, fanins: np.ndarray, k: int,
+                         base: np.ndarray, state_patterns: int,
+                         out: np.ndarray) -> None:
+        """State counts of one gate chunk via a popcount AND-tree.
+
+        ``nodes[s]`` holds, per gate, the word mask of sample patterns
+        whose first ``d`` inputs spell the ``d`` low bits of ``s``;
+        each variable doubles the list (AND with the input's words for
+        bit 1, with their complement for bit 0).  The last variable is
+        resolved without materializing its level: the bit-1 count is
+        the popcount of ``node & w`` and the bit-0 count is the node's
+        total minus it — the same exact integers either way.
+        """
+        n_gates = fanins.shape[0]
+        if k == 0:
+            out[:, 0] = state_patterns
+            return
+        if k == 1:
+            words = window[fanins[:, 0]]
+            ones = np.bitwise_count(words).sum(axis=1, dtype=np.int64)
+            out[:, 1] = ones
+            out[:, 0] = state_patterns - ones
+            return
+        # Level 0 without materializing the base: input words are
+        # already zero outside the valid patterns, so ``words ^ base``
+        # is exactly ``base & ~words`` — one op, and every deeper
+        # 0-branch is then ``node ^ (node & words)`` (the garbage bits
+        # of a complement never survive an AND with a valid node).
+        words = window[fanins[:, 0]]
+        nodes = [words ^ base, words]
+        for var in range(1, k - 1):
+            words = window[fanins[:, var]]
+            ones_branch = [node & words for node in nodes]
+            nodes = ([node ^ one for node, one in zip(nodes, ones_branch)]
+                     + ones_branch)
+        words = window[fanins[:, k - 1]]
+        high_bit = 1 << (k - 1)
+        for state, node in enumerate(nodes):
+            ones = np.bitwise_count(node & words).sum(axis=1,
+                                                      dtype=np.int64)
+            total = np.bitwise_count(node).sum(axis=1, dtype=np.int64)
+            out[:, state | high_bit] = ones
+            out[:, state] = total - ones

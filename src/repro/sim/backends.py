@@ -118,6 +118,7 @@ class BitsimBackend:
             n_patterns=config.n_patterns,
             seed=config.seed,
             state_patterns=config.state_patterns,
+            kernel=config.sim_kernel,
         )
 
 
@@ -216,7 +217,8 @@ class SpiceTransientBackend:
                 f"the bitsim backend for large netlists")
         library = netlist.library
         stats = simulation_stats(netlist, config.n_patterns, config.seed,
-                                 config.state_patterns)
+                                 config.state_patterns,
+                                 kernel=config.sim_kernel)
 
         caps = switched_capacitance(netlist)
         alphas = stats.toggle_rates([gate.output for gate in netlist.gates])

@@ -348,8 +348,8 @@ def estimate_circuit_power(netlist: MappedNetlist,
                            n_patterns: int = 640_000,
                            seed: int = 2010,
                            state_patterns: Optional[int] = None,
-                           stats: Optional[SimulationStats] = None
-                           ) -> CircuitPowerReport:
+                           stats: Optional[SimulationStats] = None,
+                           kernel: str = "auto") -> CircuitPowerReport:
     """Estimate the power of a mapped circuit (one Table 1 cell).
 
     Activity comes from :func:`repro.sim.activity.simulation_stats`
@@ -367,12 +367,15 @@ def estimate_circuit_power(netlist: MappedNetlist,
             than activity).
         stats: pre-computed simulation statistics (skips simulation
             and the activity cache).
+        kernel: bitsim kernel policy (``"auto"``/``"gate"``/
+            ``"array"``; execution only — results are bit-identical).
     """
     library = netlist.library
     if params is None:
         params = PowerParameters(vdd=library.tech.vdd)
     if stats is None:
-        stats = simulation_stats(netlist, n_patterns, seed, state_patterns)
+        stats = simulation_stats(netlist, n_patterns, seed, state_patterns,
+                                 kernel=kernel)
     return PricingModel.for_netlist(netlist).bind(stats).report(params)
 
 

@@ -1,0 +1,112 @@
+"""Simulation kernel selection and accounting.
+
+Two kernels produce the bit-identical :class:`SimulationStats` of a
+mapped netlist: the per-gate path (:class:`BitParallelSimulator`,
+lowest constant cost, Python-bound per gate) and the levelized array
+path (:class:`ArraySimulator`, numpy-bound per (level, cell) group —
+the one that scales to 10^5+-gate netlists).  Because the results are
+identical, the choice is pure performance policy:
+
+* ``"gate"`` / ``"array"`` force a kernel;
+* ``"auto"`` (the default everywhere) picks the array kernel above
+  :data:`AUTO_ARRAY_THRESHOLD` mapped gates and the per-gate kernel
+  below it.
+
+The knob rides on :attr:`ExperimentConfig.sim_kernel` and is serialized
+with configs, but it is deliberately **excluded** from activity keys,
+query keys and task keys — a cached result answers every kernel's
+query, and a sweep store written by one kernel warm-starts the other.
+
+Every simulation executed through :func:`run_simulation` is metered:
+cumulative simulations, gate-evaluations (gates x patterns) and wall
+time per kernel, surfaced by ``/v1/healthz`` as gate-evals/s.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.experiments.config import SIM_KERNELS
+from repro.sim.arraysim import ArraySimulator
+from repro.sim.bitsim import BitParallelSimulator, SimulationStats
+
+#: ``"auto"`` switches to the array kernel at this many mapped gates.
+#: Below it the per-gate path's lower constant cost wins; above it the
+#: levelized groups amortize the Python dispatch over whole levels.
+AUTO_ARRAY_THRESHOLD = 4096
+
+_LOCK = threading.Lock()
+_COUNTERS: Dict[str, Dict[str, float]] = {
+    kernel: {"simulations": 0, "gate_evals": 0, "elapsed_s": 0.0}
+    for kernel in ("gate", "array")}
+
+
+def select_kernel(kernel: str, gate_count: int) -> str:
+    """Resolve a kernel request to the kernel that will actually run.
+
+    Raises :class:`SimulationError` on an unknown kernel name (configs
+    validate at construction, so this guards direct callers).
+    """
+    if kernel not in SIM_KERNELS:
+        raise SimulationError(
+            f"unknown sim kernel {kernel!r}; choose from "
+            f"{', '.join(SIM_KERNELS)}")
+    if kernel == "auto":
+        return "array" if gate_count >= AUTO_ARRAY_THRESHOLD else "gate"
+    return kernel
+
+
+def run_simulation(netlist, n_patterns: int, seed: int = 2010,
+                   state_patterns: Optional[int] = None,
+                   kernel: str = "auto") -> SimulationStats:
+    """Simulate a mapped netlist with the selected kernel, metered.
+
+    The cold path behind :func:`repro.sim.activity.simulation_stats`;
+    both kernels return bit-identical statistics, so callers never see
+    which one ran except through the counters (and the wall clock).
+    """
+    chosen = select_kernel(kernel, netlist.gate_count)
+    simulator = (ArraySimulator(netlist) if chosen == "array"
+                 else BitParallelSimulator(netlist))
+    start = time.perf_counter()
+    stats = simulator.run(n_patterns, seed, state_patterns)
+    elapsed = time.perf_counter() - start
+    with _LOCK:
+        counter = _COUNTERS[chosen]
+        counter["simulations"] += 1
+        counter["gate_evals"] += netlist.gate_count * n_patterns
+        counter["elapsed_s"] += elapsed
+    return stats
+
+
+def kernel_counters() -> Dict[str, Dict[str, float]]:
+    """Cumulative per-kernel meters (process lifetime).
+
+    ``gate_evals`` counts mapped gates x simulated patterns;
+    ``gate_evals_per_s`` is the derived cumulative throughput (0.0
+    before the first simulation).
+    """
+    with _LOCK:
+        out: Dict[str, Dict[str, float]] = {}
+        for kernel, counter in _COUNTERS.items():
+            elapsed = counter["elapsed_s"]
+            out[kernel] = {
+                "simulations": int(counter["simulations"]),
+                "gate_evals": int(counter["gate_evals"]),
+                "elapsed_s": elapsed,
+                "gate_evals_per_s": (counter["gate_evals"] / elapsed
+                                     if elapsed > 0 else 0.0),
+            }
+        return out
+
+
+def reset_kernel_counters() -> None:
+    """Zero the per-kernel meters (tests)."""
+    with _LOCK:
+        for counter in _COUNTERS.values():
+            counter["simulations"] = 0
+            counter["gate_evals"] = 0
+            counter["elapsed_s"] = 0.0

@@ -117,16 +117,24 @@ class SweepSpec:
             canonical_library(lib)
             for lib in _axis(self.libraries, "libraries")))
         object.__setattr__(self, "libraries", libraries)
-        from repro.registry import available_circuits, circuit_aliases
+        from repro.registry import available_circuits, is_family_spec
         names = _dedupe(tuple(self.circuits))
-        unknown = sorted(set(names) - set(circuit_aliases()))
+        resolved = []
+        unknown = []
+        for name in names:
+            try:
+                resolved.append(canonical_circuit(name))
+            except ExperimentError:
+                # A malformed or unknown family spec carries its own
+                # precise diagnostic; plain unknown names aggregate.
+                if is_family_spec(name):
+                    raise
+                unknown.append(name)
         if unknown:
             raise ExperimentError(
-                f"unknown circuits: {', '.join(unknown)}; "
+                f"unknown circuits: {', '.join(sorted(unknown))}; "
                 f"choose from {', '.join(available_circuits())}")
-        circuits = _dedupe(tuple(canonical_circuit(name)
-                                 for name in names))
-        object.__setattr__(self, "circuits", circuits)
+        object.__setattr__(self, "circuits", _dedupe(tuple(resolved)))
         from repro.sim.backends import available_backends
         if self.backend not in available_backends():
             raise ExperimentError(

@@ -124,6 +124,34 @@ class TestSessionTable1:
         ]
         assert got == PRE_REDESIGN_GOLDEN
 
+    def test_array_kernel_reproduces_golden(self, golden_config):
+        """The redesign's acceptance bar: forcing the levelized array
+        kernel reproduces the per-gate goldens bit for bit.  The
+        activity memo is cleared first — the kernel knob is excluded
+        from activity keys, so a warm entry would mask the array
+        path entirely."""
+        from dataclasses import replace
+
+        from repro.sim.activity import clear_cache
+        from repro.sim.kernels import kernel_counters
+
+        clear_cache()
+        before = kernel_counters()["array"]["simulations"]
+        config = replace(golden_config, sim_kernel="array")
+        result = Session(config).table1(benchmarks=["t481", "C1355"])
+        got = [
+            (name, key, r.gate_count, r.delay_s, r.pd_w, r.ps_w, r.pg_w,
+             r.pt_w, r.edp_js)
+            for name in result.benchmark_order
+            for key in result.library_order
+            for r in [result.results[name][key]]
+        ]
+        assert got == PRE_REDESIGN_GOLDEN
+        # the array kernel really ran (six cells; topologically
+        # identical mappings may share one activity entry)
+        assert kernel_counters()["array"]["simulations"] >= before + 5
+        clear_cache()
+
     def test_wrapper_delegates(self, golden_config):
         """reproduce_table1 is the Session, bit for bit."""
         from repro.experiments.table1 import reproduce_table1

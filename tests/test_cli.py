@@ -109,6 +109,36 @@ class TestRegistryCommands:
         assert '"cntfet-hybrid-pass"' in out
         assert '"spice-transient"' in out
 
+    def test_sweep_spec_accepts_family_specs(self, capsys):
+        """Commas inside a family spec's parentheses must not split
+        the --circuits axis."""
+        assert main(["sweep", "spec", "--libraries", "cmos",
+                     "--circuits",
+                     "t481,synth:rand(gates=120,seed=3)"]) == 0
+        out = capsys.readouterr().out
+        assert '"t481"' in out
+        # canonicalized: every family parameter spelled out
+        assert ('"synth:rand(gates=120,seed=3,inputs=64,outputs=32)"'
+                in out)
+
+    def test_circuit_values_split_is_paren_aware(self):
+        from repro.cli import _circuit_values
+
+        assert _circuit_values(
+            "t481,synth:rand(gates=5,seed=1),C1355") == (
+            "t481", "synth:rand(gates=5,seed=1)", "C1355")
+        assert _circuit_values("t481") == ("t481",)
+        assert _circuit_values("") == ()
+
+    def test_sim_kernel_flag_reaches_the_config(self):
+        from repro.cli import _config_from_flags, build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--sim-kernel", "array", "--patterns", "2048"])
+        config = _config_from_flags(args)
+        assert config.sim_kernel == "array"
+        assert config.n_patterns == 2048
+
     def test_circuits_lists_registrations(self, capsys):
         assert main(["circuits"]) == 0
         out = capsys.readouterr().out

@@ -326,31 +326,29 @@ class TestCircuitRegistry:
         assert cell.pt_w == flow.pt_w
 
 
-class TestDeprecatedShims:
-    def test_three_libraries_warns_and_matches_registry(self):
-        from repro.experiments.flow import three_libraries
+class TestShimRetirement:
+    """The deprecation shims of the registry migration are gone."""
 
-        with pytest.warns(DeprecationWarning, match="three_libraries"):
-            shimmed = three_libraries()
-        assert list(shimmed) == [GENERALIZED, CONVENTIONAL, CMOS]
-        for key, library in shimmed.items():
-            reference = registry.cached_library(key)
-            assert library.name == reference.name
-            assert library.tech == reference.tech
-            assert library.names == reference.names
+    def test_flow_shims_removed(self):
+        import repro.experiments
+        import repro.experiments.flow as flow
 
-    def test_cached_libraries_warns_and_returns_identical_objects(self):
-        from repro.experiments.flow import cached_libraries
+        assert not hasattr(flow, "three_libraries")
+        assert not hasattr(flow, "cached_libraries")
+        assert not hasattr(repro.experiments, "three_libraries")
+        assert "three_libraries" not in repro.experiments.__all__
 
-        with pytest.warns(DeprecationWarning, match="cached_libraries"):
-            shimmed = cached_libraries()
-        for key, library in shimmed.items():
+    def test_table1_underscore_aliases_removed(self):
+        import repro.experiments.table1 as table1
+
+        assert not hasattr(table1, "_run_table1_cell")
+        assert not hasattr(table1, "_verbose_line")
+
+    def test_paper_libraries_is_the_replacement(self):
+        trio = registry.paper_libraries()
+        assert list(trio) == [GENERALIZED, CONVENTIONAL, CMOS]
+        for key, library in trio.items():
             assert library is registry.cached_library(key)
-
-    def test_shims_respect_vdd(self):
-        from repro.experiments.flow import cached_libraries
-
-        with pytest.warns(DeprecationWarning):
-            shimmed = cached_libraries(0.8)
-        assert shimmed[CMOS].tech.vdd == pytest.approx(0.8)
-        assert shimmed[CMOS] is registry.cached_library(CMOS, 0.8)
+        resupplied = registry.paper_libraries(0.8)
+        assert resupplied[CMOS].tech.vdd == pytest.approx(0.8)
+        assert resupplied[CMOS] is registry.cached_library(CMOS, 0.8)
