@@ -238,6 +238,52 @@ class Session:
             result.benchmark_order.append(name)
         return result
 
+    def optimize(self, circuit: str, *,
+                 vdds: Optional[Sequence[float]] = None,
+                 frequencies: Optional[Sequence[float]] = None,
+                 libraries: Optional[Sequence[str]] = None,
+                 backends: Optional[Sequence[str]] = None,
+                 objectives: Optional[Sequence[str]] = None,
+                 store=None, deadline_ms: Optional[float] = None):
+        """The Pareto frontier of one circuit over a design space.
+
+        Maps the circuit per (library, vdd), static-times each mapping
+        (:mod:`repro.timing`), drops timing-infeasible (vdd, frequency)
+        points *before* pricing, prices the survivors (one simulation
+        per mapping via the activity cache; vectorized repricing) and
+        returns the non-dominated set under ``objectives``
+        (:data:`repro.schema.OPTIMIZE_OBJECTIVES`; default: minimize
+        total power, maximize frequency).
+
+        Axes default to this session's scope: its libraries, its
+        config's vdd/frequency/backend.  ``store`` (a path or
+        :class:`~repro.sweep.store.ResultStore`) warm-starts the
+        evaluation from stored points and records every priced point
+        back — the same contract as a serving engine.
+
+        Returns an :class:`~repro.schema.OptimizeReport`.
+        """
+        from repro.schema import OptimizeQuery
+        # Engine imports this module; resolve it lazily to keep the
+        # dependency one-directional at import time.
+        from repro.serve.engine import Engine
+
+        query = OptimizeQuery(
+            circuit=circuit,
+            libraries=tuple(libraries) if libraries is not None
+            else self.libraries,
+            vdds=tuple(vdds) if vdds is not None else (self.config.vdd,),
+            frequencies=tuple(frequencies) if frequencies is not None
+            else (self.config.frequency,),
+            backends=tuple(backends) if backends is not None
+            else (self.config.backend,),
+            **({"objectives": tuple(objectives)}
+               if objectives is not None else {}),
+            config=self.config,
+            deadline_ms=deadline_ms,
+        )
+        return Engine(session=self, store=store).optimize(query)
+
     def sweep(self, spec, store=None, verbose: bool = False,
               echo: Callable[[str], None] = print):
         """Run every not-yet-stored point of a sweep grid.

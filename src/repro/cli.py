@@ -477,16 +477,36 @@ def _cmd_query_grid(args, client) -> int:
     print(f"{first.circuit} on {first.library} [{first.backend}] "
           f"via {args.url} — {len(reports)} operating points")
     print(f"{'vdd/V':>7} {'f/GHz':>8} {'fanout':>6} {'PD/uW':>10} "
-          f"{'PS/uW':>10} {'PT/uW':>10} {'EDP/1e-24Js':>12} {'cache':>9}")
+          f"{'PS/uW':>10} {'PT/uW':>10} {'E/cyc/fJ':>10} {'PDP/fJ':>10} "
+          f"{'EDP/1e-24Js':>12} {'cache':>9} {'timing':>7}")
+    infeasible = 0
     for report in reports:
         r = report.result
         c = report.config
+        # Schema-v1 servers do not send the timing fields; derive them
+        # from the flow result so old servers still render fully.
+        delay_ns = (report.delay_ns if report.delay_ns is not None
+                    else r.delay_ps / 1e3)
+        energy = (report.energy_per_cycle
+                  if report.energy_per_cycle is not None
+                  else r.pt_uw * 1e-6 / c.frequency)
+        pdp = (report.pdp if report.pdp is not None
+               else r.pt_uw * 1e-6 * delay_ns * 1e-9)
+        feasible = delay_ns * 1e-9 <= 1.0 / c.frequency
+        infeasible += not feasible
         print(f"{c.vdd:7.2f} {c.frequency / 1e9:8.3f} {c.fanout:6d} "
               f"{r.pd_uw:10.3f} {r.ps_uw:10.4f} {r.pt_uw:10.3f} "
-              f"{r.edp_paper_units:12.3f} {report.cache_status:>9}")
+              f"{energy / 1e-15:10.3f} {pdp / 1e-15:10.3f} "
+              f"{r.edp_paper_units:12.3f} {report.cache_status:>9} "
+              f"{'ok' if feasible else 'INFEAS':>7}")
     cold = sum(1 for r in reports if r.cache_status == "cold")
     print(f"  {cold} cold / {len(reports) - cold} warm, "
           f"server={first.server_version}")
+    if infeasible:
+        print(f"  {infeasible} point(s) timing-INFEASIBLE: clock period "
+              f"shorter than the critical path — the estimate is the "
+              f"would-be power, not an operable design point "
+              f"(try 'repro optimize' to prune them)")
     return 0
 
 
@@ -518,6 +538,113 @@ def _cmd_query(args) -> int:
           f"EDP={r.edp_paper_units:.3f}e-24Js")
     print(f"  cache={report.cache_status} elapsed={report.elapsed_s:.3f}s "
           f"server={report.server_version} key={report.query_key[:12]}")
+    return 0
+
+
+def _render_frontier(report, where: str, fmt: str) -> None:
+    """Print an OptimizeReport as a table, CSV or JSON."""
+    import csv as csv_module
+    import json as json_module
+    import sys
+
+    from repro.schema import _FRONTIER_POINT_FIELDS
+
+    if fmt == "json":
+        print(json_module.dumps(report.to_dict(), indent=2))
+        return
+    if fmt == "csv":
+        writer = csv_module.writer(sys.stdout)
+        writer.writerow(_FRONTIER_POINT_FIELDS)
+        for point in report.frontier:
+            row = point.to_dict()
+            writer.writerow([row.get(field, "")
+                             for field in _FRONTIER_POINT_FIELDS])
+        return
+    print(f"{report.circuit}: {len(report.frontier)}-point Pareto "
+          f"frontier over ({', '.join(report.objectives)}) via {where}")
+    print(f"  {report.n_candidates} candidates = "
+          f"{report.n_infeasible} timing-infeasible + "
+          f"{report.n_dominated} dominated + {len(report.frontier)} "
+          f"frontier  [{report.elapsed_s:.3f}s, "
+          f"server {report.server_version}]")
+    if not report.frontier:
+        print("  (empty frontier: every point is timing-infeasible — "
+              "lower the frequency axis or raise vdd)")
+        return
+    print(f"{'library':>24} {'backend':>8} {'vdd/V':>6} {'f/GHz':>8} "
+          f"{'delay/ns':>9} {'slack/ns':>9} {'PT/uW':>9} {'E/cyc/fJ':>9} "
+          f"{'PDP/fJ':>9} {'EDP/1e-24Js':>12} {'cache':>5}")
+    for p in report.frontier:
+        print(f"{p.library:>24} {p.backend:>8} {p.vdd:6.2f} "
+              f"{p.frequency / 1e9:8.3f} {p.delay_ns:9.3f} "
+              f"{p.slack_ns:+9.3f} {p.pt_w / 1e-6:9.3f} "
+              f"{p.energy_per_cycle / 1e-15:9.3f} {p.pdp / 1e-15:9.3f} "
+              f"{p.edp_js / 1e-24:12.3f} {p.cache_status:>5}")
+
+
+def _cmd_optimize(args) -> int:
+    from dataclasses import replace
+
+    from repro.errors import ExperimentError
+    from repro.experiments.config import FAST_CONFIG, PAPER_CONFIG
+
+    _register_blifs(args.blif)
+    # vdd / frequency / backend are *axes* here; the base config only
+    # contributes the shared knobs (pattern budget, fanout, seed, ...).
+    base = FAST_CONFIG if args.fast else PAPER_CONFIG
+    overrides = {}
+    for flag, field in (("fanout", "fanout"), ("patterns", "n_patterns"),
+                        ("state_patterns", "state_patterns"),
+                        ("seed", "seed"), ("sim_kernel", "sim_kernel")):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[field] = value
+    config = replace(base, **overrides) if overrides else base
+
+    libraries = (_csv_values(args.libraries, str)
+                 if args.libraries else None)
+    vdds = _csv_values(args.vdd, float) if args.vdd else None
+    frequencies = (_csv_values(args.frequency, float)
+                   if args.frequency else None)
+    backends = _csv_values(args.backend, str) if args.backend else None
+    objectives = (_csv_values(args.objectives, str)
+                  if args.objectives else None)
+    try:
+        if args.url:
+            from repro import registry
+            from repro.resilience import RetryPolicy
+            from repro.schema import DEFAULT_OBJECTIVES, OptimizeQuery
+            from repro.serve import Client
+
+            query = OptimizeQuery(
+                circuit=args.circuit,
+                libraries=(libraries if libraries
+                           else registry.PAPER_LIBRARIES),
+                vdds=vdds if vdds else (config.vdd,),
+                frequencies=(frequencies if frequencies
+                             else (config.frequency,)),
+                backends=backends if backends else (config.backend,),
+                objectives=(objectives if objectives
+                            else DEFAULT_OBJECTIVES),
+                config=config,
+                deadline_ms=args.deadline_ms)
+            retry = (RetryPolicy(retries=args.retries)
+                     if args.retries > 0 else None)
+            client = Client(args.url, timeout=args.timeout, retry=retry)
+            report = client.optimize(query)
+            where = args.url
+        else:
+            from repro.api import Session
+
+            session = Session(config=config, libraries=libraries)
+            report = session.optimize(
+                args.circuit, vdds=vdds, frequencies=frequencies,
+                backends=backends, objectives=objectives,
+                store=args.store, deadline_ms=args.deadline_ms)
+            where = "local session"
+    except ExperimentError as exc:
+        raise SystemExit(str(exc))
+    _render_frontier(report, where, args.format)
     return 0
 
 
@@ -690,6 +817,69 @@ def build_parser() -> argparse.ArgumentParser:
                             "cached simulation (repeatable)")
     _add_config_flags(query)
     query.set_defaults(func=_cmd_query)
+
+    optimize = sub.add_parser(
+        "optimize",
+        help="Pareto frontier of one circuit over a "
+             "(library x vdd x frequency) design space")
+    optimize.add_argument("circuit",
+                          help="registered circuit name or alias")
+    optimize.add_argument("--libraries", default=None,
+                          metavar="L1,L2,...",
+                          help="library axis (default: the paper's "
+                               "three)")
+    optimize.add_argument("--vdd", default=None, metavar="V1,V2,...",
+                          help="supply-voltage axis in volts "
+                               "(default 0.9)")
+    optimize.add_argument("--frequency", default=None,
+                          metavar="F1,F2,...",
+                          help="clock-frequency axis in Hz "
+                               "(default 1e9); points whose period is "
+                               "shorter than the critical path are "
+                               "pruned before pricing")
+    optimize.add_argument("--backend", default=None, metavar="B1,B2,...",
+                          help="estimator-backend axis (default bitsim)")
+    optimize.add_argument("--objectives", default=None,
+                          metavar="O1,O2,...",
+                          help="Pareto objectives: power, energy, pdp, "
+                               "edp, delay, vdd, frequency, fmax "
+                               "(default power,frequency)")
+    optimize.add_argument("--fast", action="store_true",
+                          help="16K patterns instead of 640K")
+    optimize.add_argument("--fanout", type=int, default=None, metavar="N")
+    optimize.add_argument("--patterns", type=int, default=None,
+                          metavar="N", help="random patterns per point")
+    optimize.add_argument("--state-patterns", type=int, default=None,
+                          metavar="N",
+                          help="short-circuit state sample size")
+    optimize.add_argument("--seed", type=int, default=None)
+    optimize.add_argument("--sim-kernel", default=None, metavar="NAME",
+                          help="bitsim kernel (auto/levelized/python)")
+    optimize.add_argument("--url", default=None, metavar="URL",
+                          help="evaluate on a running 'repro serve' "
+                               "endpoint instead of in-process")
+    optimize.add_argument("--timeout", type=float, default=600.0,
+                          metavar="SECONDS",
+                          help="per-attempt HTTP timeout (with --url)")
+    optimize.add_argument("--retries", type=int, default=2, metavar="N",
+                          help="HTTP retry budget for transient "
+                               "failures (with --url; 0 disables)")
+    optimize.add_argument("--deadline-ms", type=float, default=None,
+                          metavar="MS",
+                          help="bound the whole optimization; expiry "
+                               "is a deadline_exceeded error")
+    optimize.add_argument("--store", default=None, metavar="FILE",
+                          help="JSONL result store to warm-start from "
+                               "and record priced points into "
+                               "(local mode)")
+    optimize.add_argument("--format", default="table",
+                          choices=["table", "csv", "json"],
+                          help="frontier rendering (default table)")
+    optimize.add_argument("--blif", action="append", default=None,
+                          metavar="FILE",
+                          help="register a BLIF netlist as a circuit "
+                               "first (repeatable, local mode)")
+    optimize.set_defaults(func=_cmd_optimize)
 
     sweep = sub.add_parser(
         "sweep", help="scenario grids with a resumable result store")

@@ -12,7 +12,8 @@ query costs a dictionary lookup instead of a synthesis run.
 * :class:`Engine` — the in-process service core (usable directly);
 * :class:`PowerServer` / :func:`serve` — a stdlib
   ``ThreadingHTTPServer`` speaking the :mod:`repro.schema` wire format
-  (``POST /v1/estimate``, ``GET /v1/circuits|libraries|backends|healthz``);
+  (``POST /v1/estimate``, ``POST /v1/optimize``,
+  ``GET /v1/circuits|libraries|backends|healthz``);
 * :class:`Client` — the matching urllib client;
 * ``repro serve`` / ``repro query`` — the CLI pair.
 

@@ -48,6 +48,8 @@ from repro.errors import ServerError
 from repro.experiments.config import ExperimentConfig
 from repro.resilience import RetryPolicy, RetryState, parse_retry_after
 from repro.schema import (
+    OptimizeQuery,
+    OptimizeReport,
     PowerQuery,
     PowerQuoteReport,
     SCHEMA_VERSION,
@@ -207,6 +209,16 @@ class Client:
         return reports_from_batch(
             self._request("/v1/estimate_batch",
                           batch_request_payload(queries)))
+
+    def optimize(self, query: OptimizeQuery) -> OptimizeReport:
+        """POST an :class:`OptimizeQuery` to ``/v1/optimize``.
+
+        The server maps + static-times each (library, vdd), prunes
+        timing-infeasible points before pricing, prices the survivors
+        through its caches and answers with the Pareto frontier.
+        """
+        return OptimizeReport.from_dict(
+            self._request("/v1/optimize", query.to_dict()))
 
     def circuits(self) -> List[Dict[str, Any]]:
         """The server's registered circuits (``/v1/circuits``)."""

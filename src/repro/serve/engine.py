@@ -55,12 +55,18 @@ from repro.experiments.flow import (
     map_subject,
     synthesized_benchmark,
 )
-from repro.schema import PowerQuery, PowerQuoteReport
+from repro.schema import (
+    OptimizeQuery,
+    OptimizeReport,
+    PowerQuery,
+    PowerQuoteReport,
+)
 from repro.sim.activity import (
     cache_info as activity_cache_info,
     pricing_group_key,
 )
 from repro.sim.backends import available_backends
+from repro.timing import cache_info as timing_cache_info
 
 #: Default LRU capacities.  Finished reports are tiny (a dataclass of
 #: floats); netlists and libraries are the heavy entries.
@@ -226,6 +232,9 @@ class Engine:
                               "hits": stats_hot,
                               "misses": max(0, activity["misses"]
                                             - baseline["misses"])},
+                    # Static-timing reports (repro.timing): process-
+                    # wide like the stats cache, absolute counters.
+                    "timing": timing_cache_info(),
                     # Disk-cache integrity (process lifetime):
                     # quarantined > 0 means corrupt entries were found,
                     # moved aside and transparently recomputed.
@@ -261,6 +270,23 @@ class Engine:
             self._store.flush()
 
     # -- query handling ----------------------------------------------------
+
+    def _revalidate_locked(self) -> None:
+        """Drop every name-keyed warm entry after a (re/un)registration.
+
+        A registration may have changed what a circuit/library name
+        means; every name-keyed warm entry is then suspect — including
+        stored records (their task_key hashes the *name*).  The store
+        itself is last-write-wins, so recomputed answers simply
+        overwrite the stale lines.  Caller holds the engine lock.
+        """
+        if registry.generation() != self._generation:
+            self._results.clear()
+            self._netlists.clear()
+            self._libraries.clear()
+            self._store_index.clear()
+            self._generation = registry.generation()
+            self.counters["caches.invalidated"] += 1
 
     def normalize(self, query: PowerQuery) -> PowerQuery:
         """Canonicalize a query so aliases hit the same cache entries.
@@ -311,18 +337,7 @@ class Engine:
 
         while True:
             with self._lock:
-                # A (re/un)registration may have changed what a name
-                # means; every name-keyed warm entry is then suspect —
-                # including stored records (their task_key hashes the
-                # *name*).  The store itself is last-write-wins, so
-                # recomputed answers simply overwrite the stale lines.
-                if registry.generation() != self._generation:
-                    self._results.clear()
-                    self._netlists.clear()
-                    self._libraries.clear()
-                    self._store_index.clear()
-                    self._generation = registry.generation()
-                    self.counters["caches.invalidated"] += 1
+                self._revalidate_locked()
                 report = self._results.get(key)
                 if report is not None:
                     self._results.hits += 1
@@ -432,6 +447,96 @@ class Engine:
             self.counters["batch.requests"] += 1
             self.counters["batch.queries"] += len(normalized)
         return reports  # type: ignore[return-value]
+
+    # -- design-space optimization ----------------------------------------
+
+    def optimize(self, query: OptimizeQuery,
+                 deadline: Optional[Deadline] = None) -> OptimizeReport:
+        """Answer one optimize query (see :func:`repro.optimize.
+        run_optimize`): map + static-time each (library, vdd), prune
+        timing-infeasible frequencies before pricing, price the
+        survivors through this engine's caches, return the Pareto
+        frontier.  Every priced point lands in the result cache and
+        the store, so the optimization warm-starts later single-point
+        queries — and vice versa."""
+        from repro.optimize import run_optimize
+
+        report = run_optimize(self, query, deadline)
+        with self._lock:
+            self.counters["optimize.requests"] += 1
+            self.counters["optimize.candidates"] += report.n_candidates
+            self.counters["optimize.infeasible"] += report.n_infeasible
+            self.counters["optimize.frontier"] += len(report.frontier)
+        return report
+
+    def library_for(self, key: str, vdd: float):
+        """A characterized library through the engine LRU (public form
+        of :meth:`_library`, for :mod:`repro.optimize`)."""
+        return self._library(key, vdd)
+
+    def netlist_for(self, query: PowerQuery, library=None):
+        """The mapped netlist of a (normalized) query through the
+        engine LRU."""
+        if library is None:
+            library = self._library(query.library, query.config.vdd)
+        return self._netlist(query, library)
+
+    def cached_report(self, query: PowerQuery
+                      ) -> Optional[PowerQuoteReport]:
+        """A warm answer for a normalized query, or ``None``.
+
+        Consults the result LRU and the store index only — never
+        computes, never blocks on in-flight leaders.  Counter
+        bookkeeping matches :meth:`estimate`'s warm path, so /healthz
+        accounting is consistent whichever path served a point.
+        """
+        start = time.perf_counter()
+        key = query.query_key
+        with self._lock:
+            self._revalidate_locked()
+            report = self._results.get(key)
+            if report is not None:
+                self._results.hits += 1
+                self.counters["results.hot"] += 1
+                return report.with_status("hot",
+                                          time.perf_counter() - start)
+            self._results.misses += 1
+            record = self._store_index.get(key) \
+                if self._store is not None else None
+        if record is None:
+            return None
+        from repro.schema import quote_from_record
+
+        report = quote_from_record(record, server_version=__version__)
+        with self._lock:
+            if registry.generation() == self._generation:
+                self._results.put(key, report)
+            self.counters["results.store"] += 1
+            self.counters["results.hot"] += 1
+        return report.with_status("hot", time.perf_counter() - start)
+
+    def record_report(self, query: PowerQuery,
+                      report: PowerQuoteReport) -> None:
+        """Install a computed answer into the result cache and store.
+
+        The generation guard mirrors :meth:`estimate`'s: a result built
+        from definitions that were re-registered mid-computation must
+        not enter any cache or the store.
+        """
+        key = query.query_key
+        with self._lock:
+            still_fresh = registry.generation() == self._generation
+            if still_fresh:
+                self._results.put(key, report)
+            self.counters["results.cold"] += 1
+        if self._store is not None and still_fresh:
+            from repro.schema import store_record
+
+            record = store_record(query, report.result, report.elapsed_s)
+            self._store.append(record)
+            with self._lock:
+                if self._generation == registry.generation():
+                    self._store_index[key] = record
 
     # -- the cold path -----------------------------------------------------
 

@@ -15,6 +15,12 @@ coalescing) engine.  Endpoints:
   them by activity so a grid of operating points over one circuit
   simulates once, and the response mirrors the envelope with one
   report per query in input order.
+* ``POST /v1/optimize`` — body is an
+  :class:`~repro.schema.OptimizeQuery` (circuit + library/backend/vdd/
+  frequency axes + objectives); the engine maps and static-times each
+  (library, vdd), prunes timing-infeasible points before pricing, and
+  responds with an :class:`~repro.schema.OptimizeReport` carrying the
+  Pareto frontier.
 * ``GET /v1/circuits`` / ``/v1/libraries`` / ``/v1/backends`` —
   discovery listings from the registries.
 * ``GET /v1/healthz`` — full stats: version, uptime, cache occupancy
@@ -69,6 +75,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro import __version__, faults
 from repro.errors import DeadlineExceeded, ReproError
 from repro.schema import (
+    OptimizeQuery,
     PowerQuery,
     SCHEMA_VERSION,
     batch_response_payload,
@@ -202,7 +209,8 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0].rstrip("/")
         if self._drop_faulted(path):
             return
-        if path not in ("/v1/estimate", "/v1/estimate_batch"):
+        if path not in ("/v1/estimate", "/v1/estimate_batch",
+                        "/v1/optimize"):
             self._send_error_json(404, "not_found",
                                   f"unknown path {path!r}")
             return
@@ -231,6 +239,10 @@ class _Handler(BaseHTTPRequestHandler):
                     query = PowerQuery.from_dict(
                         data, default_config=self.engine.session.config)
                     payload = self.engine.estimate(query).to_dict()
+                elif path == "/v1/optimize":
+                    optimize_query = OptimizeQuery.from_dict(
+                        data, default_config=self.engine.session.config)
+                    payload = self.engine.optimize(optimize_query).to_dict()
                 else:
                     queries = queries_from_batch(
                         data, default_config=self.engine.session.config)

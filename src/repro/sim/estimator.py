@@ -53,7 +53,8 @@ from repro.power.patterns import (
 )
 from repro.sim.activity import netlist_activity_key, simulation_stats
 from repro.sim.bitsim import SimulationStats
-from repro.synth.netlist import MappedNetlist, static_timing
+from repro.synth.netlist import MappedNetlist
+from repro.timing import timing_report
 
 
 @dataclass(frozen=True)
@@ -241,7 +242,11 @@ class PricingModel:
         self.switched_caps = np.array(
             [caps[gate.output] for gate in netlist.gates])
         self.outputs = tuple(gate.output for gate in netlist.gates)
-        self.delay, _ = static_timing(netlist)
+        # The cached timing report's critical delay is bit-identical to
+        # static_timing(netlist)[0] (locked by tests); routing through
+        # repro.timing shares the report with the feasibility layer.
+        self.timing = timing_report(netlist)
+        self.delay = self.timing.critical_delay_s
         self.tables = _LeakageTables.for_library(netlist.library)
         self._gates = tuple((gate.name, gate.cell)
                             for gate in netlist.gates)

@@ -381,12 +381,49 @@ class _Mapper:
                 continue
             net = emit(node, phase)
             po_bindings.append((name, ("net", net)))
+        # Record the delay-DP provenance per emitted net: the arrival of
+        # each signal under the final cover, evaluated with the DP's own
+        # delay machinery (per-node estimated loads, precomputed cell
+        # timings) and the DP's exact float operations.  The stored
+        # NodeMatch.arrival values cannot be used directly: an area
+        # round that finds no candidate within the required time keeps
+        # the previous round's match with a stale arrival, so they are
+        # not a consistent fixed point of the extracted cover.  This
+        # pass re-evaluates the chosen matches in emission (topological)
+        # order; repro.timing replays it independently
+        # (arrival_times(netlist, loads=netlist.mapper_loads)) and the
+        # property tests assert bit-for-bit agreement.
+        net_key = {net: key for key, net in emitted.items()}
+        # All PIs anchor at 0.0 — including unused ones, which never
+        # get emitted but are still nets of the netlist.
+        mapper_arrivals: Dict[str, float] = {
+            name: 0.0 for name in aig.pi_names}
+        mapper_loads: Dict[str, float] = {}
+        for gate in gates:
+            node, phase = net_key[gate.output]
+            match = None if aig.is_pi(node) else self.best[(node, phase)]
+            if match is None or match.kind == "inv":
+                arrival = (mapper_arrivals[gate.inputs[0]]
+                           + self._inv_delays[node])
+            else:
+                cell_timing = self._cell_timing[match.entry.cell]
+                delay = (cell_timing.intrinsic
+                         + cell_timing.slope * self._loads[node])
+                arrival = 0.0
+                for net in gate.inputs:
+                    if mapper_arrivals[net] > arrival:
+                        arrival = mapper_arrivals[net]
+                arrival += delay
+            mapper_arrivals[gate.output] = arrival
+            mapper_loads[gate.output] = self._loads[node]
         return MappedNetlist(
             name=aig.name,
             library=self.library,
             pi_names=list(aig.pi_names),
             po_bindings=po_bindings,
             gates=gates,
+            mapper_arrivals=mapper_arrivals,
+            mapper_loads=mapper_loads,
         )
 
 

@@ -36,6 +36,13 @@ class MappedNetlist:
     #: (po_name, ("net", net) | ("const", 0/1))
     po_bindings: List[Tuple[str, Tuple[str, object]]]
     gates: List[MappedGate]
+    #: Provenance from the mapper's delay DP (None for netlists built by
+    #: other producers): the per-net arrival values the DP computed and
+    #: the estimated per-net loads it computed them against.  Replaying
+    #: :func:`repro.timing.arrival_times` with ``loads=mapper_loads``
+    #: reproduces ``mapper_arrivals`` bit for bit.
+    mapper_arrivals: Optional[Dict[str, float]] = None
+    mapper_loads: Optional[Dict[str, float]] = None
 
     # -- basic stats ---------------------------------------------------------
 

@@ -400,7 +400,9 @@ class TestEngineDiscovery:
         assert stats["version"] == __version__
         assert stats["uptime_s"] >= 0
         assert set(stats["caches"]) == {"results", "netlists", "libraries",
-                                        "stats", "disk"}
+                                        "stats", "timing", "disk"}
+        assert set(stats["caches"]["timing"]) >= {"hits", "misses",
+                                                  "computes", "disk_hits"}
         assert set(stats["caches"]["disk"]) >= {"verified", "quarantined"}
         assert "stats.hot" in stats["counters"]
         assert "stats.cold" in stats["counters"]

@@ -165,6 +165,89 @@ class TestEstimateBatchEndpoint:
             client.estimate_batch(queries)
 
 
+class TestOptimizeEndpoint:
+    def _query(self, config):
+        from repro.schema import OptimizeQuery
+
+        return OptimizeQuery(
+            circuit="t481", libraries=("generalized", "cmos"),
+            vdds=(0.9,), frequencies=(0.5e9, 1e9, 5e10),
+            config=config)
+
+    def test_frontier_over_http_matches_engine(self, client, server,
+                                               tiny_grid_config):
+        from repro.serve import Engine
+
+        via_http = client.optimize(self._query(tiny_grid_config))
+        direct = Engine(Session(tiny_grid_config)).optimize(
+            self._query(tiny_grid_config))
+        assert via_http.circuit == direct.circuit == "t481"
+        assert via_http.n_candidates == direct.n_candidates == 6
+        assert via_http.n_infeasible == direct.n_infeasible
+        assert len(via_http.frontier) == len(direct.frontier) > 0
+        for ours, theirs in zip(via_http.frontier, direct.frontier):
+            assert (ours.library, ours.vdd, ours.frequency) == \
+                (theirs.library, theirs.vdd, theirs.frequency)
+            assert ours.pt_w == theirs.pt_w
+            assert ours.energy_per_cycle == theirs.energy_per_cycle
+
+    def test_every_frontier_point_is_estimate_consistent(
+            self, client, tiny_grid_config):
+        from dataclasses import replace
+
+        report = client.optimize(self._query(tiny_grid_config))
+        for point in report.frontier:
+            config = replace(tiny_grid_config, vdd=point.vdd,
+                             frequency=point.frequency,
+                             backend=point.backend)
+            single = client.query(PowerQuery(
+                circuit="t481", library=point.library, config=config))
+            assert single.result.pt_w == point.pt_w
+            assert single.query_key == point.query_key
+
+    def test_second_optimize_is_all_hot(self, client, tiny_grid_config):
+        first = client.optimize(self._query(tiny_grid_config))
+        assert first.frontier
+        again = client.optimize(self._query(tiny_grid_config))
+        assert all(p.cache_status == "hot" for p in again.frontier)
+
+    def test_config_less_optimize_uses_server_default(self, server):
+        payload = {"schema_version": SCHEMA_VERSION, "circuit": "t481",
+                   "libraries": ["cmos"], "vdds": [0.9],
+                   "frequencies": [1e9]}
+        request = urllib.request.Request(
+            f"{server.url}/v1/optimize",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=120) as response:
+            data = json.loads(response.read())
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["n_candidates"] == 1
+
+    def test_bad_optimize_queries_are_400(self, server):
+        bads = [
+            {"schema_version": SCHEMA_VERSION},  # no circuit
+            {"schema_version": SCHEMA_VERSION, "circuit": "t481",
+             "libraries": [], "vdds": [0.9], "frequencies": [1e9]},
+            {"schema_version": SCHEMA_VERSION, "circuit": "t481",
+             "libraries": ["cmos"], "vdds": [0.9], "frequencies": [1e9],
+             "objectives": ["beauty"]},
+            {"schema_version": SCHEMA_VERSION, "circuit": "t481",
+             "libraries": ["cmos"], "vdds": [-0.9],
+             "frequencies": [1e9]},
+            {"schema_version": SCHEMA_VERSION, "circuit": "nope",
+             "libraries": ["cmos"], "vdds": [0.9], "frequencies": [1e9]},
+        ]
+        for payload in bads:
+            request = urllib.request.Request(
+                f"{server.url}/v1/optimize",
+                data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"})
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=60)
+            assert excinfo.value.code == 400, payload
+
+
 class TestDiscoveryEndpoints:
     def test_healthz(self, client):
         health = client.healthz()

@@ -231,3 +231,99 @@ class TestServeCommands:
         with pytest.raises(SystemExit, match="cannot reach"):
             main(["query", "t481", "cmos",
                   "--url", "http://127.0.0.1:9", "--timeout", "2"])
+
+
+class TestOptimizeCommand:
+    OPTIMIZE_LOCAL = ["optimize", "t481", "--libraries", "generalized",
+                      "--vdd", "0.9", "--frequency", "0.5e9,1e9,5e10",
+                      "--patterns", "1024", "--state-patterns", "512"]
+
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["optimize", "C1908", "--vdd", "0.7,0.9",
+             "--frequency", "1e9,2e9", "--objectives", "energy,fmax",
+             "--format", "csv"])
+        assert args.circuit == "C1908"
+        assert args.vdd == "0.7,0.9"
+        assert args.objectives == "energy,fmax"
+        assert args.format == "csv"
+        assert args.url is None
+
+    def test_local_table(self, capsys):
+        assert main(self.OPTIMIZE_LOCAL) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier over (power, frequency)" in out
+        assert "timing-infeasible" in out
+        assert "cntfet-generalized" in out
+        assert "local session" in out
+
+    def test_local_csv(self, capsys):
+        assert main(self.OPTIMIZE_LOCAL + ["--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("library,backend,vdd,frequency")
+        # the 50 GHz point is infeasible on t481, so at most two rows
+        assert 2 <= len(lines) <= 3
+        assert all("cntfet-generalized" in line for line in lines[1:])
+
+    def test_local_json(self, capsys):
+        import json
+
+        assert main(self.OPTIMIZE_LOCAL + ["--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["circuit"] == "t481"
+        assert payload["n_candidates"] == 3
+        assert payload["n_infeasible"] >= 1
+        assert payload["frontier"]
+
+    def test_unknown_objective_fails_cleanly(self):
+        with pytest.raises(SystemExit, match="objective"):
+            main(self.OPTIMIZE_LOCAL + ["--objectives", "beauty"])
+
+    def test_against_live_server(self, capsys, tiny_config):
+        import threading
+
+        from repro.api import Session
+        from repro.serve import Engine, serve
+
+        server = serve(Engine(Session(tiny_config)))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        server.mark_ready()
+        try:
+            assert main(["optimize", "t481", "--libraries", "cmos",
+                         "--vdd", "0.9", "--frequency", "0.5e9,1e9",
+                         "--patterns", str(tiny_config.n_patterns),
+                         "--state-patterns",
+                         str(tiny_config.state_patterns),
+                         "--url", server.url]) == 0
+            out = capsys.readouterr().out
+            assert "Pareto frontier" in out and server.url in out
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    def test_grid_marks_infeasible_points(self, capsys, tiny_config):
+        import threading
+
+        from repro.api import Session
+        from repro.serve import Engine, serve
+
+        server = serve(Engine(Session(tiny_config)))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        server.mark_ready()
+        try:
+            assert main(["query", "t481", "cmos", "--url", server.url,
+                         "--patterns", str(tiny_config.n_patterns),
+                         "--state-patterns",
+                         str(tiny_config.state_patterns),
+                         "--grid", "frequency=1e9,5e10"]) == 0
+            out = capsys.readouterr().out
+            assert "E/cyc/fJ" in out and "PDP/fJ" in out
+            assert "INFEAS" in out and "timing-INFEASIBLE" in out
+            assert "repro optimize" in out
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)

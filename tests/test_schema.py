@@ -153,6 +153,64 @@ class TestPowerQuoteReport:
             flow_from_record({"result": "oops"})
 
 
+class TestSchemaV2TimingFields:
+    """v2's optional delay/fmax/energy/PDP derivatives on the quote."""
+
+    def _report(self, frequency=1.0e9, **flow_overrides):
+        from dataclasses import replace
+
+        query = PowerQuery("t481", "cmos",
+                           replace(PAPER_CONFIG, frequency=frequency))
+        return PowerQuoteReport.from_flow(query, _flow(**flow_overrides))
+
+    def test_from_flow_derives_timing_fields(self):
+        flow = _flow()
+        report = self._report(frequency=2.0e9)
+        assert report.delay_ns == flow.delay_s / 1e-9
+        assert report.fmax_hz == 1.0 / flow.delay_s
+        assert report.energy_per_cycle == flow.pt_w / 2.0e9
+        assert report.pdp == flow.pt_w * flow.delay_s
+
+    def test_zero_delay_has_no_finite_fmax(self):
+        report = self._report(delay_s=0.0, edp_js=0.0)
+        assert report.fmax_hz is None
+        assert report.delay_ns == 0.0
+
+    def test_round_trip_preserves_timing_fields(self):
+        report = self._report()
+        again = PowerQuoteReport.from_dict(
+            json.loads(json.dumps(report.to_dict())))
+        assert again.delay_ns == report.delay_ns
+        assert again.fmax_hz == report.fmax_hz
+        assert again.energy_per_cycle == report.energy_per_cycle
+        assert again.pdp == report.pdp
+
+    def test_v1_payload_still_parses(self):
+        """Records written before v2 lack the fields entirely."""
+        payload = self._report().to_dict()
+        for field in ("delay_ns", "fmax_hz", "energy_per_cycle", "pdp"):
+            assert field in payload
+            del payload[field]
+        payload["schema_version"] = 1
+        old = PowerQuoteReport.from_dict(payload)
+        assert old.delay_ns is None
+        assert old.fmax_hz is None
+        assert old.energy_per_cycle is None
+        assert old.pdp is None
+        assert old.result == _flow()
+
+    def test_absent_optional_fields_not_serialized_as_null(self):
+        """A v1-shaped report round-trips without emitting nulls."""
+        payload = self._report().to_dict()
+        for field in ("delay_ns", "fmax_hz", "energy_per_cycle", "pdp"):
+            del payload[field]
+        payload["schema_version"] = 1
+        old = PowerQuoteReport.from_dict(payload)
+        emitted = old.to_dict()
+        for field in ("delay_ns", "energy_per_cycle", "pdp"):
+            assert field not in emitted
+
+
 class TestStoreRecordShape:
     def test_matches_sweep_store_layout(self):
         """store_record writes exactly what the sweep stores hold."""

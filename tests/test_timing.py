@@ -1,0 +1,229 @@
+"""The timing subsystem (:mod:`repro.timing`): bit-identity with the
+netlist-level reference and with the mapper's internal delay DP,
+feasibility semantics, critical-path structure and the cache ladder.
+
+The two bit-for-bit anchors matter because three independent code
+paths now claim to compute "the" delay: the mapper's DP (estimated
+loads), :func:`repro.synth.netlist.static_timing` (real loads, used by
+Table 1 since the seed) and :func:`repro.timing.arrival_times` (both,
+selectable).  These tests lock all three together float for float.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import DiskCache
+from repro.circuits.families import random_mapped_netlist
+from repro.errors import SimulationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.flow import map_subject, synthesized_benchmark
+from repro.registry import paper_benchmarks
+from repro.synth.netlist import MappedNetlist, static_timing
+from repro.timing import (
+    TIMING_NAMESPACE,
+    PathSegment,
+    TimingReport,
+    analyze_timing,
+    arrival_times,
+    cache_info,
+    clear_cache,
+    netlist_timing_key,
+    timing_report,
+)
+
+NO_SYNTH = ExperimentConfig(synthesize=False)
+
+
+def mapped(name, library, config=NO_SYNTH):
+    return map_subject(synthesized_benchmark(name, config.synthesize),
+                       library, config)
+
+
+class TestBitIdentityWithStaticTiming:
+    """arrival_times(loads=None) == static_timing, exactly."""
+
+    def test_all_paper_benchmarks(self, mlib):
+        for name in paper_benchmarks():
+            netlist = mapped(name, mlib)
+            critical, arrival = static_timing(netlist)
+            report = analyze_timing(netlist)
+            assert report.critical_delay_s == critical, name
+            assert report.arrivals == arrival, name
+
+    def test_across_libraries(self, glib, clib, mlib):
+        for library in (glib, clib, mlib):
+            netlist = mapped("C1355", library)
+            critical, arrival = static_timing(netlist)
+            got_critical, got_arrival = arrival_times(netlist)
+            assert got_critical == critical
+            assert got_arrival == arrival
+
+    @settings(max_examples=25, deadline=None)
+    @given(gates=st.integers(min_value=1, max_value=150),
+           seed=st.integers(min_value=0, max_value=2**32 - 1),
+           inputs=st.integers(min_value=2, max_value=24))
+    def test_property_random_netlists(self, mlib, gates, seed, inputs):
+        netlist = random_mapped_netlist(mlib, gates=gates, seed=seed,
+                                        inputs=inputs)
+        critical, arrival = static_timing(netlist)
+        report = analyze_timing(netlist)
+        assert report.critical_delay_s == critical
+        assert report.arrivals == arrival
+
+
+class TestMapperArrivalReplay:
+    """Replaying the mapper's load model reproduces the mapper's own
+    per-node DP arrivals bit for bit — the mapper provenance is a
+    consistent fixed point of the emitted cover, not a stale DP
+    artifact."""
+
+    def assert_replay_exact(self, netlist):
+        assert netlist.mapper_arrivals is not None
+        assert netlist.mapper_loads is not None
+        # every net of the netlist carries provenance
+        assert set(netlist.mapper_arrivals) == set(netlist.all_nets())
+        _, arrivals = arrival_times(netlist, loads=netlist.mapper_loads)
+        assert arrivals == netlist.mapper_arrivals
+
+    def test_all_paper_benchmarks(self, mlib):
+        for name in paper_benchmarks():
+            netlist = mapped(name, mlib)
+            self.assert_replay_exact(netlist)
+
+    def test_across_libraries(self, glib, clib):
+        for library in (glib, clib):
+            self.assert_replay_exact(mapped("t481", library))
+
+    def test_synth_rand_instances(self, glib, mlib):
+        for spec, library in (
+                ("synth:rand(gates=400,seed=1,inputs=32,outputs=16)", glib),
+                ("synth:rand(gates=900,seed=5,inputs=48,outputs=8)", mlib)):
+            self.assert_replay_exact(mapped(spec, library))
+
+    def test_pis_anchor_at_zero(self, mlib):
+        netlist = mapped("t481", mlib)
+        for pi in netlist.pi_names:
+            assert netlist.mapper_arrivals[pi] == 0.0
+
+
+class TestTimingReport:
+    @pytest.fixture(scope="class")
+    def report(self, mlib):
+        return analyze_timing(mapped("C1355", mlib))
+
+    def test_critical_is_worst_po_arrival(self, report):
+        assert report.critical_delay_s == max(report.po_arrivals.values())
+        assert report.po_arrivals[report.critical_po] == \
+            report.critical_delay_s
+
+    def test_fmax_is_reciprocal(self, report):
+        assert report.fmax_hz == 1.0 / report.critical_delay_s
+
+    def test_feasibility_boundary(self, report):
+        fmax = report.fmax_hz
+        assert report.feasible(fmax * 0.999)
+        assert not report.feasible(fmax * 1.001)
+        assert report.slack_s(fmax * 0.999) >= 0.0
+        assert report.slack_s(fmax * 1.001) < 0.0
+
+    def test_slack_rejects_nonpositive_frequency(self, report):
+        with pytest.raises(SimulationError):
+            report.slack_s(0.0)
+        with pytest.raises(SimulationError):
+            report.slack_s(-1e9)
+
+    def test_critical_path_structure(self, report):
+        path = report.critical_path
+        assert path, "a mapped benchmark has a nonempty critical path"
+        assert path[-1].arrival_s == report.critical_delay_s
+        arrivals = [segment.arrival_s for segment in path]
+        assert arrivals == sorted(arrivals)
+        for segment in path:
+            assert report.arrivals[segment.output] == segment.arrival_s
+
+    def test_gateless_netlist_zero_delay_unbounded_fmax(self, mlib):
+        netlist = MappedNetlist(
+            name="wire", library=mlib, pi_names=["a"],
+            po_bindings=[("z", ("net", "a"))], gates=[])
+        netlist.validate()
+        report = analyze_timing(netlist)
+        assert report.critical_delay_s == 0.0
+        assert report.fmax_hz == math.inf
+        assert report.critical_path == ()
+        assert report.feasible(1e15)
+
+    def test_payload_roundtrip(self, report):
+        restored = TimingReport.from_payload(report.to_payload())
+        assert restored == report
+        assert isinstance(restored.critical_path[0], PathSegment)
+
+
+class TestTimingCache:
+    def test_ladder_instance_then_lru(self, mlib):
+        clear_cache(reset_counters=True)
+        netlist = mapped("t481", mlib)
+        first = timing_report(netlist)
+        after_first = cache_info()
+        assert after_first["computes"] == 1
+        # same instance: memoized on the netlist, no cache traffic
+        assert timing_report(netlist) is first
+        assert cache_info()["hits"] == after_first["hits"]
+        # structurally identical fresh instance: LRU hit, no recompute
+        again = timing_report(mapped("t481", mlib))
+        assert again is first
+        info = cache_info()
+        assert info["computes"] == 1
+        assert info["hits"] == after_first["hits"] + 1
+
+    def test_key_depends_on_library_electricals(self, glib, mlib):
+        one = netlist_timing_key(mapped("t481", glib))
+        two = netlist_timing_key(mapped("t481", mlib))
+        assert one != two
+
+    def test_key_depends_on_vdd(self):
+        from repro.registry import cached_library
+
+        keys = set()
+        for vdd in (0.8, 0.9):
+            library = cached_library("cmos", vdd)
+            keys.add(netlist_timing_key(mapped("t481", library)))
+        assert len(keys) == 2
+
+    def test_disk_roundtrip(self, mlib, tmp_path, monkeypatch):
+        import repro.timing as timing_module
+
+        disk = DiskCache(tmp_path, enabled=True)
+        monkeypatch.setattr(timing_module, "default_cache", lambda: disk)
+        clear_cache(reset_counters=True)
+        netlist = mapped("t481", mlib)
+        first = timing_report(netlist)
+        assert cache_info()["computes"] == 1
+        assert disk.get(TIMING_NAMESPACE,
+                        netlist_timing_key(netlist)) is not None
+        # fresh process simulation: clear LRU + instance memo, keep disk
+        clear_cache()
+        fresh = mapped("t481", mlib)
+        restored = timing_report(fresh)
+        info = cache_info()
+        assert info["computes"] == 1
+        assert info["disk_hits"] == 1
+        assert restored == first
+
+
+class TestEstimatorIntegration:
+    """The power model's delay column is the timing subsystem's."""
+
+    def test_pricing_model_delay_is_timing_report(self, mlib):
+        from repro.sim.estimator import PricingModel
+
+        netlist = mapped("t481", mlib)
+        model = PricingModel(netlist)
+        report = timing_report(netlist)
+        assert model.delay == report.critical_delay_s
+        critical, _ = static_timing(netlist)
+        assert model.delay == critical
