@@ -1,0 +1,165 @@
+"""Library foundry benchmark: bulk build wall-time and hydration speed.
+
+Measures what the foundry's prebuilt artifacts buy:
+
+* **build** — cold bulk characterization of every registered library
+  across the vdd points, serial vs ``--jobs 0`` (each into its own
+  fresh store, so both runs pay the full SPICE cost).  On a single-CPU
+  host the pool degenerates to one worker; ``jobs_effective`` and
+  ``degenerate_parallel`` record that honestly instead of faking a
+  speedup;
+* **per-library** — from-scratch live characterization
+  (``build_artifact(reuse_tables=False)``) vs hydrating the same
+  (library, vdd) from its stored artifact (``load_library``, best of
+  three).  The tracked guarantee: aggregate hydration is **>= 20x**
+  faster than aggregate live characterization — a server cold-starting
+  from artifacts must be effectively free.
+
+Results merge into ``BENCH_perf.json`` under the ``"foundry"`` key.
+
+    PYTHONPATH=src python benchmarks/bench_foundry.py            # full
+    PYTHONPATH=src python benchmarks/bench_foundry.py --quick    # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+# Cold-path honesty: the user's persistent characterization cache must
+# not leak warm timings into the tracked report.  Every store this
+# benchmark reads or writes is an explicit fresh temp directory.
+os.environ["REPRO_CACHE_DISABLE"] = "1"
+
+
+def _fresh_store(base: str, name: str):
+    from repro.cache import DiskCache
+
+    return DiskCache(root=Path(base) / name, enabled=True)
+
+
+def bench_build(base: str, libraries, vdds, jobs: int) -> dict:
+    from repro import foundry
+
+    serial_store = _fresh_store(base, "serial")
+    start = time.perf_counter()
+    serial = foundry.characterize(libraries, vdds, jobs=1,
+                                  cache=serial_store)
+    serial_s = time.perf_counter() - start
+    assert serial.counts()["failed"] == 0, serial.render()
+
+    parallel_store = _fresh_store(base, "parallel")
+    start = time.perf_counter()
+    parallel = foundry.characterize(libraries, vdds, jobs=jobs,
+                                    cache=parallel_store)
+    parallel_s = time.perf_counter() - start
+    assert parallel.counts()["failed"] == 0, parallel.render()
+
+    degenerate = parallel.jobs_effective <= 1
+    return {
+        "tasks": len(serial.outcomes),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "jobs_requested": jobs,
+        "jobs_effective": parallel.jobs_effective,
+        # A 1-CPU host clamps the pool to one worker: the "parallel"
+        # run is then a serial run plus pool overhead, and a speedup
+        # claim would be noise, not measurement.
+        "degenerate_parallel": degenerate,
+        "speedup_vs_serial": (None if degenerate or parallel_s <= 0
+                              else serial_s / parallel_s),
+    }
+
+
+def bench_hydration(base: str, libraries, vdd) -> dict:
+    from repro import foundry
+
+    store = _fresh_store(base, "serial")  # built by bench_build
+    per_library = {}
+    total_live = 0.0
+    total_load = 0.0
+    for key in libraries:
+        start = time.perf_counter()
+        artifact = foundry.build_artifact(key, vdd, reuse_tables=False)
+        live_s = time.perf_counter() - start
+
+        load_s = min(_timed_load(foundry, key, vdd, store)
+                     for _ in range(3))
+        stored = foundry.load_artifact(key, vdd, store)
+        assert stored is not None, f"no stored artifact for {key}"
+        assert stored.content_hash == artifact.content_hash, \
+            f"{key}: live rebuild diverged from stored artifact"
+        total_live += live_s
+        total_load += load_s
+        per_library[key] = {
+            "live_characterize_s": live_s,
+            "artifact_load_s": load_s,
+            "speedup": live_s / load_s if load_s > 0 else float("inf"),
+        }
+    aggregate = total_live / total_load if total_load > 0 else float("inf")
+    assert aggregate >= 20.0, (
+        f"artifact hydration only {aggregate:.1f}x faster than live "
+        f"characterization (need >= 20x)")
+    return {
+        "vdd": vdd,
+        "per_library": per_library,
+        "aggregate_live_s": total_live,
+        "aggregate_load_s": total_load,
+        "aggregate_speedup": aggregate,
+    }
+
+
+def _timed_load(foundry, key: str, vdd, store) -> float:
+    start = time.perf_counter()
+    library = foundry.load_library(key, vdd, store)
+    elapsed = time.perf_counter() - start
+    assert library is not None, f"hydration miss for {key} @ {vdd}"
+    return elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="one vdd point for CI smoke runs")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="worker processes for the parallel build "
+                             "(0 = all CPUs)")
+    parser.add_argument("-o", "--output", default="BENCH_perf.json",
+                        help="JSON report to merge the 'foundry' key "
+                             "into")
+    args = parser.parse_args(argv)
+
+    from repro import __version__, registry
+
+    libraries = registry.available_libraries()
+    vdds = (0.9,) if args.quick else (0.8, 0.9)
+
+    with tempfile.TemporaryDirectory(prefix="bench-foundry-") as base:
+        section = {
+            "version": __version__,
+            "quick": args.quick,
+            "libraries": libraries,
+            "vdd_points": list(vdds),
+            "build": bench_build(base, libraries, vdds, args.jobs),
+            "hydration": bench_hydration(base, libraries, vdds[-1]),
+        }
+
+    output = Path(args.output)
+    try:
+        report = json.loads(output.read_text())
+    except (OSError, ValueError):
+        report = {}
+    report["foundry"] = section
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps({"foundry": section}, indent=2))
+    print(f"\nmerged 'foundry' into {output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -110,18 +110,18 @@ def _library_by_key(key: str):
 
 
 def _cmd_libraries(args) -> int:
-    from repro import registry
+    from repro import foundry, registry
     from repro.sim.backends import available_backends
 
-    for key in registry.available_libraries():
-        entry = registry.library_entry(key)
-        aliases = f" (aliases: {', '.join(entry.aliases)})" \
-            if entry.aliases else ""
-        print(f"{key}{aliases}")
-        if entry.description:
-            print(f"    {entry.description}")
+    # The same rows /v1/libraries serves, through the same formatter —
+    # characterized-vdd and artifact provenance cannot drift between
+    # the CLI table and the service payload.
+    for row in foundry.library_listing():
+        for line in foundry.format_library_listing([row],
+                                                   verbose=args.verbose):
+            print(line)
         if args.verbose:
-            library = registry.cached_library(key)
+            library = registry.cached_library(row["key"])
             print(f"    {len(library)} cells, technology "
                   f"{library.tech.name}, vdd={library.tech.vdd:g}V")
     print(f"estimator backends: {', '.join(available_backends())}")
@@ -177,6 +177,93 @@ def _cmd_techs(args) -> int:
     print(technology_report(CMOS_32NM))
     print(technology_report(CNTFET_32NM))
     return 0
+
+
+# -- foundry subcommands ------------------------------------------------------
+
+def _foundry_cache(args):
+    from pathlib import Path
+
+    from repro.cache import DiskCache, default_cache
+
+    if getattr(args, "cache_dir", None):
+        return DiskCache(root=Path(args.cache_dir), enabled=True)
+    return default_cache()
+
+
+def _foundry_axes(args):
+    libraries = (_csv_values(args.libraries, str)
+                 if args.libraries else None)
+    vdds = _csv_values(args.vdd, float) if args.vdd else (None,)
+    return libraries, vdds
+
+
+def _cmd_foundry_build(args) -> int:
+    from repro import foundry
+    from repro.errors import ExperimentError
+
+    libraries, vdds = _foundry_axes(args)
+    try:
+        report = foundry.characterize(
+            libraries, vdds, jobs=args.jobs, cache=_foundry_cache(args),
+            force=args.force)
+    except ExperimentError as exc:
+        raise SystemExit(str(exc))
+    print(report.render())
+    return 1 if report.counts()["failed"] else 0
+
+
+def _cmd_foundry_list(args) -> int:
+    from repro import foundry
+
+    cache = _foundry_cache(args)
+    rows = foundry.library_listing(cache)
+    for line in foundry.format_library_listing(rows, verbose=True):
+        print(line)
+    n = sum(len(row["artifacts"]) for row in rows)
+    print(f"{n} artifact(s) in {cache.root}")
+    return 0
+
+
+def _cmd_foundry_verify(args) -> int:
+    from repro import foundry, registry
+
+    cache = _foundry_cache(args)
+    libraries, vdds = _foundry_axes(args)
+    if libraries is None and args.vdd is None:
+        # No axes given: verify exactly what the store holds.
+        tasks = [(entry["library"], entry["vdd"])
+                 for entry in foundry.store_index(cache).values()]
+        if not tasks:
+            print("foundry verify: store is empty")
+            return 0
+    else:
+        if libraries is None:
+            libraries = registry.available_libraries()
+        tasks = [(name, vdd) for name in libraries for vdd in vdds]
+    failures = 0
+    for name, vdd in sorted(tasks, key=lambda t: (t[0], t[1] or 0.0)):
+        outcome = foundry.verify_artifact(name, vdd, cache)
+        vdd_text = "native" if vdd is None else f"{vdd:g}V"
+        print(f"{outcome['status']:>12}  {outcome['library']} @ "
+              f"{vdd_text}  stored={outcome['stored_hash'] or '-'} "
+              f"rebuilt={outcome['rebuilt_hash'] or '-'}")
+        if outcome["status"] != "ok":
+            failures += 1
+    print(f"foundry verify: {failures} problem(s)")
+    return 1 if failures else 0
+
+
+def _cmd_foundry_export(args) -> int:
+    from repro import foundry
+
+    libraries, vdds = _foundry_axes(args)
+    exported = foundry.export_store(
+        args.target, libraries,
+        None if args.vdd is None else vdds,
+        cache=_foundry_cache(args))
+    print(f"exported {exported} artifact(s) to {args.target}")
+    return 0 if exported else 1
 
 
 # -- sweep subcommands --------------------------------------------------------
@@ -880,6 +967,61 @@ def build_parser() -> argparse.ArgumentParser:
                           help="register a BLIF netlist as a circuit "
                                "first (repeatable, local mode)")
     optimize.set_defaults(func=_cmd_optimize)
+
+    foundry = sub.add_parser(
+        "foundry",
+        help="build, inspect and verify prebuilt library artifacts")
+    foundry_sub = foundry.add_subparsers(dest="foundry_command",
+                                         required=True)
+
+    def _foundry_common(sub_parser, with_vdd=True):
+        sub_parser.add_argument("--libraries", default=None,
+                                metavar="L1,L2,...",
+                                help="library keys/aliases (default: "
+                                     "every registered library)")
+        if with_vdd:
+            sub_parser.add_argument("--vdd", default=None,
+                                    metavar="V1,V2,...",
+                                    help="supply points in volts "
+                                         "(default: native supply)")
+        sub_parser.add_argument("--cache-dir", default=None,
+                                metavar="DIR", dest="cache_dir",
+                                help="artifact store root (default: the "
+                                     "REPRO_CACHE_DIR cache)")
+
+    fbuild = foundry_sub.add_parser(
+        "build", help="characterize libraries into versioned artifacts")
+    _foundry_common(fbuild)
+    fbuild.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (0 = all CPUs); every "
+                             "saved artifact is a resume checkpoint")
+    fbuild.add_argument("--force", action="store_true",
+                        help="rebuild even when a valid artifact exists")
+    fbuild.set_defaults(func=_cmd_foundry_build)
+
+    flist = foundry_sub.add_parser(
+        "list", help="stored artifacts with provenance per library")
+    flist.add_argument("--cache-dir", default=None, metavar="DIR",
+                       dest="cache_dir",
+                       help="artifact store root (default: the "
+                            "REPRO_CACHE_DIR cache)")
+    flist.set_defaults(func=_cmd_foundry_list)
+
+    fverify = foundry_sub.add_parser(
+        "verify",
+        help="re-characterize from scratch and diff against stored "
+             "hashes; defaults to every stored artifact (exit 1 on "
+             "any mismatch)")
+    _foundry_common(fverify)
+    fverify.set_defaults(func=_cmd_foundry_verify)
+
+    fexport = foundry_sub.add_parser(
+        "export",
+        help="copy artifacts into a standalone store directory "
+             "(usable as REPRO_CACHE_DIR)")
+    fexport.add_argument("target", metavar="DIR")
+    _foundry_common(fexport)
+    fexport.set_defaults(func=_cmd_foundry_export)
 
     sweep = sub.add_parser(
         "sweep", help="scenario grids with a resumable result store")

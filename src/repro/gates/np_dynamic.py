@@ -1,0 +1,107 @@
+"""NP-domino ambipolar demo library (after the hybrid CMOS-CNFET work).
+
+Hills et al.-style hybrid integration papers (arXiv:1805.04074) build
+NP dynamic (domino) logic from CNFET pull networks: a wide N-type
+evaluation network computes the inverted function in one stage and a
+small output inverter restores polarity, giving compact *non-inverting*
+composites (AND/OR/AO/OA) that static CMOS needs two full stacks for.
+This library reconstructs that flavour statically — the evaluation
+network becomes the first stage's pulldown, the restoring inverter the
+output stage — as a *fifth* technology for the comparison, and as the
+foundry's fifth build target.
+
+Like :mod:`repro.gates.hybrid_pass` it is registered purely through
+:mod:`repro.registry`: no experiment, sweep or serve code names it, yet
+it is usable from every Session/sweep/serve/optimize path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.devices.parameters import CNTFET_32NM, TechnologyParams
+from repro.errors import LibraryError
+from repro.gates.cells import Cell, Stage, nfet, tg
+from repro.gates.conventional import conventional_cells
+from repro.gates.library import Library
+from repro.gates.topology import parallel, series
+
+#: Canonical registry key of this library.
+NP_DYNAMIC = "cntfet-np-dynamic"
+
+
+def np_domino_cells() -> List[Cell]:
+    """The NP-domino composites: wide evaluation net + restoring stage."""
+    cells: List[Cell] = []
+    add = cells.append
+
+    # Non-inverting AND/OR: the domino payoff — one evaluation network
+    # plus the restoring inverter, instead of gate + full inverter cell.
+    add(Cell("NPAND3", ("a", "b", "c"),
+             (Stage("i0", series(nfet("a"), nfet("b"), nfet("c"))),
+              Stage("y", nfet("i0"))),
+             "abc"))
+    add(Cell("NPAND4", ("a", "b", "c", "d"),
+             (Stage("i0", series(nfet("a"), nfet("b"), nfet("c"),
+                                 nfet("d"))),
+              Stage("y", nfet("i0"))),
+             "abcd"))
+    add(Cell("NPOR3", ("a", "b", "c"),
+             (Stage("i0", parallel(nfet("a"), nfet("b"), nfet("c"))),
+              Stage("y", nfet("i0"))),
+             "a+b+c"))
+
+    # Non-inverting AND-OR / OR-AND evaluation networks.
+    add(Cell("NPAO22", ("a", "b", "c", "d"),
+             (Stage("i0", parallel(series(nfet("a"), nfet("b")),
+                                   series(nfet("c"), nfet("d")))),
+              Stage("y", nfet("i0"))),
+             "ab+cd"))
+    add(Cell("NPOA22", ("a", "b", "c", "d"),
+             (Stage("i0", series(parallel(nfet("a"), nfet("b")),
+                                 parallel(nfet("c"), nfet("d")))),
+              Stage("y", nfet("i0"))),
+             "(a+b)(c+d)"))
+
+    # Ambipolar parity chain: each transmission-gate switch is one
+    # XOR level, cascaded domino-style through the internal node.
+    add(Cell("NPXOR3", ("a", "b", "c"),
+             (Stage("i0", tg("a", "b", invert=True)),
+              Stage("y", tg("i0", "c", invert=True))),
+             "a^b^c", generalized=True))
+    add(Cell("NPXNOR3", ("a", "b", "c"),
+             (Stage("i0", tg("a", "b", invert=True)),
+              Stage("y", tg("i0", "c"))),
+             "(a^b^c)'", generalized=True))
+    return cells
+
+
+def np_dynamic_cells() -> List[Cell]:
+    """All cells: the conventional base set plus the domino composites."""
+    cells = list(conventional_cells())
+    cells.extend(np_domino_cells())
+    return cells
+
+
+#: Expected functions of the domino cells, used by the unit tests.
+NP_DYNAMIC_FUNCTIONS: Dict[str, Callable[..., bool]] = {
+    "NPAND3": lambda a, b, c: a and b and c,
+    "NPAND4": lambda a, b, c, d: a and b and c and d,
+    "NPOR3": lambda a, b, c: a or b or c,
+    "NPAO22": lambda a, b, c, d: (a and b) or (c and d),
+    "NPOA22": lambda a, b, c, d: (a or b) and (c or d),
+    "NPXOR3": lambda a, b, c: (a != b) != c,
+    "NPXNOR3": lambda a, b, c: not ((a != b) != c),
+}
+
+
+def np_dynamic_library(tech: TechnologyParams = CNTFET_32NM) -> Library:
+    """The NP-domino demo library on an ambipolar technology.
+
+    Raises :class:`LibraryError` for non-ambipolar technologies — the
+    parity chain's transmission gates need the in-field polarity gate.
+    """
+    if not tech.ambipolar:
+        raise LibraryError(
+            "the NP dynamic library requires an ambipolar technology")
+    return Library(NP_DYNAMIC, tech, np_dynamic_cells())

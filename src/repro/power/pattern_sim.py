@@ -29,6 +29,7 @@ so characterization reports stay meaningful on a warm cache.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -42,6 +43,24 @@ _SENTINEL = object()
 
 #: Disk-cache namespace for pattern DC solutions.
 PATTERN_NAMESPACE = "patterns"
+
+# Process-global solve meter: every SPICE operating point computed by
+# any simulator instance, regardless of which caches were warm.  The
+# foundry's zero-live-solves guarantee is asserted against this.
+_SOLVE_LOCK = threading.Lock()
+_TOTAL_SOLVES = 0
+
+
+def spice_solve_count() -> int:
+    """SPICE operating points computed by this process so far."""
+    return _TOTAL_SOLVES
+
+
+def reset_spice_solve_count() -> None:
+    """Zero the process-global solve meter (test isolation)."""
+    global _TOTAL_SOLVES
+    with _SOLVE_LOCK:
+        _TOTAL_SOLVES = 0
 
 
 @dataclass(frozen=True)
@@ -143,4 +162,7 @@ class PatternSimulator:
         solution = operating_point(circuit)
         i_off = -solution.source_current("vdd")
         self._solves += 1
+        global _TOTAL_SOLVES
+        with _SOLVE_LOCK:
+            _TOTAL_SOLVES += 1
         return PatternCurrents(i_off=i_off, n_devices=pattern.n_devices)

@@ -52,6 +52,7 @@ from repro.gates.ambipolar_library import generalized_cntfet_library
 from repro.gates.conventional import cmos_library, conventional_cntfet_library
 from repro.gates.hybrid_pass import HYBRID_PASS, hybrid_pass_library
 from repro.gates.library import Library
+from repro.gates.np_dynamic import NP_DYNAMIC, np_dynamic_library
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.synth.aig import Aig
@@ -125,7 +126,12 @@ class _Registry:
             raise ExperimentError(
                 f"{self.kind} {key!r} is already registered; pass "
                 f"replace=True to override")
-        self.remove(key, missing_ok=True)
+        old = self.entries.get(key)
+        if old is not None:
+            for name in old.aliases:
+                if self.names.get(name) == key:
+                    del self.names[name]
+        # Plain assignment so a replaced key keeps its registration slot.
         self.entries[key] = entry
         self.names[key] = key
         for alias in entry.aliases:
@@ -163,6 +169,9 @@ class LibraryEntry:
     factory: LibraryFactory
     aliases: Tuple[str, ...] = ()
     description: str = ""
+    #: Whether :func:`cached_library` may hydrate this library from a
+    #: prebuilt foundry artifact before falling back to the factory.
+    artifact: bool = True
 
 
 _LIBRARIES = _Registry("library")
@@ -173,6 +182,7 @@ _LIBRARY_CACHE: Dict[Tuple[str, Optional[float]], Library] = {}
 def register_library(key: str, factory: LibraryFactory, *,
                      aliases: Tuple[str, ...] = (),
                      description: str = "",
+                     artifact: bool = True,
                      replace: bool = False) -> LibraryEntry:
     """Register a library factory under ``key`` (plus optional aliases).
 
@@ -183,6 +193,9 @@ def register_library(key: str, factory: LibraryFactory, *,
             technology's native supply.
         aliases: additional accepted spellings of the key.
         description: one line for CLI listings.
+        artifact: allow hydration from prebuilt foundry artifacts;
+            disable for factories whose output the foundry's structural
+            content key cannot capture (e.g. stateful closures).
         replace: allow re-registering an existing key (its cached
             builds are dropped); without it a collision raises.
 
@@ -190,7 +203,8 @@ def register_library(key: str, factory: LibraryFactory, *,
         ExperimentError: on key/alias collisions (unless ``replace``).
     """
     entry = LibraryEntry(key=key, factory=factory,
-                         aliases=tuple(aliases), description=description)
+                         aliases=tuple(aliases), description=description,
+                         artifact=artifact)
     _LIBRARIES.add(entry, replace=replace)
     for cache_key in [k for k in _LIBRARY_CACHE if k[0] == key]:
         del _LIBRARY_CACHE[cache_key]
@@ -248,9 +262,33 @@ def cached_library(name: str, vdd: Optional[float] = None) -> Library:
     cache_key = (key, vdd)
     library = _LIBRARY_CACHE.get(cache_key)
     if library is None:
-        library = _LIBRARIES.entries[key].factory(vdd)
+        entry = _LIBRARIES.entries[key]
+        if entry.artifact:
+            # Prebuilt path: hydrate from a foundry artifact when one
+            # exists (bit-identical, zero SPICE solves).  Lazy import —
+            # the foundry imports this module at its top level.
+            from repro import foundry
+            library = foundry.load_library(key, vdd)
+        if library is None:
+            library = entry.factory(vdd)
         _LIBRARY_CACHE[cache_key] = library
     return library
+
+
+def cached_library_vdds(name: str) -> List[Optional[float]]:
+    """The vdd slots of ``name`` currently hot in this process."""
+    key = canonical_library(name)
+    return [vdd for cached_key, vdd in _LIBRARY_CACHE if cached_key == key]
+
+
+def clear_library_cache(name: Optional[str] = None) -> None:
+    """Drop cached library builds (all keys, or just ``name``)."""
+    if name is None:
+        _LIBRARY_CACHE.clear()
+        return
+    key = canonical_library(name)
+    for cache_key in [k for k in _LIBRARY_CACHE if k[0] == key]:
+        del _LIBRARY_CACHE[cache_key]
 
 
 def paper_libraries(vdd: Optional[float] = None) -> Dict[str, Library]:
@@ -786,6 +824,13 @@ register_library(
     aliases=("hybrid", "hybrid-pass"),
     description="hybrid pass-transistor ambipolar demo library "
                 "(after Hu et al., arXiv:2002.01932)")
+
+register_library(
+    NP_DYNAMIC,
+    lambda vdd=None: np_dynamic_library(tech_at(CNTFET_32NM, vdd)),
+    aliases=("np-dynamic", "np-domino"),
+    description="NP-domino ambipolar demo library "
+                "(after hybrid CMOS-CNFET logic, arXiv:1805.04074)")
 
 # The 12 paper benchmarks and the built-in circuit families register
 # themselves on import; importing them here makes `import

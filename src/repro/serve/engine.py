@@ -44,9 +44,10 @@ from concurrent.futures import Future, TimeoutError as FutureTimeout
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
-from repro import __version__, faults, registry
+from repro import __version__, faults, foundry, registry
 from repro.api import Session
 from repro.cache import cache_stats, stable_hash
+from repro.power.pattern_sim import spice_solve_count
 from repro.errors import DeadlineExceeded
 from repro.experiments.config import ExperimentConfig
 from repro.resilience import Deadline
@@ -141,6 +142,11 @@ class Engine:
         # relative to this engine's start, so /healthz approximates
         # *its* traffic (other sessions in the process also move them).
         self._stats_baseline = activity_cache_info()
+        # Same baseline treatment for the foundry's artifact counters
+        # and the SPICE solve meter: /healthz reports what happened on
+        # this engine's watch, zero on a fully-prebuilt artifact store.
+        self._foundry_baseline = foundry.foundry_counters()
+        self._solves_baseline = spice_solve_count()
         if store is None:
             self._store = None
             self._store_index: Dict[str, Any] = {}
@@ -176,17 +182,9 @@ class Engine:
 
     @staticmethod
     def libraries() -> List[Dict[str, Any]]:
-        """Registered libraries with their metadata (the
-        ``/v1/libraries`` payload)."""
-        out = []
-        for key in registry.available_libraries():
-            entry = registry.library_entry(key)
-            out.append({
-                "key": entry.key,
-                "aliases": list(entry.aliases),
-                "description": entry.description,
-            })
-        return out
+        """Registered libraries with their metadata plus foundry
+        artifact provenance (the ``/v1/libraries`` payload)."""
+        return foundry.library_listing()
 
     def backends(self) -> Dict[str, Any]:
         """Registered estimator backends (the ``/v1/backends`` payload)."""
@@ -241,8 +239,24 @@ class Engine:
                     "disk": cache_stats(),
                 },
                 "sim": self._sim_stats(),
+                "foundry": self._foundry_stats(),
                 "counters": counters,
             }
+
+    def _foundry_stats(self) -> Dict[str, int]:
+        """Artifact hits vs live solves since this engine started.
+
+        ``spice_solves`` is the acceptance meter: a server running
+        against a complete prebuilt artifact store must hold it at 0.
+        """
+        current = foundry.foundry_counters()
+        baseline = self._foundry_baseline
+        out = {name.replace("artifact.", "artifact_"):
+               max(0, current[name] - baseline.get(name, 0))
+               for name in current}
+        out["spice_solves"] = max(0, spice_solve_count()
+                                  - self._solves_baseline)
+        return out
 
     def _sim_stats(self) -> Dict[str, Any]:
         """Kernel-selection policy and cumulative per-kernel throughput
