@@ -1,0 +1,274 @@
+"""Fault-driven load benchmark of the multi-worker serving fleet.
+
+Replays a mixed traffic profile — warm repeats, batched pricing grids
+and cold queries that force fresh simulations — from concurrent
+clients against a ``repro serve --workers N`` fleet, twice:
+
+* **clean** — no faults: measures fleet q/s, q/s-per-core and p50/p99
+  client-observed latency;
+* **faulted** — the same profile with ``worker.kill9`` armed: workers
+  SIGKILL themselves mid-request, the supervisor restarts them, and
+  well-behaved clients (retrying connection-level failures, truncated
+  bodies and draining 503s) must finish with **zero failed requests**.
+
+The cold queries deliberately collide across clients, so the faulted
+run also exercises cross-process single-flight under churn (a leader
+killed mid-compute must be taken over, not deadlock the followers).
+
+Results merge into ``BENCH_perf.json`` under the ``"fleet"`` key.
+The process exits non-zero if any request fails in either phase, or
+if the faulted phase saw no worker restart (meaning the drill did not
+actually drill anything).
+
+    PYTHONPATH=src python benchmarks/bench_load.py            # full
+    PYTHONPATH=src python benchmarks/bench_load.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1,
+                max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class _LoadClient(threading.Thread):
+    """One client replaying its slice of the traffic profile."""
+
+    #: The repeating request mix: mostly warm, one pricing grid and
+    #: one cold (fresh-seed) query per five requests.
+    PROFILE = ("warm", "warm", "batch", "warm", "cold")
+
+    def __init__(self, index: int, url: str, config, circuit: str,
+                 library: str, n_requests: int):
+        super().__init__(name=f"load-client-{index}", daemon=True)
+        from repro.resilience import RetryPolicy
+        from repro.serve import Client
+
+        self.index = index
+        self.config = config
+        self.circuit = circuit
+        self.library = library
+        self.n_requests = n_requests
+        # Generous retry budget: the whole point of the faulted phase
+        # is that retries absorb worker deaths invisibly.
+        self.client = Client(url, timeout=120.0,
+                             retry=RetryPolicy(retries=6,
+                                               backoff_base_s=0.05,
+                                               backoff_cap_s=1.0))
+        self.latencies_ms: List[float] = []
+        self.failures: List[str] = []
+        self.kinds: Dict[str, int] = {}
+
+    def _one(self, kind: str, step: int) -> None:
+        from repro.schema import PowerQuery
+
+        if kind == "batch":
+            queries = [PowerQuery(circuit=self.circuit,
+                                  library=self.library,
+                                  config=replace(self.config, vdd=vdd))
+                       for vdd in (0.7, 0.8, 0.9)]
+            self.client.estimate_batch(queries)
+        elif kind == "cold":
+            # Fresh seeds force fresh simulations; colliding across
+            # clients (step-keyed, not client-keyed) exercises
+            # cross-process single-flight on the cold path.
+            config = replace(self.config, seed=9000 + step % 7)
+            self.client.estimate(self.circuit, self.library, config)
+        else:
+            self.client.estimate(self.circuit, self.library, self.config)
+
+    def run(self) -> None:
+        for step in range(self.n_requests):
+            kind = self.PROFILE[step % len(self.PROFILE)]
+            self.kinds[kind] = self.kinds.get(kind, 0) + 1
+            start = time.perf_counter()
+            try:
+                self._one(kind, step)
+            except Exception as exc:
+                self.failures.append(f"{kind}: {exc}")
+                continue
+            self.latencies_ms.append(
+                (time.perf_counter() - start) * 1e3)
+
+
+def _run_phase(label: str, *, workers: int, config, circuit: str,
+               library: str, clients: int, requests_per_client: int,
+               cache_dir: str, faults_spec: Optional[str]) -> dict:
+    """Start a fresh fleet, replay the profile, return the metrics."""
+    from repro.serve import FleetConfig, FleetSupervisor
+
+    # Workers inherit the environment at fork: arm (or disarm) the
+    # fault plan and point the shared disk cache before starting.
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    os.environ.pop("REPRO_CACHE_DISABLE", None)
+    faults_dir = None
+    if faults_spec:
+        faults_dir = tempfile.mkdtemp(prefix="repro-bench-faults-")
+        os.environ["REPRO_FAULTS"] = faults_spec
+        os.environ["REPRO_FAULTS_DIR"] = faults_dir
+    else:
+        os.environ.pop("REPRO_FAULTS", None)
+        os.environ.pop("REPRO_FAULTS_DIR", None)
+
+    fleet = FleetSupervisor(FleetConfig(
+        workers=workers, port=0, config=config,
+        backoff_base_s=0.05, backoff_cap_s=0.5))
+    fleet.start()
+    try:
+        deadline = time.monotonic() + 60.0
+        while fleet.n_ready() < workers and time.monotonic() < deadline:
+            time.sleep(0.05)
+        if fleet.n_ready() < workers:
+            raise RuntimeError(f"{label}: fleet never became ready")
+
+        threads = [_LoadClient(i, fleet.service_url, config, circuit,
+                               library, requests_per_client)
+                   for i in range(clients)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+
+        stats = fleet.stats()
+    finally:
+        fleet.shutdown()
+        os.environ.pop("REPRO_FAULTS", None)
+        os.environ.pop("REPRO_FAULTS_DIR", None)
+        if faults_dir:
+            shutil.rmtree(faults_dir, ignore_errors=True)
+
+    latencies = [value for thread in threads
+                 for value in thread.latencies_ms]
+    failures = [text for thread in threads for text in thread.failures]
+    n_ok = len(latencies)
+    qps = n_ok / elapsed if elapsed > 0 else 0.0
+    cores = os.cpu_count() or 1
+    aggregate = stats.get("aggregate", {})
+    disk = aggregate.get("caches", {}).get("disk", {})
+    metrics = {
+        "requests": n_ok + len(failures),
+        "failed": len(failures),
+        "zero_failed": not failures,
+        "elapsed_s": round(elapsed, 3),
+        "qps": round(qps, 2),
+        "qps_per_core": round(qps / cores, 2),
+        "latency_p50_ms": round(_percentile(latencies, 0.50), 2),
+        "latency_p99_ms": round(_percentile(latencies, 0.99), 2),
+        "worker_restarts": stats.get("restarts_total", 0),
+        "worker_deaths": stats.get("deaths_total", 0),
+        "simulations_fleet_wide":
+            aggregate.get("counters", {}).get("stats.cold", 0),
+        "single_flight": {
+            "leader": disk.get("flight_leader", 0),
+            "follower": disk.get("flight_follower", 0),
+            "takeover": disk.get("flight_takeover", 0),
+            "timeout": disk.get("flight_timeout", 0),
+        },
+    }
+    print(f"{label}: {metrics['requests']} requests, "
+          f"{metrics['failed']} failed, {metrics['qps']} q/s, "
+          f"p50={metrics['latency_p50_ms']}ms "
+          f"p99={metrics['latency_p99_ms']}ms, "
+          f"{metrics['worker_restarts']} restart(s)", file=sys.stderr)
+    if failures:
+        for text in failures[:5]:
+            print(f"  FAILED {text}", file=sys.stderr)
+    return metrics
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny budget for CI smoke runs")
+    parser.add_argument("--workers", type=int, default=3, metavar="N")
+    parser.add_argument("-o", "--output", default="BENCH_perf.json",
+                        help="JSON report to merge the 'fleet' key into")
+    args = parser.parse_args(argv)
+
+    from repro import __version__
+    from repro.experiments.config import ExperimentConfig
+
+    config = ExperimentConfig(n_patterns=2_048, state_patterns=2_048)
+    circuit, library = "t481", "cntfet-generalized"
+    clients = 2 if args.quick else 4
+    requests_per_client = 10 if args.quick else 50
+    kills = 1 if args.quick else 3
+
+    cores = os.cpu_count() or 1
+    cache_root = tempfile.mkdtemp(prefix="repro-bench-load-")
+    try:
+        clean = _run_phase(
+            "clean", workers=args.workers, config=config,
+            circuit=circuit, library=library, clients=clients,
+            requests_per_client=requests_per_client,
+            cache_dir=os.path.join(cache_root, "clean"),
+            faults_spec=None)
+        faulted = _run_phase(
+            "faulted", workers=args.workers, config=config,
+            circuit=circuit, library=library, clients=clients,
+            requests_per_client=requests_per_client,
+            cache_dir=os.path.join(cache_root, "faulted"),
+            faults_spec=f"worker.kill9:times={kills},match=/v1/estimate")
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    caveats = []
+    if cores < args.workers + 1:
+        caveats.append(
+            f"single-machine run with {cores} CPU core(s) for "
+            f"{args.workers} workers + supervisor + clients: workers "
+            f"time-share the core(s), so q/s does not scale with N "
+            f"and q/s-per-core is the honest throughput figure")
+    section = {
+        "version": __version__,
+        "quick": args.quick,
+        "workers": args.workers,
+        "clients": clients,
+        "n_patterns": config.n_patterns,
+        "cpu_count": cores,
+        "caveats": caveats,
+        "clean": clean,
+        "faulted": faulted,
+    }
+
+    output = Path(args.output)
+    try:
+        report = json.loads(output.read_text())
+    except (OSError, ValueError):
+        report = {}
+    report["fleet"] = section
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps({"fleet": section}, indent=2))
+    print(f"\nmerged 'fleet' into {output}", file=sys.stderr)
+
+    if clean["failed"] or faulted["failed"]:
+        print("FAIL: requests failed under load", file=sys.stderr)
+        return 1
+    if faulted["worker_restarts"] < 1:
+        print("FAIL: faulted phase saw no worker restart — the "
+              "kill9 drill did not fire", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

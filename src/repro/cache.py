@@ -35,6 +35,22 @@ The read path carries the ``cache.corrupt_read`` fault-injection
 point (:mod:`repro.faults`): a chaos run can garble any read and
 assert that quarantine turns it into a recomputation, bit-identical
 to the clean path.
+
+**Cross-process single-flight**: the disk tier doubles as a
+coordination point for a fleet of worker processes.  When N cold
+workers miss the same content-addressed key at once, each paying the
+full computation is a cache stampede; :func:`single_flight` elects
+exactly one *leader* per key via an ``O_CREAT | O_EXCL`` lock file
+under ``<root>/_locks/<namespace>/`` (the same ticket pattern
+:mod:`repro.faults` uses for cross-process fault budgets) while the
+other processes poll the disk entry the leader will write.  A leader
+that dies mid-compute leaves its lock behind; followers detect the
+stale lock (owner pid dead on this host, or older than the staleness
+window) and take over leadership.  Because every computation here is
+deterministic and content-addressed, the worst outcome of any race is
+one redundant recomputation — never a wrong answer.  Leader/follower/
+takeover counters are part of :func:`cache_stats` and surface in the
+server's ``/healthz``.
 """
 
 from __future__ import annotations
@@ -60,6 +76,18 @@ CACHE_FORMAT_VERSION = 1
 
 #: Directory (under the cache root) corrupt entries are moved to.
 QUARANTINE_DIRNAME = "_quarantine"
+
+#: Directory (under the cache root) single-flight lock files live in.
+LOCKS_DIRNAME = "_locks"
+
+#: Age past which a single-flight lock whose owner cannot be probed
+#: (different host, unreadable payload) is considered abandoned.
+DEFAULT_LOCK_STALE_S = 30.0
+
+#: How long a single-flight follower polls for the leader's entry
+#: before giving up and computing redundantly (never deadlock on a
+#: lock, whatever happens to its owner).
+DEFAULT_FLIGHT_WAIT_S = 600.0
 
 _DEFAULT_ROOT = Path.home() / ".cache" / "repro-ambipolar"
 
@@ -117,7 +145,9 @@ def cache_root() -> Path:
 # must outlive any one instance to be reportable in /healthz).
 _STATS_LOCK = threading.Lock()
 _STATS: Dict[str, int] = {"verified": 0, "legacy": 0, "quarantined": 0,
-                          "checksum_mismatch": 0, "unparseable": 0}
+                          "checksum_mismatch": 0, "unparseable": 0,
+                          "flight_leader": 0, "flight_follower": 0,
+                          "flight_takeover": 0, "flight_timeout": 0}
 
 
 def cache_stats() -> Dict[str, int]:
@@ -126,7 +156,10 @@ def cache_stats() -> Dict[str, int]:
     ``verified`` — checksummed entries read and verified; ``legacy`` —
     pre-envelope entries accepted as-is; ``quarantined`` — corrupt
     entries moved aside (split into ``checksum_mismatch`` and
-    ``unparseable``).
+    ``unparseable``).  The ``flight_*`` counters track cross-process
+    single-flight: computations led, answers served from a leader's
+    entry after waiting, stale locks taken over, and waits that gave
+    up and computed redundantly.
     """
     with _STATS_LOCK:
         return dict(_STATS)
@@ -255,6 +288,77 @@ class DiskCache:
         self.put(namespace, key, merged)
         return merged
 
+    # -- single-flight locks ----------------------------------------------
+
+    def lock_path(self, namespace: str, key: str) -> Path:
+        return self.root / LOCKS_DIRNAME / namespace / f"{key}.lock"
+
+    def try_lock(self, namespace: str, key: str) -> bool:
+        """Claim the single-flight lock for a key (``O_CREAT|O_EXCL``).
+
+        The lock file records the owner's pid/host/claim time so other
+        processes can judge staleness.  Returns False when someone else
+        holds it (or the filesystem refuses — a degraded filesystem
+        must degrade to duplicate work, not to a crash).
+        """
+        path = self.lock_path(namespace, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            return False
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump({"pid": os.getpid(),
+                           "host": os.uname().nodename,
+                           "time": time.time()}, handle)
+        except OSError:
+            pass
+        return True
+
+    def unlock(self, namespace: str, key: str) -> None:
+        """Release a single-flight lock (missing file is fine)."""
+        try:
+            self.lock_path(namespace, key).unlink()
+        except OSError:
+            pass
+
+    def lock_stale(self, namespace: str, key: str,
+                   stale_s: float = DEFAULT_LOCK_STALE_S) -> bool:
+        """True when the key's lock exists but its owner is gone.
+
+        A lock is stale when its recorded owner pid is dead on this
+        host, or — when the owner cannot be probed (another host, a
+        torn lock write) — when the file is older than ``stale_s``.
+        A live same-host owner is *never* stale by age alone: a big
+        computation legitimately outlives any fixed window.
+        """
+        path = self.lock_path(namespace, key)
+        try:
+            stat = path.stat()
+        except OSError:
+            return False  # no lock at all
+        age = time.time() - stat.st_mtime
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                owner = json.load(handle)
+            pid = int(owner["pid"])
+            host = str(owner.get("host", ""))
+        except (OSError, ValueError, KeyError, TypeError):
+            return age > stale_s  # unreadable: trust only the clock
+        if host and host != os.uname().nodename:
+            return age > stale_s  # cannot probe a foreign pid
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True  # owner died mid-compute
+        except OSError:
+            pass  # EPERM etc.: the pid exists
+        return False
+
+
     def clear(self, namespace: Optional[str] = None) -> int:
         """Delete cached entries; returns the number of files removed."""
         base = self.root / namespace if namespace else self.root
@@ -268,6 +372,69 @@ class DiskCache:
             except OSError:
                 pass
         return removed
+
+
+def single_flight(cache: DiskCache, namespace: str, key: str,
+                  compute, probe, *,
+                  stale_s: float = DEFAULT_LOCK_STALE_S,
+                  poll_s: float = 0.02,
+                  max_wait_s: float = DEFAULT_FLIGHT_WAIT_S) -> Any:
+    """Compute a content-addressed value exactly once across processes.
+
+    ``probe()`` returns the finished value from the disk tier (or
+    ``None``); ``compute()`` produces it *and persists it* so other
+    processes' probes can see it.  The first process to claim the key's
+    lock file computes; everyone else polls ``probe`` until the entry
+    appears.  Recovery paths:
+
+    * the leader's lock is released in a ``finally`` — an exception
+      frees the key immediately;
+    * a leader *killed* mid-compute (SIGKILL, power loss) leaves its
+      lock behind; followers detect the dead owner (or, cross-host,
+      the ``stale_s`` age) via :meth:`DiskCache.lock_stale`, break the
+      lock and re-race for leadership;
+    * a follower that has waited ``max_wait_s`` computes redundantly
+      rather than wait forever — duplicate work, never a deadlock.
+
+    With the cache disabled there is no shared tier to coordinate
+    through, so the call degrades to a plain ``compute()``.
+    """
+    if not cache.enabled:
+        return compute()
+    deadline = time.monotonic() + max_wait_s
+    waited = False
+    while True:
+        if cache.try_lock(namespace, key):
+            try:
+                # Between our probe miss and the lock claim another
+                # leader may have finished: serve its entry, skip the
+                # compute entirely.
+                value = probe()
+                if value is not None:
+                    _count("flight_follower")
+                    return value
+                _count("flight_leader")
+                return compute()
+            finally:
+                cache.unlock(namespace, key)
+        value = probe()
+        if value is not None:
+            if waited:
+                _count("flight_follower")
+            return value
+        if cache.lock_stale(namespace, key, stale_s):
+            # The leader died mid-compute: break its lock and re-race.
+            # Two followers may both unlink (one of them a fresh lock
+            # in the worst interleaving); the cost is one redundant
+            # deterministic compute, not corruption.
+            cache.unlock(namespace, key)
+            _count("flight_takeover")
+            continue
+        if time.monotonic() >= deadline:
+            _count("flight_timeout")
+            return compute()
+        waited = True
+        time.sleep(poll_s)
 
 
 def default_cache() -> DiskCache:

@@ -17,6 +17,10 @@ driven without writing Python:
   vdd x frequency x fanout x patterns x library x circuit with a
   resumable result store (see :mod:`repro.sweep`);
 * ``serve`` — the long-lived estimation server (:mod:`repro.serve`);
+  ``--workers N`` runs the self-healing multi-process fleet
+  (:mod:`repro.serve.fleet`);
+* ``fleet status`` — per-worker liveness and fleet-wide counters from
+  a running supervisor's aggregated ``/v1/healthz``;
 * ``query`` — one power query against a running server, or a whole
   operating-point grid in one batched request (``--grid``).
 
@@ -433,6 +437,39 @@ def _add_config_flags(parser) -> None:
                              "large netlists)")
 
 
+def _serve_fleet(args, config) -> int:
+    """``repro serve --workers N``: the supervised multi-process fleet."""
+    import signal
+
+    from repro import __version__
+    from repro.serve import FleetConfig, FleetSupervisor
+
+    control_port = args.control_port
+    if control_port is None:
+        # Service port + 1 by convention; OS-assigned when the service
+        # port itself is OS-assigned.
+        control_port = args.port + 1 if args.port else 0
+    max_inflight = args.max_inflight if args.max_inflight > 0 else None
+    fleet = FleetSupervisor(FleetConfig(
+        workers=args.workers, host=args.host, port=args.port,
+        control_port=control_port, config=config, store=args.store,
+        max_inflight=max_inflight, drain_timeout_s=args.drain_timeout))
+    fleet.start()
+    print(f"repro-fleet {__version__}: {args.workers} workers on "
+          f"{fleet.service_url} (control {fleet.control_url}, "
+          f"backend={config.backend}, n_patterns={config.n_patterns})",
+          flush=True)
+
+    def on_signal(signum, frame):
+        fleet.initiate_shutdown(signal.Signals(signum).name)
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    fleet.run_forever()
+    print("fleet shutdown complete", flush=True)
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import signal
     import threading
@@ -451,6 +488,8 @@ def _cmd_serve(args) -> int:
         raise SystemExit(
             f"unknown estimator backend {config.backend!r}; choose "
             f"from {', '.join(available_backends())}")
+    if args.workers > 1:
+        return _serve_fleet(args, config)
     engine = Engine(Session(config), store=args.store)
     max_inflight = args.max_inflight if args.max_inflight > 0 else None
     server = serve(engine, host=args.host, port=args.port,
@@ -494,6 +533,61 @@ def _cmd_serve(args) -> int:
         server.server_close()
     print("shutdown complete", flush=True)
     return 0
+
+
+def _cmd_fleet_status(args) -> int:
+    """``repro fleet status``: render the supervisor's aggregated
+    ``/v1/healthz`` as a table (exit 1 when the fleet is degraded)."""
+    import json as json_module
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/v1/healthz"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as response:
+            payload = json_module.loads(response.read().decode("utf-8"))
+    except Exception as exc:
+        raise SystemExit(f"cannot reach fleet supervisor at {url}: {exc}")
+    if args.json:
+        print(json_module.dumps(payload, indent=2))
+        return 0 if payload.get("status") == "ok" else 1
+    print(f"fleet {payload.get('status', '?')}: "
+          f"{payload.get('n_live', 0)}/{payload.get('n_workers', 0)} live, "
+          f"{payload.get('n_ready', 0)} ready, "
+          f"{payload.get('n_benched', 0)} benched, "
+          f"{payload.get('restarts_total', 0)} restart(s), "
+          f"{payload.get('deaths_total', 0)} death(s)  "
+          f"[supervisor pid {payload.get('pid')}, "
+          f"up {payload.get('uptime_s', 0):.0f}s, "
+          f"{'SO_REUSEPORT' if payload.get('reuse_port') else 'inherited FD'}]")
+    print(f"  service {payload.get('service_url')}  via {args.url}")
+    print(f"{'slot':>4} {'state':>8} {'pid':>8} {'ready':>5} "
+          f"{'restarts':>8} {'deaths':>6} {'hb-age/s':>8} {'inflight':>8} "
+          f"{'last exit':<24}")
+    for row in payload.get("workers", ()):
+        age = row.get("heartbeat_age_s")
+        print(f"{row.get('slot', '?'):>4} {row.get('state', '?'):>8} "
+              f"{row.get('pid') or '-':>8} "
+              f"{'yes' if row.get('ready') else 'no':>5} "
+              f"{row.get('restarts', 0):>8} {row.get('deaths', 0):>6} "
+              f"{age if age is not None else '-':>8} "
+              f"{row.get('inflight', '-'):>8} "
+              f"{row.get('last_exit') or '-':<24}")
+    aggregate = payload.get("aggregate") or {}
+    counters = aggregate.get("counters") or {}
+    caches = aggregate.get("caches") or {}
+    disk = caches.get("disk") or {}
+    answers = (counters.get("results.hot", 0)
+               + counters.get("results.cold", 0)
+               + counters.get("results.coalesced", 0))
+    print(f"  aggregate: {answers} answer(s) "
+          f"({counters.get('results.cold', 0)} cold), "
+          f"{counters.get('stats.cold', 0)} simulation(s) fleet-wide, "
+          f"{counters.get('stats.hot', 0)} hot stats hit(s), "
+          f"single-flight leader/follower/takeover = "
+          f"{disk.get('flight_leader', 0)}/"
+          f"{disk.get('flight_follower', 0)}/"
+          f"{disk.get('flight_takeover', 0)}")
+    return 0 if payload.get("status") == "ok" else 1
 
 
 #: Axes ``repro query --grid`` may sweep, with their value parsers.
@@ -870,8 +964,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds SIGTERM/SIGINT waits for in-flight "
                             "requests before forcing shutdown "
                             "(default %(default)s)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes sharing the service port "
+                            "(N>1 runs the self-healing fleet "
+                            "supervisor; default %(default)s)")
+    serve.add_argument("--control-port", type=int, default=None,
+                       metavar="PORT", dest="control_port",
+                       help="fleet supervisor health port serving the "
+                            "aggregated /v1/healthz (default: service "
+                            "port + 1, or OS-assigned with --port 0; "
+                            "only with --workers > 1)")
     _add_config_flags(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet", help="inspect a running multi-worker serving fleet")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fstatus = fleet_sub.add_parser(
+        "status",
+        help="per-worker liveness and fleet-wide counters from the "
+             "supervisor's aggregated /v1/healthz (exit 1 when "
+             "degraded)")
+    fstatus.add_argument("--url", default="http://127.0.0.1:8322",
+                         help="supervisor control URL (default "
+                              "%(default)s — service port + 1)")
+    fstatus.add_argument("--timeout", type=float, default=10.0,
+                         metavar="S", help="HTTP timeout in seconds")
+    fstatus.add_argument("--json", action="store_true",
+                         help="print the raw aggregated healthz JSON")
+    fstatus.set_defaults(func=_cmd_fleet_status)
 
     query = sub.add_parser(
         "query", help="one power query against a running server")

@@ -16,7 +16,16 @@ points* that fire faults on demand:
   ``ms`` milliseconds before its pipeline stages, exercising
   per-request deadlines and overload shedding;
 * ``http.drop`` — the HTTP handler closes the connection without a
-  response, exercising client retries.
+  response, exercising client retries;
+* ``worker.kill9`` — a *fleet worker* process SIGKILLs itself
+  mid-request (no drain, no cleanup — the closest thing to an OOM
+  kill), exercising the supervisor's restart path and the client's
+  connection-level retry against the surviving workers (never fires
+  in the main process, so a single-process ``repro serve`` is
+  immune);
+* ``supervisor.restart_storm`` — the fleet supervisor's monitor loop
+  hard-kills one of its own healthy workers per firing, exercising
+  restart backoff and crash-loop benching from the supervising side.
 
 Faults are configured by the ``REPRO_FAULTS`` environment variable (or
 programmatically via :func:`activate`), a semicolon-separated list of
@@ -71,6 +80,8 @@ FAULT_POINTS = (
     "worker.crash",
     "engine.latency",
     "http.drop",
+    "worker.kill9",
+    "supervisor.restart_storm",
 )
 
 #: Marker appended by :func:`corrupt` — greppable in quarantined files.
@@ -294,6 +305,25 @@ def corrupt(text: str) -> str:
     path sees exactly what a torn write or bad sector produces.
     """
     return text[: len(text) // 2] + CORRUPTION_MARKER
+
+
+def maybe_kill9(context: str = "") -> None:
+    """``worker.kill9`` injection point: SIGKILL this *worker* process.
+
+    Refuses to fire in the main process — the point simulates a fleet
+    worker dying mid-request (OOM kill, segfault), and killing the
+    supervisor or a single-process server would take the harness down
+    instead of exercising recovery.  SIGKILL (not ``os._exit``) so
+    even C-level cleanup is skipped: in-flight connections reset,
+    heartbeats stop, locks stay behind.
+    """
+    plan = current_plan()
+    if not plan.active():
+        return
+    if multiprocessing.current_process().name == "MainProcess":
+        return
+    if plan.fire("worker.kill9", context) is not None:
+        os.kill(os.getpid(), 9)
 
 
 def maybe_crash_worker(context: str = "") -> None:

@@ -17,6 +17,10 @@ can fail.
   when either the retry budget or the policy's total deadline runs
   out.  The sleep and RNG are injectable so tests can assert backoff
   bounds without waiting.
+* :class:`Backoff` — plain capped exponential delays, *without*
+  jitter, for supervisors pacing restarts of their own children
+  (there is no stampede to decorrelate, and deterministic delays make
+  chaos tests assertable).
 """
 
 from __future__ import annotations
@@ -141,6 +145,27 @@ class RetryState:
         if delay > 0:
             self._sleep(delay)
         return True
+
+
+@dataclass(frozen=True)
+class Backoff:
+    """Capped exponential delays: ``base * 2**(attempt-1)``, capped.
+
+    The restart-pacing twin of :class:`RetryPolicy`: a supervisor
+    restarting a crashed worker wants delays that grow (a worker dying
+    instantly on boot must not busy-loop the machine) but stay
+    deterministic — chaos tests assert on them, and unlike client
+    retries there is no thundering herd to jitter away.
+    """
+
+    base_s: float = 0.2
+    cap_s: float = 5.0
+
+    def delay(self, attempt: int) -> float:
+        """Delay before the ``attempt``-th retry (1-based)."""
+        if attempt <= 1:
+            return min(self.base_s, self.cap_s)
+        return min(self.cap_s, self.base_s * (2.0 ** (attempt - 1)))
 
 
 def parse_retry_after(value: Optional[str]) -> Optional[float]:

@@ -14,15 +14,24 @@ query costs a dictionary lookup instead of a synthesis run.
   ``ThreadingHTTPServer`` speaking the :mod:`repro.schema` wire format
   (``POST /v1/estimate``, ``POST /v1/optimize``,
   ``GET /v1/circuits|libraries|backends|healthz``);
+* :class:`FleetSupervisor` / :class:`FleetConfig` — self-healing
+  multi-worker serving: N pre-forked workers sharing one port
+  (``SO_REUSEPORT`` or inherited FD), heartbeat-monitored, restarted
+  with backoff, crash-loop benched, rolled through SIGTERM drains
+  (``repro serve --workers N``);
 * :class:`Client` — the matching urllib client;
-* ``repro serve`` / ``repro query`` — the CLI pair.
+* ``repro serve`` / ``repro query`` / ``repro fleet status`` — the
+  CLI trio.
 
 Responses are bit-identical to :meth:`repro.api.Session.run` (locked
-by goldens in ``tests/serve/``).
+by goldens in ``tests/serve/`` and the fleet chaos drills in
+``tests/chaos/``).
 """
 
 from repro.serve.client import Client
 from repro.serve.engine import Engine
+from repro.serve.fleet import FleetConfig, FleetSupervisor
 from repro.serve.http import PowerServer, serve
 
-__all__ = ["Engine", "PowerServer", "serve", "Client"]
+__all__ = ["Engine", "PowerServer", "serve", "Client",
+           "FleetSupervisor", "FleetConfig"]

@@ -23,10 +23,17 @@ deterministic and content-addressed), so the client transparently
 retries exactly the failures where a retry can help:
 
 * connection-level failures (``status=0``): the request may never
-  have reached the server;
+  have reached the server — this includes a connection reset or a
+  truncated body *mid-response* (``http.client.IncompleteRead`` when
+  a fleet worker is SIGKILLed while streaming), not just a refused
+  connect;
 * 429 (shed by admission control) and 503 (draining/warming): the
   server explicitly asked for a retry, and its ``Retry-After`` hint
-  is honored (capped by the policy's backoff cap).
+  is honored (capped by the policy's backoff cap).  A 503 whose code
+  is ``draining`` gets its *first* retry immediately, with no
+  backoff: a draining worker means its fleet siblings (or its
+  restarted successor) are the right target *right now* — only
+  repeat drainings back off.
 
 Everything else (400, 404, 413, 504, 500) fails fast — retrying a
 malformed query or a blown deadline cannot succeed.  Backoff is
@@ -37,6 +44,7 @@ attempt sequence including sleeps.  ``retry=None`` disables retries.
 
 from __future__ import annotations
 
+import http.client
 import json
 import random
 import time
@@ -132,10 +140,16 @@ class Client:
             error.retry_after_s = parse_retry_after(
                 exc.headers.get("Retry-After"))
             raise error from None
-        except (urllib.error.URLError, ConnectionError, OSError) as exc:
+        except (urllib.error.URLError, ConnectionError,
+                http.client.HTTPException, OSError) as exc:
+            # HTTPException covers the *mid-response* failures OSError
+            # does not: IncompleteRead when the peer closes cleanly
+            # after sending a partial body (a worker SIGKILLed while
+            # streaming), BadStatusLine on a torn response head.
             reason = getattr(exc, "reason", exc)
             error = ServerError(
-                f"cannot reach estimation server at {url}: {reason}",
+                f"cannot reach estimation server at {url}: "
+                f"{reason or type(exc).__name__}",
                 status=0, code="connection")
             error.retry_after_s = None
             raise error from None
@@ -146,6 +160,7 @@ class Client:
         if self.retry is not None:
             state = self.retry.start(sleep=self._sleep, rng=self._rng)
         self.last_retry_state = state
+        fast_drain_used = False
         while True:
             timeout = self.timeout
             if state is not None:
@@ -164,7 +179,15 @@ class Client:
                              or exc.status in RETRYABLE_STATUSES)
                 if state is None or not retryable:
                     raise
-                if not state.retry(getattr(exc, "retry_after_s", None)):
+                hint = getattr(exc, "retry_after_s", None)
+                if (exc.status == 503 and exc.code == "draining"
+                        and not fast_drain_used):
+                    # A draining worker's fleet siblings are live right
+                    # now — the first re-attempt goes immediately; only
+                    # repeat drainings honor Retry-After/backoff.
+                    fast_drain_used = True
+                    hint = 0.0
+                if not state.retry(hint):
                     raise
 
     # -- endpoints ---------------------------------------------------------

@@ -68,6 +68,7 @@ so ``repro serve ... 2>server.log`` captures an access log.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -192,6 +193,8 @@ class _Handler(BaseHTTPRequestHandler):
                 payload["draining"] = server.draining
                 payload["inflight"] = server.inflight
                 payload["max_inflight"] = server.max_inflight
+                if server.worker_meta is not None:
+                    payload["worker"] = dict(server.worker_meta)
                 self._send_json(200, payload)
             elif path == "/v1/circuits":
                 self._send_json(200, {"circuits": self.engine.circuits()})
@@ -234,6 +237,10 @@ class _Handler(BaseHTTPRequestHandler):
             data = self._read_body_json()
             if data is None:
                 return
+            # Mid-request SIGKILL point for fleet chaos drills: the
+            # request is admitted and read, then the worker dies with
+            # no response — the client must retry on another worker.
+            faults.maybe_kill9(context=path)
             try:
                 if path == "/v1/estimate":
                     query = PowerQuery.from_dict(
@@ -273,17 +280,41 @@ class PowerServer(ThreadingHTTPServer):
     The server starts *not ready* (``/v1/healthz/ready`` is 503) until
     :meth:`mark_ready` — :func:`serve` calls it for you, the CLI calls
     it after warmup.
+
+    ``sock`` adopts an already-listening socket instead of binding
+    ``address`` — how fleet workers share one service port (an
+    ``SO_REUSEPORT`` sibling socket, or the supervisor's inherited
+    listen FD).  The adopting server takes ownership: ``server_close``
+    closes it.
     """
 
     daemon_threads = True
 
     def __init__(self, engine: Engine,
                  address: Tuple[str, int] = ("127.0.0.1", 0),
-                 max_inflight: Optional[int] = DEFAULT_MAX_INFLIGHT):
-        super().__init__(address, _Handler)
+                 max_inflight: Optional[int] = DEFAULT_MAX_INFLIGHT,
+                 sock: Optional[socket.socket] = None):
+        if sock is None:
+            super().__init__(address, _Handler)
+        else:
+            super().__init__(sock.getsockname()[:2], _Handler,
+                             bind_and_activate=False)
+            # Swap the unbound socket TCPServer built for the adopted,
+            # already-listening one, then finish HTTPServer.server_bind
+            # bookkeeping (server_name/server_port) without rebinding.
+            self.socket.close()
+            self.socket = sock
+            self.server_address = sock.getsockname()
+            host, port = self.server_address[:2]
+            self.server_name = socket.getfqdn(host)
+            self.server_port = port
         self.engine = engine
         self.max_inflight = max_inflight
         self.draining = False
+        #: Optional identity block merged into ``/v1/healthz`` — fleet
+        #: workers set it to ``{"slot": ..., "pid": ...}`` so the
+        #: supervisor's aggregation can label per-worker rows.
+        self.worker_meta: Optional[Dict[str, Any]] = None
         self._ready = False
         self._inflight = 0
         self._state_lock = threading.Lock()

@@ -36,7 +36,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional
 
-from repro.cache import default_cache, stable_hash
+from repro.cache import default_cache, single_flight, stable_hash
 from repro.sim.bitsim import (
     _WORD_BITS,
     DEFAULT_STATE_SAMPLE,
@@ -239,30 +239,52 @@ def simulation_stats(netlist, n_patterns: int, seed: int = 2010,
     bit-identical, so it is deliberately absent from the cache key and
     a warm entry answers every kernel's request.  The returned object
     is shared — treat it as immutable.
+
+    The cold path is **cross-process single-flight**
+    (:func:`repro.cache.single_flight`): when several worker processes
+    of a serving fleet miss the same key at once, exactly one runs the
+    simulation while the others poll the disk tier for its entry — and
+    take over leadership if it dies mid-compute.  The ``simulations``
+    counter therefore counts *fleet-wide* work when summed across
+    workers.
     """
     key = activity_key(netlist, n_patterns, seed, state_patterns)
     stats = _CACHE.get(key)
     if stats is not None:
         return stats
     disk = default_cache()
-    payload = disk.get(ACTIVITY_NAMESPACE, key)
     effective = effective_state_patterns(n_patterns, state_patterns)
-    if _valid_payload(payload, netlist, n_patterns, effective):
-        try:
-            stats = SimulationStats.from_payload(payload)
-        except (TypeError, ValueError, KeyError):
-            stats = None
-        if stats is not None:
-            with _CACHE._lock:
-                _CACHE.disk_hits += 1
-            _CACHE.put(key, stats)
-            return stats
-    from repro.sim.kernels import run_simulation
 
-    stats = run_simulation(netlist, n_patterns, seed, state_patterns,
-                           kernel=kernel)
-    with _CACHE._lock:
-        _CACHE.simulations += 1
-    disk.put(ACTIVITY_NAMESPACE, key, stats.to_payload())
+    def probe() -> Optional[SimulationStats]:
+        payload = disk.get(ACTIVITY_NAMESPACE, key)
+        if not _valid_payload(payload, netlist, n_patterns, effective):
+            return None
+        try:
+            return SimulationStats.from_payload(payload)
+        except (TypeError, ValueError, KeyError):
+            return None
+
+    simulated = []
+
+    def compute() -> SimulationStats:
+        from repro.sim.kernels import run_simulation
+
+        simulated.append(True)
+        stats = run_simulation(netlist, n_patterns, seed, state_patterns,
+                               kernel=kernel)
+        with _CACHE._lock:
+            _CACHE.simulations += 1
+        disk.put(ACTIVITY_NAMESPACE, key, stats.to_payload())
+        return stats
+
+    stats = probe()
+    if stats is None:
+        stats = single_flight(disk, ACTIVITY_NAMESPACE, key,
+                              compute, probe)
+    if not simulated:
+        # Served from the disk tier (directly, or from a single-flight
+        # leader's entry after waiting) — either way a disk hit.
+        with _CACHE._lock:
+            _CACHE.disk_hits += 1
     _CACHE.put(key, stats)
     return stats

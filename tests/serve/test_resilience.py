@@ -44,6 +44,13 @@ _BAD_BODY = json.dumps(
     {"error": {"code": "bad_request", "message": "nope"}}).encode()
 _BAD = (b"HTTP/1.1 400 Bad Request\r\nContent-Type: application/json\r\n"
         + f"Content-Length: {len(_BAD_BODY)}\r\n\r\n".encode() + _BAD_BODY)
+_DRAIN_BODY = json.dumps(
+    {"error": {"code": "draining", "message": "shutting down"}}).encode()
+_DRAIN = (b"HTTP/1.1 503 Service Unavailable\r\n"
+          b"Content-Type: application/json\r\n"
+          b"Retry-After: 1\r\n"
+          + f"Content-Length: {len(_DRAIN_BODY)}\r\n\r\n".encode()
+          + _DRAIN_BODY)
 
 
 class FlakyServer:
@@ -51,8 +58,11 @@ class FlakyServer:
 
     Each accepted connection pops the next behavior: ``"ok"`` (full
     200), ``"busy"`` (503 + Retry-After), ``"bad"`` (400), ``"reset"``
-    (half a response, then an abortive close), ``"slow"`` (never sends
-    headers).  Behaviors past the end of the script are ``"ok"``.
+    (half a response, then an abortive close), ``"truncated"`` (full
+    headers, half the promised body, clean FIN — the client sees
+    ``IncompleteRead``), ``"draining"`` (503 whose code is
+    ``draining``), ``"slow"`` (never sends headers).  Behaviors past
+    the end of the script are ``"ok"``.
     """
 
     def __init__(self, script):
@@ -112,6 +122,13 @@ class FlakyServer:
             conn.sendall(_OK[: len(_OK) // 2])
             conn.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
                             b"\x01\x00\x00\x00\x00\x00\x00\x00")
+        elif behavior == "truncated":
+            # Complete headers promising the full body, then half of
+            # it and a *clean* close — no RST, so the failure is
+            # http.client.IncompleteRead, not an OSError.
+            conn.sendall(_OK[: len(_OK) - len(_OK_BODY) // 2])
+        elif behavior == "draining":
+            conn.sendall(_DRAIN)
         elif behavior == "slow":
             # Headers never arrive; the client's timeout must fire.
             time.sleep(1.0)
@@ -158,6 +175,40 @@ class TestClientRetries:
         assert server.served == 2
         assert client.last_retry_state.attempts == 1
         assert len(sleeps) == 1
+
+    def test_truncated_body_mid_stream_is_retried(self, flaky):
+        # A fleet worker SIGKILLed while streaming closes the socket
+        # cleanly after a partial body; the promised Content-Length is
+        # never delivered, so the failure surfaces as IncompleteRead
+        # (an HTTPException, not an OSError) — it must retry too.
+        server = flaky(["truncated", "ok"])
+        client, sleeps = _client(server.url)
+        assert client.healthz() == {"status": "ok"}
+        assert server.served == 2
+        assert client.last_retry_state.attempts == 1
+        assert len(sleeps) == 1
+
+    def test_truncated_body_without_retry_raises_transport_error(
+            self, flaky):
+        server = flaky(["truncated"])
+        client = Client(server.url, timeout=5.0, retry=None)
+        with pytest.raises(ServerError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 0
+        assert excinfo.value.code == "connection"
+
+    def test_draining_503_first_retry_is_immediate(self, flaky):
+        # One draining worker means its fleet siblings are live right
+        # now: the first retry goes with zero sleep (ignoring the 1 s
+        # Retry-After); only the repeat draining backs off with it.
+        server = flaky(["draining", "draining", "ok"])
+        client, sleeps = _client(server.url)
+        assert client.healthz() == {"status": "ok"}
+        assert server.served == 3
+        # state.sleeps records every backoff including the zero one;
+        # the injected sleep callable only fires for positive delays.
+        assert client.last_retry_state.sleeps == [0.0, 0.01]
+        assert sleeps == [0.01]
 
     def test_503_then_success_honors_retry_after(self, flaky):
         server = flaky(["busy", "busy", "ok"])

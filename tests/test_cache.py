@@ -252,3 +252,131 @@ class TestCacheIntegrity:
             assert cache.get("ns", "key") == {"x": 1}
         finally:
             faults.deactivate()
+
+
+class TestSingleFlight:
+    """Cross-process single-flight over the disk cache's lock files."""
+
+    def _cache(self, tmp_path):
+        return DiskCache(root=tmp_path, enabled=True)
+
+    def test_leader_computes_once_and_unlocks(self, tmp_path):
+        from repro.cache import cache_stats, single_flight
+
+        cache = self._cache(tmp_path)
+        computed = []
+
+        def compute():
+            computed.append(True)
+            cache.put("ns", "key", {"v": 42})
+            return {"v": 42}
+
+        def probe():
+            return cache.get("ns", "key")
+
+        before = cache_stats()["flight_leader"]
+        assert single_flight(cache, "ns", "key", compute, probe) \
+            == {"v": 42}
+        assert computed == [True]
+        assert cache_stats()["flight_leader"] == before + 1
+        # The lock is gone: a second call probes the entry instead of
+        # recomputing.
+        assert not cache.lock_path("ns", "key").exists()
+        assert single_flight(cache, "ns", "key", compute, probe) \
+            == {"v": 42}
+        assert computed == [True]
+
+    def test_follower_waits_for_leader_entry(self, tmp_path):
+        import threading
+        import time
+
+        from repro.cache import cache_stats, single_flight
+
+        cache = self._cache(tmp_path)
+        # Simulate a live leader: hold the lock from this very
+        # process (the owner pid is alive, so it is never stale),
+        # then publish the entry and release.
+        assert cache.try_lock("ns", "key")
+
+        def leader():
+            time.sleep(0.1)
+            cache.put("ns", "key", {"v": 7})
+            cache.unlock("ns", "key")
+
+        thread = threading.Thread(target=leader)
+        thread.start()
+        before = cache_stats()["flight_follower"]
+
+        def compute():
+            raise AssertionError("the follower must never compute")
+
+        value = single_flight(cache, "ns", "key", compute,
+                              lambda: cache.get("ns", "key"),
+                              poll_s=0.01)
+        thread.join()
+        assert value == {"v": 7}
+        assert cache_stats()["flight_follower"] == before + 1
+
+    def test_stale_lock_of_dead_process_is_taken_over(self, tmp_path):
+        import json
+        import multiprocessing
+
+        from repro.cache import cache_stats, single_flight
+
+        cache = self._cache(tmp_path)
+        # A real dead pid: fork a child that exits immediately.
+        proc = multiprocessing.get_context("fork").Process(target=lambda: None)
+        proc.start()
+        dead_pid = proc.pid
+        proc.join()
+        assert cache.try_lock("ns", "key")
+        lock = cache.lock_path("ns", "key")
+        payload = json.loads(lock.read_text())
+        payload["pid"] = dead_pid
+        lock.write_text(json.dumps(payload))
+        assert cache.lock_stale("ns", "key", stale_s=3600.0)
+
+        computed = []
+
+        def compute():
+            computed.append(True)
+            cache.put("ns", "key", {"v": 1})
+            return {"v": 1}
+
+        before = cache_stats()["flight_takeover"]
+        value = single_flight(cache, "ns", "key", compute,
+                              lambda: cache.get("ns", "key"),
+                              poll_s=0.01)
+        assert value == {"v": 1}
+        assert computed == [True]
+        assert cache_stats()["flight_takeover"] == before + 1
+
+    def test_live_lock_is_not_stale_by_age(self, tmp_path):
+        cache = self._cache(tmp_path)
+        assert cache.try_lock("ns", "key")
+        # Our own pid is alive on this host: age must not matter.
+        assert not cache.lock_stale("ns", "key", stale_s=0.0)
+        cache.unlock("ns", "key")
+
+    def test_wait_timeout_computes_redundantly(self, tmp_path):
+        from repro.cache import cache_stats, single_flight
+
+        cache = self._cache(tmp_path)
+        assert cache.try_lock("ns", "key")  # held, live, never freed
+
+        before = cache_stats()["flight_timeout"]
+        value = single_flight(cache, "ns", "key",
+                              lambda: {"v": "redundant"},
+                              lambda: cache.get("ns", "key"),
+                              poll_s=0.005, max_wait_s=0.05)
+        assert value == {"v": "redundant"}
+        assert cache_stats()["flight_timeout"] == before + 1
+        cache.unlock("ns", "key")
+
+    def test_disabled_cache_computes_directly(self, tmp_path):
+        from repro.cache import single_flight
+
+        cache = DiskCache(root=tmp_path, enabled=False)
+        assert single_flight(cache, "ns", "key", lambda: 5,
+                             lambda: None) == 5
+        assert not (tmp_path / "_locks").exists()
